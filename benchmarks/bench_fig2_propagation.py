@@ -1,0 +1,94 @@
+"""Figure 2: propagating one Bloom filter update everywhere.
+
+Regenerates all three panels — (a) propagation time, (b) aggregate
+network volume, (c) per-peer bandwidth — for the paper's six scenarios,
+and asserts the claims the figure supports:
+
+* propagation time grows like log(N), not linearly;
+* PlanetP's volume ≪ the anti-entropy-only baseline's;
+* a slower gossip interval trades convergence time for bandwidth.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.common import format_series
+from repro.experiments.propagation import figure2_series, run_figure2
+
+
+_CACHE: dict = {}
+
+
+@pytest.fixture
+def sweep(bench_scale):
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = run_figure2(sizes=bench_scale["fig2_sizes"])
+    return _CACHE["sweep"]
+
+
+def test_fig2_regenerate_and_print(benchmark, bench_scale):
+    """Benchmarked kernel: the full Figure 2 sweep."""
+    sweep = benchmark.pedantic(
+        lambda: _CACHE.setdefault(
+            "sweep", run_figure2(sizes=bench_scale["fig2_sizes"])
+        ),
+        rounds=1, iterations=1,
+    )
+    panels = figure2_series(sweep)
+    print()
+    print(format_series(panels["time"], "N", "s", title="Figure 2(a): propagation time (s)"))
+    print()
+    print(format_series(panels["volume"], "N", "MB", title="Figure 2(b): network volume (MB)"))
+    print()
+    print(format_series(panels["bandwidth"], "N", "B/s", title="Figure 2(c): per-peer bandwidth (B/s)"))
+    for runs in sweep.results.values():
+        assert all(r.converged for r in runs)
+
+
+def test_fig2a_log_scaling(sweep):
+    """Time grows far slower than community size (log-like)."""
+    for name in ("LAN", "DSL-30"):
+        runs = sweep.scenario(name)
+        first, last = runs[0], runs[-1]
+        size_ratio = last.community_size / first.community_size
+        time_ratio = last.propagation_time_s / first.propagation_time_s
+        assert time_ratio < math.sqrt(size_ratio) + 1.0, name
+
+
+def test_fig2b_planetp_beats_ae_only(sweep):
+    """AE-only volume explodes with community size; PlanetP's doesn't."""
+    lan = sweep.scenario("LAN")
+    ae = sweep.scenario("LAN-AE")
+    for planetp, baseline in zip(lan, ae):
+        assert baseline.total_bytes > 2 * planetp.total_bytes
+    # And the gap widens with community size.
+    gap_small = ae[0].total_bytes / lan[0].total_bytes
+    gap_large = ae[-1].total_bytes / lan[-1].total_bytes
+    assert gap_large > gap_small
+
+
+def test_fig2ac_interval_tradeoff(sweep):
+    """DSL-10 converges faster than DSL-60; DSL-60 uses less bandwidth."""
+    largest = -1
+    d10 = sweep.scenario("DSL-10")[largest]
+    d60 = sweep.scenario("DSL-60")[largest]
+    assert d10.propagation_time_s < d60.propagation_time_s
+    assert d10.per_peer_bandwidth_Bps > d60.per_peer_bandwidth_Bps
+
+
+def test_fig2b_volume_modest(sweep):
+    """Propagating 1000 keys costs MBs, not GBs (paper: ~11 MB total for
+    thousands of peers)."""
+    for r in sweep.scenario("DSL-30"):
+        assert r.total_bytes < 100e6
+
+
+def test_bench_propagation_kernel(benchmark):
+    """pytest-benchmark hook: one mid-size propagation run."""
+    from repro.gossip.simulation import run_propagation
+
+    result = benchmark.pedantic(
+        lambda: run_propagation(100, "dsl", seed=0), rounds=1, iterations=1
+    )
+    assert result.converged

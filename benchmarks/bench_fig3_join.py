@@ -1,0 +1,74 @@
+"""Figure 3: m peers simultaneously joining an established community.
+
+Regenerates the consistency-time-vs-joiners series for LAN/DSL/MIX and
+asserts the paper's findings: LAN consistency in minutes even for a 25%
+membership jump, DSL roughly 2x LAN, MIX blowing up toward hours.
+"""
+
+import pytest
+
+from repro.experiments.common import format_series
+from repro.experiments.join import figure3_series, run_figure3
+
+
+_CACHE: dict = {}
+
+
+def _sweep(bench_scale):
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = run_figure3(
+            n_initial=bench_scale["fig3_initial"],
+            joiner_counts=bench_scale["fig3_joiners"],
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture
+def sweep(bench_scale):
+    return _sweep(bench_scale)
+
+
+def test_fig3_regenerate_and_print(benchmark, bench_scale):
+    """Benchmarked kernel: the full Figure 3 sweep."""
+    sweep = benchmark.pedantic(lambda: _sweep(bench_scale), rounds=1, iterations=1)
+    print()
+    print(format_series(figure3_series(sweep), "total size", "s",
+                        title="Figure 3: time to consistency after mass join"))
+    for runs in sweep.results.values():
+        assert all(r.converged for r in runs)
+
+
+def test_fig3_topology_ordering(sweep):
+    """LAN <= DSL << MIX at the largest joiner count."""
+    lan = sweep.results["LAN"][-1].consistency_time_s
+    dsl = sweep.results["DSL"][-1].consistency_time_s
+    mix = sweep.results["MIX"][-1].consistency_time_s
+    assert lan <= dsl * 1.1
+    assert mix > dsl
+
+
+def test_fig3_mix_joins_are_painful(sweep):
+    """The paper's headline: on MIX links mass joins take tens of
+    minutes to hours — an order of magnitude beyond LAN."""
+    lan = sweep.results["LAN"][-1].consistency_time_s
+    mix = sweep.results["MIX"][-1].consistency_time_s
+    assert mix > 2 * lan
+
+
+def test_fig3_volume_dominated_by_snapshots(sweep):
+    """Join traffic is bandwidth-intensive: total volume far exceeds
+    the rumor-only traffic of Figure 2 (Section 7.2's point that
+    joining is 'a much more bandwidth intensive' process)."""
+    biggest = sweep.results["LAN"][-1]
+    # Each joiner downloads ~members * (48 + BF) bytes; require at least
+    # the joiner-count multiple of one snapshot.
+    assert biggest.total_bytes > biggest.joiners * biggest.initial_size * 1000
+
+
+def test_bench_join_kernel(benchmark):
+    from repro.gossip.simulation import run_join
+
+    result = benchmark.pedantic(
+        lambda: run_join(60, 10, "lan", seed=0), rounds=1, iterations=1
+    )
+    assert result.converged

@@ -1,0 +1,125 @@
+"""Figure 4: dynamic-community convergence and bandwidth.
+
+(a) Poisson arrivals with vs without partial anti-entropy;
+(b) convergence CDFs during normal churn (LAN and MIX);
+(c) aggregate gossiping bandwidth over time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.dynamic import run_figure4a, run_figure4bc
+
+
+_CACHE: dict = {}
+
+
+def _results_a(bench_scale):
+    if "a" not in _CACHE:
+        _CACHE["a"] = run_figure4a(
+            n_established=bench_scale["fig4_members"],
+            n_events=bench_scale["fig4_events"],
+        )
+    return _CACHE["a"]
+
+
+def _results_bc(bench_scale):
+    if "bc" not in _CACHE:
+        _CACHE["bc"] = run_figure4bc(
+            n_members=bench_scale["fig4_members"],
+            horizon_s=bench_scale["fig4_horizon"],
+        )
+    return _CACHE["bc"]
+
+
+@pytest.fixture
+def results_a(bench_scale):
+    return _results_a(bench_scale)
+
+
+@pytest.fixture
+def results_bc(bench_scale):
+    return _results_bc(bench_scale)
+
+
+def _summary(samples):
+    arr = np.asarray(samples)
+    return [len(arr), float(np.median(arr)), float(np.percentile(arr, 90)),
+            float(arr.max())]
+
+
+def test_fig4a_regenerate_and_print(benchmark, bench_scale):
+    """Benchmarked kernel: the Figure 4(a) ablation pair."""
+    results_a = benchmark.pedantic(
+        lambda: _results_a(bench_scale), rounds=1, iterations=1
+    )
+    rows = [
+        [label, *_summary(res.convergence_samples())]
+        for label, res in results_a.items()
+    ]
+    print()
+    print(format_table(["scenario", "events", "median", "p90", "max"], rows,
+                       title="Figure 4(a): arrival convergence, partial-AE ablation"))
+    for res in results_a.values():
+        assert all(e.convergence_s is not None for e in res.events)
+
+
+def test_fig4a_partial_ae_tightens_tail(results_a):
+    """The partial anti-entropy's raison d'etre: it cuts the convergence
+    tail (the paper shows much larger variation without it)."""
+    with_pae = results_a["LAN"].convergence_samples()
+    without = results_a["LAN-NPA"].convergence_samples()
+    assert np.percentile(with_pae, 95) <= np.percentile(without, 95) * 1.15
+
+
+def test_fig4b_regenerate_and_print(benchmark, bench_scale):
+    """Benchmarked kernel: the Figure 4(b,c) churn runs."""
+    results_bc = benchmark.pedantic(
+        lambda: _results_bc(bench_scale), rounds=1, iterations=1
+    )
+    rows = []
+    for label, res in results_bc.items():
+        for kind in ("join", "rejoin"):
+            samples = res.convergence_samples(label=kind)
+            if samples:
+                rows.append([f"{label}/{kind}", *_summary(samples)])
+    print()
+    print(format_table(["scenario", "events", "median", "p90", "max"], rows,
+                       title="Figure 4(b): churn convergence"))
+    assert rows
+
+
+def test_fig4b_most_events_converge(results_bc):
+    for label, res in results_bc.items():
+        converged = res.convergence_samples()
+        assert len(converged) >= 0.9 * len(res.events), label
+
+
+def test_fig4b_lan_convergence_order_of_paper(results_bc):
+    """LAN churn convergence is minutes (paper: tight around ~400 s),
+    not hours."""
+    samples = results_bc["LAN"].convergence_samples()
+    assert np.median(samples) < 1800
+
+
+def test_fig4c_bandwidth_is_modest(results_bc):
+    """Normal operation uses little bandwidth: the paper reports
+    100 KB/s - 1 MB/s across an entire 1000-member community."""
+    res = results_bc["LAN"]
+    rates = res.bandwidth_Bps
+    assert rates.size > 0
+    print(f"\nFigure 4(c): mean={rates.mean():.0f} B/s, "
+          f"peak={rates.max():.0f} B/s aggregate")
+    # Scale-free check: per-member average must stay under a few KB/s.
+    assert rates.mean() / res.community_size < 4096
+
+
+def test_bench_churn_kernel(benchmark):
+    from repro.gossip.simulation import run_churn
+
+    result = benchmark.pedantic(
+        lambda: run_churn(n_members=60, horizon_s=1800.0, topology="lan", seed=0),
+        rounds=1, iterations=1,
+    )
+    assert result.total_bytes > 0

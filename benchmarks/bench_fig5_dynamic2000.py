@@ -1,0 +1,67 @@
+"""Figure 5: convergence in a large dynamic community (LAN, MIX, MIX-F,
+MIX-S) under the bandwidth-aware gossiping policy."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import format_table
+from repro.experiments.dynamic import run_figure5
+
+
+_CACHE: dict = {}
+
+
+def _result(bench_scale):
+    if "r" not in _CACHE:
+        _CACHE["r"] = run_figure5(
+            n_members=bench_scale["fig5_members"],
+            horizon_s=bench_scale["fig4_horizon"],
+        )
+    return _CACHE["r"]
+
+
+@pytest.fixture
+def result(bench_scale):
+    return _result(bench_scale)
+
+
+def _summary(samples):
+    arr = np.asarray(samples)
+    if arr.size == 0:
+        return [0, float("nan"), float("nan")]
+    return [len(arr), float(np.median(arr)), float(np.percentile(arr, 90))]
+
+
+def test_fig5_regenerate_and_print(benchmark, bench_scale):
+    """Benchmarked kernel: the Figure 5 LAN + MIX churn runs."""
+    result = benchmark.pedantic(lambda: _result(bench_scale), rounds=1, iterations=1)
+    rows = [
+        ["LAN", *_summary(result.lan.convergence_samples())],
+        ["MIX", *_summary(result.mix.convergence_samples())],
+        ["MIX-F", *_summary(result.mix_fast_origin)],
+        ["MIX-S", *_summary(result.mix_slow_origin)],
+    ]
+    print()
+    print(format_table(["scenario", "events", "median", "p90"], rows,
+                       title="Figure 5: dynamic community convergence"))
+    assert result.lan.events and result.mix.events
+
+
+def test_fig5_events_converge(result):
+    assert len(result.lan.convergence_samples()) >= 0.9 * len(result.lan.events)
+    assert len(result.mix.convergence_samples()) >= 0.8 * len(result.mix.events)
+
+
+def test_fig5_fast_condition_not_worse(result):
+    """The fast-peers-only convergence condition can only be easier than
+    full convergence: MIX-F/MIX-S medians <= the all-peers MIX median
+    (the paper's point that fast peers learn events efficiently)."""
+    mix_all = np.median(result.mix.convergence_samples())
+    fast_cond = result.mix_fast_origin + result.mix_slow_origin
+    assert np.median(fast_cond) <= mix_all * 1.05
+
+
+def test_fig5_lan_not_slower_than_mix(result):
+    lan = np.median(result.lan.convergence_samples())
+    mix = np.median(result.mix.convergence_samples())
+    assert lan <= mix * 1.25

@@ -1,0 +1,138 @@
+"""Figure 6: search quality — TF×IPF vs centralized TF×IDF.
+
+Regenerates (a) recall/precision vs k, (b) recall vs community size, and
+(c) peers contacted vs k, asserting the paper's headline claims:
+
+* TF×IPF tracks TF×IDF closely (slightly behind at small k, catching up
+  at large k);
+* recall is roughly flat in community size;
+* peers contacted grows with k, stays far below the community size, and
+  sits above the oracle "Best" lower bound;
+* the adaptive stopping heuristic is what makes this work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus.collections import make_collection
+from repro.experiments.common import format_series
+from repro.experiments.search_quality import (
+    build_testbed,
+    evaluate_k,
+    run_figure6a,
+    run_figure6b,
+    run_figure6c,
+)
+
+
+_CACHE: dict = {}
+
+
+def _fig6a(bench_scale):
+    if "a" not in _CACHE:
+        _CACHE["a"] = run_figure6a(
+            scale=bench_scale["fig6_scale"],
+            num_peers=bench_scale["fig6_peers"],
+            ks=bench_scale["fig6_ks"],
+        )
+    return _CACHE["a"]
+
+
+@pytest.fixture
+def fig6a(bench_scale):
+    return _fig6a(bench_scale)
+
+
+def test_fig6a_regenerate_and_print(benchmark, bench_scale):
+    """Benchmarked kernel: the Figure 6(a) k-sweep."""
+    points, series = benchmark.pedantic(
+        lambda: _fig6a(bench_scale), rounds=1, iterations=1
+    )
+    print()
+    print(format_series(list(series.values()), "k", "value",
+                        title="Figure 6(a): recall/precision vs k"))
+    assert len(points) > 2
+
+
+def test_fig6a_ipf_tracks_idf(fig6a):
+    """TF×IPF recall/precision within a whisker of the oracle at every k."""
+    points, _ = fig6a
+    for p in points:
+        assert p.recall_ipf >= p.recall_idf - 0.12, f"k={p.k}"
+        assert p.precision_ipf >= p.precision_idf - 0.12, f"k={p.k}"
+
+
+def test_fig6a_ipf_catches_up_at_large_k(fig6a):
+    """The gap shrinks as k grows (paper: IPF catches up past k~150)."""
+    points, _ = fig6a
+    gap_small = points[0].recall_idf - points[0].recall_ipf
+    gap_large = points[-1].recall_idf - points[-1].recall_ipf
+    assert gap_large <= gap_small + 0.02
+
+
+def test_fig6a_recall_monotone_in_k(fig6a):
+    points, _ = fig6a
+    recalls = [p.recall_ipf for p in points]
+    assert recalls[-1] > recalls[0]
+
+
+def test_fig6b_recall_flat_in_community_size(benchmark, bench_scale):
+    points, series = benchmark.pedantic(
+        lambda: run_figure6b(
+            scale=bench_scale["fig6_scale"],
+            community_sizes=bench_scale["fig6_sizes"],
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_series([series], "N", "recall",
+                        title="Figure 6(b): recall vs community size (k=20)"))
+    recalls = [p.recall_ipf for p in points]
+    # "PlanetP scales well, maintaining a constant recall": the spread
+    # across community sizes stays small.
+    assert max(recalls) - min(recalls) < 0.15
+
+
+def test_fig6c_peers_contacted(benchmark, bench_scale):
+    points, series = benchmark.pedantic(
+        lambda: run_figure6c(
+            scale=bench_scale["fig6_scale"],
+            num_peers=bench_scale["fig6_peers"],
+            ks=bench_scale["fig6_ks"],
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_series(list(series.values()), "k", "peers",
+                        title="Figure 6(c): peers contacted vs k"))
+    for p in points:
+        assert p.avg_peers_best <= p.avg_peers_ipf + 1e-9  # Best is a lower bound
+        assert p.avg_peers_ipf < bench_scale["fig6_peers"]  # never the whole community
+    # Contact count grows with k.
+    assert points[-1].avg_peers_ipf > points[0].avg_peers_ipf
+
+
+def test_fig6_ablation_adaptive_vs_naive(benchmark, bench_scale):
+    """The paper's claim that naive first-k stopping gives 'terrible
+    retrieval performance': adaptive stopping buys recall."""
+    collection = make_collection("CACM", scale=0.05, seed=0)
+    testbed = build_testbed(collection, num_peers=bench_scale["fig6_peers"], seed=0)
+    adaptive = benchmark.pedantic(
+        lambda: evaluate_k(testbed, 20, stopping="adaptive"), rounds=1, iterations=1
+    )
+    naive = evaluate_k(testbed, 20, stopping="first-k")
+    print(f"\nadaptive: R={adaptive.recall_ipf:.3f} peers={adaptive.avg_peers_ipf:.1f} | "
+          f"first-k: R={naive.recall_ipf:.3f} peers={naive.avg_peers_ipf:.1f}")
+    assert adaptive.recall_ipf >= naive.recall_ipf
+
+
+def test_bench_ranked_search_kernel(benchmark, bench_scale):
+    collection = make_collection("MED", scale=0.1, seed=1)
+    testbed = build_testbed(collection, num_peers=50, seed=1)
+    query = collection.queries[0]
+
+    def search():
+        return testbed.community.ranked_search(query.text, k=20)
+
+    result = benchmark(search)
+    assert result.results

@@ -1,0 +1,36 @@
+"""Table 3: regenerating the benchmark collections.
+
+Benchmarks synthetic-corpus generation and prints the paper-vs-generated
+characteristics table.
+"""
+
+from repro.corpus.collections import COLLECTION_PRESETS, make_collection
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_generate_cacm_like(benchmark, bench_scale):
+    scale = bench_scale["table3_scale"]
+    coll = benchmark.pedantic(
+        lambda: make_collection("CACM", scale=scale, seed=0), rounds=1, iterations=1
+    )
+    assert coll.num_documents >= 50
+    assert coll.num_queries >= 10
+
+
+def test_table3_regenerates(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: run_table3(scale=bench_scale["table3_scale"], seed=0),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table3(rows))
+    assert {r["trace"] for r in rows} == set(COLLECTION_PRESETS)
+    for row in rows:
+        # Scaled documents/queries track the paper's proportions.
+        assert row["gen_documents"] > 0
+        assert row["gen_queries"] > 0
+        assert row["gen_size_mb"] > 0
+    # Relative collection sizes preserve the paper's ordering: AP89 is by
+    # far the largest corpus.
+    by_trace = {r["trace"]: r for r in rows}
+    assert by_trace["AP89"]["gen_documents"] > by_trace["CACM"]["gen_documents"]

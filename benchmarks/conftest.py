@@ -1,0 +1,56 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one bench module.  Scales default to sizes
+that finish in seconds-to-a-minute each; set ``PLANETP_BENCH_FULL=1`` for
+paper-scale runs (community sizes up to 5000, AP89 at 20% scale — several
+minutes per figure).
+
+Each bench *prints* the regenerated rows/series (run pytest with ``-s``
+to see them) and *asserts* the paper's qualitative shape, so a passing
+bench suite certifies the reproduction's claims.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """Whether paper-scale runs were requested."""
+    return os.environ.get("PLANETP_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """Per-figure size knobs, small by default."""
+    if full_scale():
+        return {
+            "fig2_sizes": (100, 200, 500, 1000, 2000, 5000),
+            "fig3_initial": 1000,
+            "fig3_joiners": (50, 100, 150, 200, 250),
+            "fig4_members": 1000,
+            "fig4_events": 100,
+            "fig4_horizon": 4 * 3600.0,
+            "fig5_members": 2000,
+            "fig6_scale": 0.2,
+            "fig6_peers": 400,
+            "fig6_ks": (10, 20, 50, 100, 150, 200, 300),
+            "fig6_sizes": (100, 200, 400, 600, 800, 1000),
+            "table3_scale": 0.2,
+        }
+    return {
+        "fig2_sizes": (50, 100, 200, 400),
+        "fig3_initial": 150,
+        "fig3_joiners": (10, 20, 40),
+        "fig4_members": 150,
+        "fig4_events": 25,
+        "fig4_horizon": 2 * 3600.0,
+        "fig5_members": 300,
+        "fig6_scale": 0.03,
+        "fig6_peers": 100,
+        "fig6_ks": (10, 20, 50, 100),
+        "fig6_sizes": (50, 100, 200),
+        "table3_scale": 0.02,
+    }

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""PFS demo: a personal semantic file system over PlanetP (paper §6).
+
+Three users share files; each builds a private namespace where
+directories are queries.  Shows the dual-publication trick (hot terms on
+the brokerage for instant findability), persistent-query upcalls adding
+links as files appear, and query refinement via subdirectories.
+
+Run:  python examples/pfs_demo.py
+"""
+
+from repro import InProcessCommunity, PFS
+
+FILES = {
+    1: [
+        ("/papers/epidemic.txt",
+         "epidemic algorithms for replicated database maintenance use "
+         "rumor mongering and anti entropy exchanges"),
+        ("/papers/bloom.txt",
+         "space time trade offs in hash coding with allowable errors "
+         "introduce the bloom filter"),
+    ],
+    2: [
+        ("/music/notes.txt",
+         "gossip girl album recording session notes with vocal tracks"),
+        ("/papers/chord.txt",
+         "chord a scalable peer to peer lookup protocol based on "
+         "consistent hashing"),
+    ],
+}
+
+
+def main() -> None:
+    community = InProcessCommunity(num_peers=4)
+    # Everyone volunteers as a broker.
+    for pid in range(4):
+        community.brokerage.add_member(pid)
+
+    users = {pid: PFS(community, pid) for pid in range(4)}
+    for pid, files in FILES.items():
+        for path, content in files:
+            users[pid].publish_file(path, content)
+
+    # User 0 builds a semantic namespace.
+    alice = users[0]
+    papers = alice.make_directory("/gossip")
+    print("alice's /gossip directory:")
+    for name, url in sorted(papers.links.items()):
+        print(f"  {name:20s} -> {url}")
+
+    # Refinement: /gossip/anti-entropy narrows the query.
+    refined = alice.make_directory("/gossip/entropy")
+    print("\nalice's /gossip/entropy (refined query):")
+    for name, url in sorted(refined.links.items()):
+        print(f"  {name:20s} -> {url}")
+
+    # New publications appear via persistent-query upcalls.
+    bob = users[3]
+    bob.publish_file(
+        "/drafts/planetp.txt",
+        "planetp uses gossip to replicate bloom filter summaries everywhere",
+    )
+    print("\nafter bob publishes a new draft, /gossip gains:")
+    for name, url in sorted(papers.links.items()):
+        print(f"  {name:20s} -> {url}")
+
+    # The brokerage makes the file findable under its hottest terms
+    # immediately, before any gossip would have converged.
+    hits = community.brokerage.lookup("gossip")
+    print(f"\nbrokered snippets under 'gossip': {[s.snippet_id for s in hits]}")
+
+    # Reading a file through its URL (the File Server's GET).
+    servers = {pid: u.files for pid, u in users.items()}
+    name, url = sorted(papers.links.items())[0]
+    print(f"\nreading {name} via {url}:")
+    print(" ", alice.read_url(url, servers)[:60], "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: build a small PlanetP community and search it.
+
+Demonstrates the core loop: publish documents at different peers, run an
+exhaustive (conjunctive) search and a TF×IPF ranked search, and peek at
+the machinery (Bloom filters, IPF weights, peers contacted).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Document, InProcessCommunity
+
+ARTICLES = [
+    ("epidemics", "epidemic algorithms for replicated database maintenance"),
+    ("gossip-survey", "gossip protocols spread rumors through random peer exchanges"),
+    ("bloom", "bloom filters summarize set membership with compact bit arrays"),
+    ("chord", "chord is a scalable peer to peer lookup service using consistent hashing"),
+    ("vector", "the vector space model ranks documents by cosine similarity"),
+    ("tfidf", "term frequency inverse document frequency weights balance rare terms"),
+    ("napster", "napster popularized music sharing across peer communities"),
+    ("trec", "the trec conference provides benchmark collections with relevance judgments"),
+]
+
+
+def main() -> None:
+    # One peer per document keeps the example legible; peers usually hold
+    # many documents.
+    community = InProcessCommunity(num_peers=len(ARTICLES))
+    for peer_id, (doc_id, text) in enumerate(ARTICLES):
+        community.publish(peer_id, Document(doc_id, text))
+
+    print(f"community: {community}")
+
+    # Exhaustive search: conjunction of keys, every matching document.
+    matches = community.exhaustive_search("peer sharing")
+    print("\nexhaustive 'peer sharing':", [d.doc_id for d in matches])
+
+    # Ranked search: TF x IPF with the adaptive stopping heuristic.
+    result = community.ranked_search("gossip peer protocols", k=3)
+    print("\nranked 'gossip peer protocols':")
+    for doc in result.results:
+        print(f"  {doc.doc_id:15s} score={doc.score:.3f}")
+    print(f"  peers contacted: {result.peers_contacted}")
+    print(f"  IPF weights: { {t: round(w, 3) for t, w in result.ipf.items()} }")
+
+    # The Bloom filter directory at work: which peers *might* hold a term?
+    terms = community.analyze_query("bloom")
+    candidates = community.peers[0].candidate_peers(terms)
+    print(f"\npeers whose filters hit {terms}: {candidates}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""PlanetP reproduction: gossip-replicated Bloom-filter content search for
+P2P communities.
+
+Reproduces Cuenca-Acuna, Peery, Martin & Nguyen, *"PlanetP: Using
+Gossiping to Build Content Addressable Peer-to-Peer Information Sharing
+Communities"* (Rutgers DCS-TR-487 / HPDC 2003).
+
+Quick start::
+
+    from repro import InProcessCommunity, Document
+
+    community = InProcessCommunity(num_peers=8)
+    community.publish(0, Document("d1", "epidemic gossip protocols"))
+    community.publish(3, Document("d2", "vector space ranking models"))
+    result = community.ranked_search("gossip protocols", k=5)
+    print(result.doc_ids())
+
+Subpackages
+-----------
+``repro.bloom``      Bloom filters, Golomb-coded compression, diffs
+``repro.text``       tokenizer, Porter stemmer, inverted index
+``repro.corpus``     synthetic collections with relevance judgments
+``repro.ranking``    TF×IDF baseline, TF×IPF + adaptive stopping
+``repro.sim``        discrete-event engine, link model, churn
+``repro.gossip``     the gossip protocol and its scenario runners
+``repro.brokerage``  consistent-hashing information brokerage
+``repro.core``       peers, communities, searches (public API)
+``repro.pfs``        the PFS semantic-file-system example app
+``repro.experiments`` one runner per paper table/figure
+"""
+
+from repro.bloom.filter import BloomFilter
+from repro.constants import BloomConfig, GossipConfig, RankingConfig
+from repro.core.community import InProcessCommunity
+from repro.core.peer import PlanetPPeer
+from repro.pfs.pfs import PFS
+from repro.ranking.tfidf import CentralizedTFIDF, RankedDoc
+from repro.ranking.tfipf import DistributedSearchResult
+from repro.text.analyzer import Analyzer
+from repro.text.document import Document
+from repro.text.xmlsnippets import XMLSnippet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomFilter",
+    "BloomConfig",
+    "GossipConfig",
+    "RankingConfig",
+    "InProcessCommunity",
+    "PlanetPPeer",
+    "PFS",
+    "CentralizedTFIDF",
+    "RankedDoc",
+    "DistributedSearchResult",
+    "Analyzer",
+    "Document",
+    "XMLSnippet",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Bloom filters and their wire encoding.
+
+The paper summarizes each peer's inverted index with a Bloom filter
+(Section 2) and compresses filters for gossiping with a run-length /
+Golomb-code scheme (Section 7.1).  This subpackage provides:
+
+* :class:`BloomFilter` — a k-hash filter over a numpy bit array, with
+  union/merge (the "combine filters of several peers" trade-off), batch
+  insert/query, and false-positive-rate math.
+* :mod:`repro.bloom.golomb` — a from-scratch Golomb/Rice bitstream codec.
+* :mod:`repro.bloom.compress` — gap run-length compression of a filter
+  using Golomb codes, as in the prototype.
+* :mod:`repro.bloom.diff` — filter diffs, used to gossip only the newly
+  set bits when an index grows.
+"""
+
+from repro.bloom.hashing import HashFamily
+from repro.bloom.filter import BloomFilter
+from repro.bloom.golomb import GolombDecoder, GolombEncoder, optimal_golomb_m
+from repro.bloom.compress import compress_filter, decompress_filter, compressed_size
+from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
+
+__all__ = [
+    "HashFamily",
+    "BloomFilter",
+    "GolombEncoder",
+    "GolombDecoder",
+    "optimal_golomb_m",
+    "compress_filter",
+    "decompress_filter",
+    "compressed_size",
+    "BloomDiff",
+    "apply_diff",
+    "diff_filters",
+]

@@ -1,0 +1,76 @@
+"""Run-length + Golomb compression of Bloom filters (paper Section 7.1).
+
+The prototype gossips fixed 50 KB filters, so it compresses them with a
+run-length scheme over the gaps between set bits, Golomb-coding each gap.
+For a filter holding n terms with k hashes the set-bit density is about
+``k*n/m``, so gaps are near-geometric and Golomb coding approaches the
+entropy bound — the authors report it beating gzip in this context.
+
+Wire format (all integers big-endian):
+
+==========  =====================================================
+bytes 0-3   number of set bits (uint32)
+bytes 4-7   Golomb parameter m (uint32)
+bytes 8-11  filter width in bits (uint32)
+bytes 12+   Golomb-coded gap stream (first gap = first position,
+            subsequent gaps = distance-1 between consecutive bits)
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.bloom.filter import BloomFilter
+from repro.bloom.golomb import GolombDecoder, GolombEncoder, optimal_golomb_m
+
+__all__ = ["compress_filter", "decompress_filter", "compressed_size"]
+
+_HEADER = struct.Struct(">III")
+
+
+def compress_filter(bf: BloomFilter) -> bytes:
+    """Compress ``bf`` into the wire format described in the module docs."""
+    positions = bf.bits.set_bit_positions()
+    count = int(positions.size)
+    if count == 0:
+        return _HEADER.pack(0, 1, bf.num_bits)
+    density = count / bf.num_bits
+    m = optimal_golomb_m(min(density, 0.999999))
+    gaps = np.empty(count, dtype=np.int64)
+    gaps[0] = positions[0]
+    gaps[1:] = np.diff(positions) - 1
+    encoder = GolombEncoder(m)
+    encoder.encode_many(gaps.tolist())
+    return _HEADER.pack(count, m, bf.num_bits) + encoder.getvalue()
+
+
+def decompress_filter(
+    data: bytes, num_hashes: int = 2, num_inserted: int = 0
+) -> BloomFilter:
+    """Inverse of :func:`compress_filter`.
+
+    ``num_hashes`` and ``num_inserted`` are metadata not carried on the
+    wire (they are fixed community-wide / tracked by the directory).
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated compressed Bloom filter")
+    count, m, num_bits = _HEADER.unpack_from(data, 0)
+    bf = BloomFilter(num_bits, num_hashes)
+    bf.num_inserted = num_inserted
+    if count == 0:
+        return bf
+    decoder = GolombDecoder(m, data[_HEADER.size :])
+    gaps = np.asarray(decoder.decode_many(count), dtype=np.int64)
+    positions = np.cumsum(gaps + 1) - 1
+    if positions[-1] >= num_bits:
+        raise ValueError("corrupt stream: bit position beyond filter width")
+    bf.bits.set_many(positions)
+    return bf
+
+
+def compressed_size(bf: BloomFilter) -> int:
+    """Size in bytes of the compressed encoding of ``bf``."""
+    return len(compress_filter(bf))

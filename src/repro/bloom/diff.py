@@ -1,0 +1,105 @@
+"""Bloom filter diffs.
+
+PlanetP "sends diffs of the Bloom filters to save bandwidth" (Section 7.2):
+when a peer's index grows, only the newly-set bits are gossiped, and
+receivers OR them into their stored copy.  Because published terms are
+never individually retracted from a filter in the prototype (a shrinking
+index requires regenerating the filter, which is gossiped as a full
+replacement), a diff is simply the set of positions set in the new filter
+but not the old one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.filter import BloomFilter
+from repro.bloom.golomb import GolombDecoder, GolombEncoder, optimal_golomb_m
+
+__all__ = ["BloomDiff", "diff_filters", "apply_diff"]
+
+
+@dataclass(frozen=True)
+class BloomDiff:
+    """Positions newly set between two versions of a peer's filter."""
+
+    num_bits: int
+    positions: np.ndarray  # sorted int64 bit positions
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=np.int64)
+        if pos.ndim != 1:
+            raise ValueError("positions must be 1-D")
+        if pos.size and (pos[0] < 0 or pos[-1] >= self.num_bits):
+            raise ValueError("diff position out of filter range")
+        object.__setattr__(self, "positions", pos)
+
+    def __len__(self) -> int:
+        return int(self.positions.size)
+
+    def wire_size(self) -> int:
+        """Golomb-coded size of this diff in bytes (what gossip would send)."""
+        if self.positions.size == 0:
+            return 12
+        density = self.positions.size / self.num_bits
+        m = optimal_golomb_m(min(density, 0.999999))
+        gaps = np.empty(self.positions.size, dtype=np.int64)
+        gaps[0] = self.positions[0]
+        gaps[1:] = np.diff(self.positions) - 1
+        enc = GolombEncoder(m)
+        enc.encode_many(gaps.tolist())
+        return 12 + len(enc.getvalue())
+
+    def to_bytes(self) -> bytes:
+        """Serialize: uint32 count, uint32 m, uint32 num_bits, gap stream."""
+        import struct
+
+        if self.positions.size == 0:
+            return struct.pack(">III", 0, 1, self.num_bits)
+        density = self.positions.size / self.num_bits
+        m = optimal_golomb_m(min(density, 0.999999))
+        gaps = np.empty(self.positions.size, dtype=np.int64)
+        gaps[0] = self.positions[0]
+        gaps[1:] = np.diff(self.positions) - 1
+        enc = GolombEncoder(m)
+        enc.encode_many(gaps.tolist())
+        return struct.pack(">III", self.positions.size, m, self.num_bits) + enc.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomDiff":
+        """Inverse of :meth:`to_bytes`."""
+        import struct
+
+        count, m, num_bits = struct.unpack_from(">III", data, 0)
+        if count == 0:
+            return cls(num_bits, np.zeros(0, dtype=np.int64))
+        dec = GolombDecoder(m, data[12:])
+        gaps = np.asarray(dec.decode_many(count), dtype=np.int64)
+        return cls(num_bits, np.cumsum(gaps + 1) - 1)
+
+
+def diff_filters(old: BloomFilter, new: BloomFilter) -> BloomDiff:
+    """Bits set in ``new`` but not ``old``.
+
+    Raises if the filters are incompatible or if ``new`` dropped bits that
+    ``old`` had (that requires a full filter replacement, not a diff).
+    """
+    if old.hashes != new.hashes:
+        raise ValueError("filters use incompatible hash families")
+    if not new.is_superset_of(old):
+        raise ValueError("new filter dropped bits; send a full replacement instead")
+    added_words = new.bits.difference_words(old.bits)
+    bits = np.unpackbits(added_words.view(np.uint8), bitorder="little")
+    positions = np.nonzero(bits[: new.num_bits])[0].astype(np.int64)
+    return BloomDiff(new.num_bits, positions)
+
+
+def apply_diff(base: BloomFilter, diff: BloomDiff) -> BloomFilter:
+    """Return ``base`` with the diff's positions OR-ed in (new object)."""
+    if base.num_bits != diff.num_bits:
+        raise ValueError("diff width does not match filter width")
+    result = base.copy()
+    result.bits.set_many(diff.positions)
+    return result

@@ -1,0 +1,160 @@
+"""Golomb run-length coding (Golomb 1966), as used by the prototype to
+compress Bloom filters (paper Section 7.1).
+
+A Golomb code with parameter ``m`` encodes a non-negative integer ``v`` as a
+unary quotient ``v // m`` (that many 1-bits then a 0) followed by a
+truncated-binary remainder ``v % m``.  For geometrically distributed gaps —
+which the gaps between set bits of a sparse Bloom filter are — choosing
+``m ≈ 0.69 * mean_gap`` is near-entropy-optimal, which is why the authors
+found it outperformed gzip on filters.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["GolombEncoder", "GolombDecoder", "optimal_golomb_m"]
+
+
+def optimal_golomb_m(p: float) -> int:
+    """Near-optimal Golomb parameter for gap probability ``p``.
+
+    ``p`` is the probability that any given bit is set (so mean gap is
+    ``1/p``); the classic rule is ``m = ceil(log(2 - p) / -log(1 - p))``,
+    which reduces to ``~0.69 / p`` for small ``p``.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    m = math.ceil(math.log(2.0 - p) / -math.log(1.0 - p))
+    return max(1, m)
+
+
+class _BitWriter:
+    """Append-only bit buffer (MSB-first within each byte)."""
+
+    __slots__ = ("_bytes", "_current", "_nbits")
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._current = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._current = (self._current << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, count: int) -> None:
+        for _ in range(count):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        if self._nbits:
+            return bytes(self._bytes) + bytes([self._current << (8 - self._nbits)])
+        return bytes(self._bytes)
+
+    def bit_length(self) -> int:
+        return len(self._bytes) * 8 + self._nbits
+
+
+class _BitReader:
+    """Sequential bit reader matching :class:`_BitWriter`'s layout."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        byte_index = self._pos >> 3
+        if byte_index >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        bit = (self._data[byte_index] >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+
+class GolombEncoder:
+    """Streaming Golomb encoder for non-negative integers."""
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError("Golomb parameter m must be >= 1")
+        self.m = int(m)
+        self._writer = _BitWriter()
+        # Truncated binary: remainders < cutoff use b-1 bits, others b bits.
+        self._b = max(1, math.ceil(math.log2(self.m))) if self.m > 1 else 0
+        self._cutoff = (1 << self._b) - self.m if self.m > 1 else 0
+
+    def encode(self, value: int) -> None:
+        """Append one value to the stream."""
+        if value < 0:
+            raise ValueError("Golomb codes encode non-negative integers only")
+        q, r = divmod(value, self.m)
+        self._writer.write_unary(q)
+        if self.m == 1:
+            return
+        if r < self._cutoff:
+            self._writer.write_bits(r, self._b - 1)
+        else:
+            self._writer.write_bits(r + self._cutoff, self._b)
+
+    def encode_many(self, values: list[int]) -> None:
+        """Append every value in ``values``."""
+        for v in values:
+            self.encode(v)
+
+    def getvalue(self) -> bytes:
+        """The encoded byte string (final partial byte zero-padded)."""
+        return self._writer.getvalue()
+
+    def bit_length(self) -> int:
+        """Exact number of bits written so far."""
+        return self._writer.bit_length()
+
+
+class GolombDecoder:
+    """Streaming decoder matching :class:`GolombEncoder`."""
+
+    def __init__(self, m: int, data: bytes) -> None:
+        if m < 1:
+            raise ValueError("Golomb parameter m must be >= 1")
+        self.m = int(m)
+        self._reader = _BitReader(data)
+        self._b = max(1, math.ceil(math.log2(self.m))) if self.m > 1 else 0
+        self._cutoff = (1 << self._b) - self.m if self.m > 1 else 0
+
+    def decode(self) -> int:
+        """Read the next value from the stream."""
+        q = self._reader.read_unary()
+        if self.m == 1:
+            return q
+        r = self._reader.read_bits(self._b - 1)
+        if r >= self._cutoff:
+            r = ((r << 1) | self._reader.read_bit()) - self._cutoff
+        return q * self.m + r
+
+    def decode_many(self, count: int) -> list[int]:
+        """Read ``count`` values."""
+        return [self.decode() for _ in range(count)]

@@ -1,0 +1,99 @@
+"""A deterministic family of string hash functions for Bloom filters.
+
+We derive the k filter indices from two independent 64-bit FNV-1a hashes
+using the standard double-hashing construction ``h_i = h1 + i * h2``
+(Kirsch & Mitzenmacher), which is indistinguishable from k independent
+hashes for Bloom-filter purposes while costing only two string passes.
+Everything is pure-Python/numpy and stable across processes (unlike the
+built-in ``hash``), so filters gossiped between peers agree on bit
+positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HashFamily", "fnv1a_64"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """64-bit FNV-1a hash of ``data``, tweaked by ``seed``.
+
+    FNV-1a alone is nearly linear in the final bytes (sequential strings
+    hash to arithmetic progressions, which makes ``h1 + i*h2`` double
+    hashing collapse); a splitmix64-style avalanche finalizer breaks that
+    structure.
+    """
+    h = (_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    # Avalanche finalizer (splitmix64's mixing steps).
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK64
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & _MASK64
+    h ^= h >> 31
+    return h
+
+
+class HashFamily:
+    """Maps strings to ``num_hashes`` bit positions in ``[0, num_bits)``.
+
+    Instances are immutable and cheap; two families with equal parameters
+    produce identical positions, which is what lets independently built
+    filters at different peers be compared and merged.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "_offsets")
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self._offsets = np.arange(num_hashes, dtype=np.uint64)
+
+    def positions(self, term: str) -> np.ndarray:
+        """Bit positions for one term (shape ``(num_hashes,)``)."""
+        data = term.encode("utf-8")
+        h1 = fnv1a_64(data, seed=0)
+        h2 = fnv1a_64(data, seed=1) | 1  # odd => full-period stepping
+        mixed = (np.uint64(h1) + self._offsets * np.uint64(h2)) & np.uint64(_MASK64)
+        return (mixed % np.uint64(self.num_bits)).astype(np.int64)
+
+    def positions_many(self, terms: list[str]) -> np.ndarray:
+        """Bit positions for many terms (shape ``(len(terms), num_hashes)``).
+
+        The per-term hashing is a Python loop (string hashing is inherently
+        per-object), but the double-hash expansion across ``num_hashes`` is
+        vectorized.
+        """
+        n = len(terms)
+        h1 = np.empty(n, dtype=np.uint64)
+        h2 = np.empty(n, dtype=np.uint64)
+        for i, term in enumerate(terms):
+            data = term.encode("utf-8")
+            h1[i] = fnv1a_64(data, seed=0)
+            h2[i] = fnv1a_64(data, seed=1) | 1
+        mixed = (h1[:, None] + self._offsets[None, :] * h2[:, None]) & np.uint64(
+            _MASK64
+        )
+        return (mixed % np.uint64(self.num_bits)).astype(np.int64)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return self.num_bits == other.num_bits and self.num_hashes == other.num_hashes
+
+    def __hash__(self) -> int:
+        return hash((self.num_bits, self.num_hashes))
+
+    def __repr__(self) -> str:
+        return f"HashFamily(num_bits={self.num_bits}, num_hashes={self.num_hashes})"

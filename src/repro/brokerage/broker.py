@@ -1,0 +1,87 @@
+"""A single broker node: keyed snippet storage with discard times.
+
+Information is published as an XML snippet with associated keys (terms)
+and a discard time; the snippet is dropped once the discard time expires
+(paper Section 4).  Storage is in-memory only — the service intentionally
+offers no durability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["BrokeredSnippet", "Broker"]
+
+
+@dataclass(frozen=True)
+class BrokeredSnippet:
+    """One published advertisement."""
+
+    snippet_id: str
+    xml: str
+    keys: tuple[str, ...]
+    publisher: int
+    discard_at: float
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("a brokered snippet needs at least one key")
+
+    def expired(self, now: float) -> bool:
+        """Whether the snippet's discard time has passed."""
+        return now >= self.discard_at
+
+
+class Broker:
+    """Key -> snippets store for one member's slice of the key space."""
+
+    def __init__(self, member_id: int) -> None:
+        self.member_id = member_id
+        self._by_key: dict[str, dict[str, BrokeredSnippet]] = {}
+
+    def store(self, key: str, snippet: BrokeredSnippet) -> None:
+        """Hold ``snippet`` under ``key`` until its discard time."""
+        self._by_key.setdefault(key, {})[snippet.snippet_id] = snippet
+
+    def lookup(self, key: str, now: float) -> list[BrokeredSnippet]:
+        """Unexpired snippets for ``key`` (and lazily drop expired ones)."""
+        bucket = self._by_key.get(key)
+        if not bucket:
+            return []
+        live = {sid: s for sid, s in bucket.items() if not s.expired(now)}
+        if len(live) != len(bucket):
+            if live:
+                self._by_key[key] = live
+            else:
+                del self._by_key[key]
+        return sorted(live.values(), key=lambda s: s.snippet_id)
+
+    def purge_expired(self, now: float) -> int:
+        """Eagerly drop all expired snippets; returns how many."""
+        dropped = 0
+        for key in list(self._by_key):
+            bucket = self._by_key[key]
+            live = {sid: s for sid, s in bucket.items() if not s.expired(now)}
+            dropped += len(bucket) - len(live)
+            if live:
+                self._by_key[key] = live
+            else:
+                del self._by_key[key]
+        return dropped
+
+    def all_entries(self) -> list[tuple[str, BrokeredSnippet]]:
+        """Every (key, snippet) pair held (for handoff on leave)."""
+        return [
+            (key, snippet)
+            for key, bucket in self._by_key.items()
+            for snippet in bucket.values()
+        ]
+
+    def num_snippets(self) -> int:
+        """Count of (key, snippet) entries held."""
+        return sum(len(b) for b in self._by_key.values())
+
+    def __repr__(self) -> str:
+        return f"Broker(member={self.member_id}, entries={self.num_snippets()})"

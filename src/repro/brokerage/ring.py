@@ -1,0 +1,105 @@
+"""Consistent hashing ring (Karger et al.), as used by the brokerage.
+
+Each active member chooses a unique broker ID in ``[0, max_id)``; members
+arrange themselves on a ring ordered by ID.  A key maps to the broker
+whose ID is the least successor of ``H(key) mod max_id`` (wrapping).
+Adding or removing a broker only re-maps the keys in its arc — the
+property that makes churn cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.bloom.hashing import fnv1a_64
+
+__all__ = ["ConsistentHashRing"]
+
+
+class ConsistentHashRing:
+    """Maps string keys to broker ids on a ring.
+
+    Parameters
+    ----------
+    max_id:
+        Size of the ID space (the paper's predetermined ``maxID``).
+    """
+
+    DEFAULT_MAX_ID = 2**32
+
+    def __init__(self, max_id: int = DEFAULT_MAX_ID) -> None:
+        if max_id < 2:
+            raise ValueError("max_id must be at least 2")
+        self.max_id = max_id
+        self._ids: list[int] = []  # sorted ring positions
+        self._members: dict[int, int] = {}  # ring position -> member id
+
+    # -- membership --------------------------------------------------------
+
+    def add_broker(self, member_id: int, ring_id: int | None = None) -> int:
+        """Place ``member_id`` on the ring.
+
+        ``ring_id`` defaults to a hash of the member id (deterministic,
+        well-spread).  Raises on a ring-position collision — IDs must be
+        unique per the paper.
+        """
+        if ring_id is None:
+            ring_id = fnv1a_64(str(member_id).encode(), seed=7) % self.max_id
+        if not 0 <= ring_id < self.max_id:
+            raise ValueError(f"ring_id {ring_id} outside [0, {self.max_id})")
+        if ring_id in self._members:
+            raise ValueError(f"ring position {ring_id} already taken")
+        bisect.insort(self._ids, ring_id)
+        self._members[ring_id] = member_id
+        return ring_id
+
+    def remove_broker(self, member_id: int) -> None:
+        """Remove ``member_id`` from the ring."""
+        positions = [r for r, m in self._members.items() if m == member_id]
+        if not positions:
+            raise KeyError(member_id)
+        for ring_id in positions:
+            del self._members[ring_id]
+            idx = bisect.bisect_left(self._ids, ring_id)
+            del self._ids[idx]
+
+    def brokers(self) -> list[int]:
+        """Member ids currently on the ring (ring order)."""
+        return [self._members[r] for r in self._ids]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, member_id: int) -> bool:
+        return any(m == member_id for m in self._members.values())
+
+    # -- lookup ---------------------------------------------------------------
+
+    def key_position(self, key: str) -> int:
+        """``H(key) mod max_id``."""
+        return fnv1a_64(key.encode("utf-8"), seed=11) % self.max_id
+
+    def successor_of(self, position: int) -> int:
+        """The member owning ring position ``position`` (least successor,
+        wrapping around zero)."""
+        if not self._ids:
+            raise LookupError("ring is empty")
+        idx = bisect.bisect_left(self._ids, position % self.max_id)
+        if idx == len(self._ids):
+            idx = 0
+        return self._members[self._ids[idx]]
+
+    def broker_for(self, key: str) -> int:
+        """The member responsible for ``key``."""
+        return self.successor_of(self.key_position(key))
+
+    def arc_of(self, member_id: int) -> tuple[int, int]:
+        """The half-open ring arc ``(predecessor_pos, own_pos]`` whose keys
+        the member owns.  Useful for handoff on join/leave."""
+        positions = sorted(r for r, m in self._members.items() if m == member_id)
+        if not positions:
+            raise KeyError(member_id)
+        own = positions[0]
+        idx = self._ids.index(own)
+        pred = self._ids[idx - 1] if len(self._ids) > 1 else own
+        return pred, own

@@ -1,0 +1,140 @@
+"""The community-level brokerage service API (paper Section 4).
+
+Combines the consistent-hash ring with per-member brokers: publishing a
+snippet routes (key, snippet) pairs to the responsible brokers; lookups
+route each key the same way.  Member churn re-partitions the key space;
+on a *graceful* leave the departing broker hands its entries to their new
+owners, while an *abrupt* leave loses them — the no-safety-guarantee
+behaviour the paper calls out explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.brokerage.broker import Broker, BrokeredSnippet
+from repro.brokerage.ring import ConsistentHashRing
+
+__all__ = ["BrokerageService"]
+
+
+class BrokerageService:
+    """Publish/lookup service over a ring of member brokers.
+
+    A ``clock`` callable supplies the current time (seconds); pass the
+    simulator's clock when running under simulation, ``time.time`` for
+    wall-clock use.
+    """
+
+    def __init__(
+        self, clock: Callable[[], float], max_id: int = ConsistentHashRing.DEFAULT_MAX_ID
+    ) -> None:
+        self.ring = ConsistentHashRing(max_id)
+        self._brokers: dict[int, Broker] = {}
+        self.clock = clock
+
+    # -- membership --------------------------------------------------------
+
+    def add_member(self, member_id: int) -> None:
+        """A member starts brokering; it takes over its arc's entries."""
+        if member_id in self._brokers:
+            raise ValueError(f"member {member_id} already brokering")
+        self.ring.add_broker(member_id)
+        broker = Broker(member_id)
+        self._brokers[member_id] = broker
+        # Entries in the new broker's arc move from their previous owners.
+        for other_id in list(self._brokers):
+            if other_id == member_id:
+                continue
+            other = self._brokers[other_id]
+            entries = other.all_entries()
+            moved = [
+                (k, s) for k, s in entries if self.ring.broker_for(k) == member_id
+            ]
+            if not moved:
+                continue
+            for key, snippet in moved:
+                broker.store(key, snippet)
+            replacement = Broker(other_id)
+            for key, snippet in entries:
+                if self.ring.broker_for(key) != member_id:
+                    replacement.store(key, snippet)
+            self._brokers[other_id] = replacement
+
+    def remove_member(self, member_id: int, graceful: bool = True) -> None:
+        """A member stops brokering.
+
+        ``graceful`` hands its entries to their new owners; an abrupt
+        departure (``graceful=False``) loses them, per the paper's
+        explicit non-guarantee.
+        """
+        broker = self._brokers.pop(member_id, None)
+        if broker is None:
+            raise KeyError(member_id)
+        self.ring.remove_broker(member_id)
+        if graceful and len(self.ring) > 0:
+            for key, snippet in broker.all_entries():
+                self._brokers[self.ring.broker_for(key)].store(key, snippet)
+
+    def members(self) -> list[int]:
+        """Member ids currently brokering."""
+        return sorted(self._brokers)
+
+    # -- publish / lookup -----------------------------------------------------------
+
+    def publish(
+        self,
+        snippet_id: str,
+        xml: str,
+        keys: list[str],
+        publisher: int,
+        ttl_s: float,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> BrokeredSnippet:
+        """Publish a snippet under ``keys`` for ``ttl_s`` seconds."""
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        if not self._brokers:
+            raise LookupError("no brokers in the community")
+        snippet = BrokeredSnippet(
+            snippet_id=snippet_id,
+            xml=xml,
+            keys=tuple(keys),
+            publisher=publisher,
+            discard_at=self.clock() + ttl_s,
+            attributes=attributes or {},
+        )
+        for key in snippet.keys:
+            self._brokers[self.ring.broker_for(key)].store(key, snippet)
+        return snippet
+
+    def lookup(self, key: str) -> list[BrokeredSnippet]:
+        """Unexpired snippets published under ``key``."""
+        if not self._brokers:
+            return []
+        broker = self._brokers[self.ring.broker_for(key)]
+        return broker.lookup(key, self.clock())
+
+    def lookup_all(self, keys: list[str]) -> list[BrokeredSnippet]:
+        """Snippets matching *every* key (conjunctive, like queries)."""
+        if not keys:
+            return []
+        result: dict[str, BrokeredSnippet] | None = None
+        for key in keys:
+            found = {s.snippet_id: s for s in self.lookup(key)}
+            if result is None:
+                result = found
+            else:
+                result = {sid: s for sid, s in result.items() if sid in found}
+            if not result:
+                return []
+        assert result is not None
+        return sorted(result.values(), key=lambda s: s.snippet_id)
+
+    def total_entries(self) -> int:
+        """Total (key, snippet) entries across all brokers."""
+        return sum(b.num_snippets() for b in self._brokers.values())
+
+    def broker_of(self, key: str) -> int:
+        """Which member brokers ``key`` right now."""
+        return self.ring.broker_for(key)

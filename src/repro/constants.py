@@ -1,0 +1,250 @@
+"""Simulation and protocol constants.
+
+These mirror Table 2 of the paper ("Constants used in our simulation of
+PlanetP's gossiping algorithm") plus the protocol parameters quoted in the
+prose of Sections 3-5.  All values are plain module-level constants so that
+experiment code can reference the paper's configuration by name, and a
+:class:`GossipConfig` dataclass bundles the tunable subset for simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Table 2: simulation constants
+# --------------------------------------------------------------------------
+
+#: CPU time consumed by one gossip processing step (seconds).  Table 2: 5 ms.
+CPU_GOSSIP_TIME_S: float = 0.005
+
+#: Base gossiping interval T_g (seconds).  Table 2 / Section 3: 30 s.
+BASE_GOSSIP_INTERVAL_S: float = 30.0
+
+#: Maximum gossiping interval reached by the adaptive slow-down (seconds).
+#: Table 2 lists 60 s (the prose mentions growing "to a maximum of 2
+#: minutes"; we follow the table, which parameterized the reported runs).
+MAX_GOSSIP_INTERVAL_S: float = 60.0
+
+#: Message header size in bytes.  Table 2: 3 bytes.
+MESSAGE_HEADER_BYTES: int = 3
+
+#: Wire size of a (compressed) Bloom filter summarizing 1000 keys.
+BF_1000_KEYS_BYTES: int = 3000
+
+#: Wire size of a (compressed) Bloom filter summarizing 20000 keys.
+BF_20000_KEYS_BYTES: int = 16000
+
+#: Size of a Bloom-filter summary entry (version digest) in bytes.
+BF_SUMMARY_BYTES: int = 6
+
+#: Size of one peer's entry in an anti-entropy directory summary, in bytes.
+PEER_SUMMARY_BYTES: int = 48
+
+# --------------------------------------------------------------------------
+# Section 3 protocol parameters
+# --------------------------------------------------------------------------
+
+#: A peer stops spreading a rumor after contacting this many peers in a row
+#: that already know it (Demers et al.'s "counter" variant; paper: n).
+RUMOR_GIVE_UP_COUNT: int = 2
+
+#: Every Nth gossip round is a (full) anti-entropy round instead of rumoring.
+ANTI_ENTROPY_PERIOD: int = 10
+
+#: Number of recently-retired rumor ids piggybacked on each rumor reply for
+#: the partial anti-entropy exchange (paper: "a small number m").
+PARTIAL_AE_RECENT_RUMORS: int = 10
+
+#: Number of consecutive no-news contacts before the gossip interval grows
+#: (the "gossip-less threshold", Section 3: 2).
+GOSSIP_LESS_THRESHOLD: int = 2
+
+#: Additive slow-down applied to the gossip interval each time the
+#: gossip-less threshold is reached (Section 3: 5 s).
+GOSSIP_SLOWDOWN_S: float = 5.0
+
+#: Time a peer may stay marked off-line before it is dropped from the
+#: directory (T_Dead).  The paper does not fix a value; we default to a week.
+T_DEAD_S: float = 7 * 24 * 3600.0
+
+#: Probability that a *fast* peer rumors with a *slow* peer under the
+#: bandwidth-aware peer selection policy (Section 7.2: 1%).
+BW_AWARE_FAST_TO_SLOW_PROB: float = 0.01
+
+#: Link speed at or above which a peer counts as "fast" for the
+#: bandwidth-aware policy (Section 7.2: 512 Kb/s or better).
+FAST_LINK_THRESHOLD_BPS: float = 512_000.0 / 8.0  # bytes/second
+
+# --------------------------------------------------------------------------
+# Link speeds (bits/sec as quoted; stored in bytes/sec for the simulator)
+# --------------------------------------------------------------------------
+
+
+def _bps(bits_per_second: float) -> float:
+    """Convert a link speed in bits/second to bytes/second."""
+    return bits_per_second / 8.0
+
+
+#: 56 kbps modem link, bytes/second.
+LINK_MODEM: float = _bps(56_000)
+#: 512 kbps DSL link, bytes/second.
+LINK_DSL: float = _bps(512_000)
+#: 5 Mbps cable link, bytes/second.
+LINK_CABLE: float = _bps(5_000_000)
+#: 10 Mbps Ethernet link, bytes/second.
+LINK_ETHERNET: float = _bps(10_000_000)
+#: 45 Mbps T3/LAN link, bytes/second.
+LINK_LAN: float = _bps(45_000_000)
+
+#: The MIX link-speed distribution measured by Saroiu et al. and used in the
+#: paper: fractions of peers per link class.
+MIX_DISTRIBUTION: tuple[tuple[float, float], ...] = (
+    (0.09, LINK_MODEM),
+    (0.21, LINK_DSL),
+    (0.50, LINK_CABLE),
+    (0.16, LINK_ETHERNET),
+    (0.04, LINK_LAN),
+)
+
+# --------------------------------------------------------------------------
+# Section 5 ranking parameters
+# --------------------------------------------------------------------------
+
+#: Coefficients of the adaptive stopping heuristic (eq. 4):
+#: p = floor(A + N / B) + C * floor(k / D).
+STOPPING_A: int = 2
+STOPPING_N_DIVISOR: int = 300
+STOPPING_K_COEFF: int = 2
+STOPPING_K_DIVISOR: int = 50
+
+# --------------------------------------------------------------------------
+# Section 7.1 Bloom filter configuration
+# --------------------------------------------------------------------------
+
+#: The prototype's fixed Bloom filter size: 50 KB (in bits).
+PROTOTYPE_BF_BITS: int = 50 * 1024 * 8
+
+#: Terms the prototype filter can summarize at < 5% false positives.
+PROTOTYPE_BF_CAPACITY: int = 50_000
+
+#: Default number of hash functions (the paper quotes FP rates for two).
+DEFAULT_BF_HASHES: int = 2
+
+# --------------------------------------------------------------------------
+# Section 6 PFS parameters
+# --------------------------------------------------------------------------
+
+#: Fraction of a file's most frequent terms published to the brokerage.
+PFS_BROKER_TERM_FRACTION: float = 0.10
+
+#: Discard time for brokered snippets (Section 6: 10 minutes), seconds.
+PFS_BROKER_DISCARD_S: float = 600.0
+
+#: A PFS directory older than this is fully re-run on open (seconds).
+PFS_DIR_REFRESH_S: float = 600.0
+
+
+@dataclass
+class GossipConfig:
+    """Tunable gossip-protocol parameters for one simulation or community.
+
+    Defaults reproduce the paper's configuration (Table 2 and Section 3).
+    """
+
+    base_interval_s: float = BASE_GOSSIP_INTERVAL_S
+    max_interval_s: float = MAX_GOSSIP_INTERVAL_S
+    cpu_gossip_time_s: float = CPU_GOSSIP_TIME_S
+    rumor_give_up_count: int = RUMOR_GIVE_UP_COUNT
+    anti_entropy_period: int = ANTI_ENTROPY_PERIOD
+    partial_ae_recent: int = PARTIAL_AE_RECENT_RUMORS
+    gossip_less_threshold: int = GOSSIP_LESS_THRESHOLD
+    slowdown_s: float = GOSSIP_SLOWDOWN_S
+    #: how many recently-learned rumor ids an anti-entropy target offers as
+    #: the cheap first reconciliation level before falling back to the full
+    #: directory summary.
+    ae_recent_window: int = 50
+    t_dead_s: float = T_DEAD_S
+    use_partial_ae: bool = True
+    anti_entropy_only: bool = False
+    bandwidth_aware: bool = False
+    fast_to_slow_prob: float = BW_AWARE_FAST_TO_SLOW_PROB
+    fast_threshold_Bps: float = FAST_LINK_THRESHOLD_BPS
+    header_bytes: int = MESSAGE_HEADER_BYTES
+    peer_summary_bytes: int = PEER_SUMMARY_BYTES
+    bf_summary_bytes: int = BF_SUMMARY_BYTES
+
+    def __post_init__(self) -> None:
+        if self.base_interval_s <= 0:
+            raise ValueError("base_interval_s must be positive")
+        if self.max_interval_s < self.base_interval_s:
+            raise ValueError("max_interval_s must be >= base_interval_s")
+        if self.anti_entropy_period < 1:
+            raise ValueError("anti_entropy_period must be >= 1")
+        if not 0.0 <= self.fast_to_slow_prob <= 1.0:
+            raise ValueError("fast_to_slow_prob must be a probability")
+
+
+@dataclass
+class RankingConfig:
+    """Parameters of the adaptive stopping heuristic (eq. 4)."""
+
+    a: int = STOPPING_A
+    n_divisor: int = STOPPING_N_DIVISOR
+    k_coeff: int = STOPPING_K_COEFF
+    k_divisor: int = STOPPING_K_DIVISOR
+    #: contact peers in parallel groups of this size (Section 5.2 mentions
+    #: groups of m peers; 1 reproduces the sequential algorithm).
+    group_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_divisor <= 0 or self.k_divisor <= 0:
+            raise ValueError("divisors must be positive")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+
+    def stopping_p(self, community_size: int, k: int) -> int:
+        """Evaluate eq. 4: the number of consecutive unproductive peers
+        tolerated before the search stops."""
+        if community_size < 0 or k < 0:
+            raise ValueError("community_size and k must be non-negative")
+        return int(self.a + community_size // self.n_divisor) + self.k_coeff * (
+            k // self.k_divisor
+        )
+
+
+@dataclass
+class BloomConfig:
+    """Bloom filter sizing configuration."""
+
+    num_bits: int = PROTOTYPE_BF_BITS
+    num_hashes: int = DEFAULT_BF_HASHES
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 8:
+            raise ValueError("num_bits must be at least 8")
+        if self.num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+
+
+@dataclass
+class WireSizes:
+    """Wire-size model used by the gossip simulator (Table 2)."""
+
+    header: int = MESSAGE_HEADER_BYTES
+    bf_1000: int = BF_1000_KEYS_BYTES
+    bf_20000: int = BF_20000_KEYS_BYTES
+    bf_summary: int = BF_SUMMARY_BYTES
+    peer_summary: int = PEER_SUMMARY_BYTES
+
+    def bloom_filter_bytes(self, num_keys: int) -> int:
+        """Interpolated wire size of a compressed Bloom filter for
+        ``num_keys`` keys, anchored on the two sizes given in Table 2."""
+        if num_keys < 0:
+            raise ValueError("num_keys must be non-negative")
+        if num_keys == 0:
+            return self.header
+        # Linear model through (1000, 3000) and (20000, 16000).
+        slope = (self.bf_20000 - self.bf_1000) / (20000 - 1000)
+        size = self.bf_1000 + slope * (num_keys - 1000)
+        return max(self.header, int(round(size)))

@@ -1,0 +1,223 @@
+"""An in-process PlanetP community.
+
+Hosts many :class:`PlanetPPeer` instances in one process and implements
+both search modes of Section 5 against them.  Directory replication is
+performed eagerly (:meth:`replicate_directories`): after a batch of
+publishes, each peer's Bloom filter copy is installed at every other peer
+— the converged-directory state the paper's search experiments assume
+(the gossip subpackage is the authority on *how long* convergence takes).
+
+The community implements the :class:`~repro.ranking.tfipf.PeerBackend`
+protocol, so :class:`~repro.ranking.tfipf.TFIPFSearch` runs against it
+directly; it also hosts the optional brokerage and persistent queries.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from repro.bloom.filter import BloomFilter
+from repro.brokerage.service import BrokerageService
+from repro.constants import BloomConfig, RankingConfig
+from repro.core.peer import PlanetPPeer
+from repro.core.persistent import PersistentQuery, PersistentQueryManager
+from repro.core.search import exhaustive_local_match, score_local_documents
+from repro.ranking.stopping import AdaptiveStopping, StoppingPolicy
+from repro.ranking.tfidf import RankedDoc
+from repro.ranking.tfipf import DistributedSearchResult, TFIPFSearch
+from repro.text.analyzer import Analyzer
+from repro.text.document import Document
+from repro.text.xmlsnippets import XMLSnippet
+
+__all__ = ["InProcessCommunity"]
+
+
+class InProcessCommunity:
+    """A set of peers sharing one process (the paper's "virtual peers")."""
+
+    def __init__(
+        self,
+        num_peers: int,
+        analyzer: Analyzer | None = None,
+        bloom_config: BloomConfig | None = None,
+        ranking_config: RankingConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if num_peers <= 0:
+            raise ValueError("num_peers must be positive")
+        self.analyzer = analyzer or Analyzer()
+        self.bloom_config = bloom_config or BloomConfig()
+        self.ranking_config = ranking_config or RankingConfig()
+        self.peers = [
+            PlanetPPeer(pid, analyzer=self.analyzer, bloom_config=self.bloom_config)
+            for pid in range(num_peers)
+        ]
+        self.brokerage = BrokerageService(clock)
+        self.persistent = PersistentQueryManager()
+        self._doc_owner: dict[str, int] = {}
+        self._dirty = False
+
+    # -- publishing -----------------------------------------------------------
+
+    def publish(self, peer_id: int, item: Document | XMLSnippet) -> Document:
+        """Publish ``item`` at ``peer_id`` and fire persistent queries."""
+        doc = self._peer(peer_id).publish(item)
+        self._doc_owner[doc.doc_id] = peer_id
+        self._dirty = True
+        term_set = set(self.analyzer.analyze(doc.text))
+        self.persistent.on_new_document(doc, term_set)
+        return doc
+
+    def publish_batch(
+        self, peer_id: int, items: Sequence[Document | XMLSnippet]
+    ) -> None:
+        """Publish many documents at one peer (persistent queries fire per
+        document; replication is deferred until the next search)."""
+        for item in items:
+            self.publish(peer_id, item)
+
+    def remove(self, doc_id: str) -> Document:
+        """Withdraw a document from wherever it was published."""
+        owner = self._doc_owner.pop(doc_id, None)
+        if owner is None:
+            raise KeyError(doc_id)
+        doc = self.peers[owner].remove(doc_id)
+        self._dirty = True
+        return doc
+
+    def owner_of(self, doc_id: str) -> int:
+        """Which peer published ``doc_id``."""
+        return self._doc_owner[doc_id]
+
+    def fetch(self, doc_id: str) -> Document:
+        """Retrieve a document from its owner's data store."""
+        return self.peers[self.owner_of(doc_id)].store.get(doc_id)
+
+    # -- directory replication --------------------------------------------------
+
+    def replicate_directories(self) -> None:
+        """Install every peer's current Bloom filter at every other peer
+        (instant convergence; the gossip simulator models the latency)."""
+        snapshots = [
+            (p.peer_id, p.address, p.store.bloom_filter, p.store.filter_version)
+            for p in self.peers
+        ]
+        for peer in self.peers:
+            for pid, address, bf, version in snapshots:
+                if pid == peer.peer_id:
+                    continue
+                peer.update_directory(pid, address, bf, version, online=True)
+        self._dirty = False
+
+    def _ensure_replicated(self) -> None:
+        if self._dirty:
+            self.replicate_directories()
+
+    # -- PeerBackend protocol (ranked search) --------------------------------------
+
+    def online_peer_ids(self) -> list[int]:
+        """Peers currently online (all, unless set otherwise)."""
+        return [p.peer_id for p in self.peers if p.online]
+
+    def peer_filter(self, peer_id: int) -> BloomFilter:
+        """The peer's Bloom filter (as replicated in the directory)."""
+        return self._peer(peer_id).store.bloom_filter
+
+    def query_peer(
+        self, peer_id: int, terms: Sequence[str], ipf: dict[str, float], k: int
+    ) -> list[RankedDoc]:
+        """Contact ``peer_id``: its local top-``k`` under TF×IPF (eq. 2)."""
+        peer = self._peer(peer_id)
+        if not peer.online:
+            return []
+        return score_local_documents(peer.store.index, terms, ipf, k)
+
+    # -- searches -----------------------------------------------------------------
+
+    def analyze_query(self, query: str) -> list[str]:
+        """Run the community's analyzer over a query string."""
+        return self.analyzer.analyze_query(query)
+
+    def exhaustive_search(self, query: str, from_peer: int = 0) -> list[Document]:
+        """Section 5.1: conjunctive search of the entire data store.
+
+        Uses ``from_peer``'s directory to find candidate peers whose
+        filters may match every key, contacts them all, merges the
+        matching documents, and consults the brokers.
+        """
+        self._ensure_replicated()
+        terms = self.analyze_query(query)
+        if not terms:
+            return []
+        searcher = self._peer(from_peer)
+        results: dict[str, Document] = {}
+        for pid in searcher.candidate_peers(terms):
+            peer = self.peers[pid]
+            if not peer.online:
+                continue
+            for doc_id in exhaustive_local_match(peer.store.index, terms):
+                results[doc_id] = peer.store.get(doc_id)
+        for snippet in self.brokerage.lookup_all(terms):
+            if snippet.snippet_id not in results:
+                results[snippet.snippet_id] = Document(
+                    snippet.snippet_id, snippet.xml, dict(snippet.attributes)
+                )
+        return [results[doc_id] for doc_id in sorted(results)]
+
+    def ranked_search(
+        self,
+        query: str,
+        k: int = 20,
+        stopping: StoppingPolicy | None = None,
+        group_size: int | None = None,
+    ) -> DistributedSearchResult:
+        """Section 5.2: TF×IPF ranked search with adaptive stopping."""
+        self._ensure_replicated()
+        terms = self.analyze_query(query)
+        if not terms:
+            raise ValueError("query analyzed to zero terms")
+        search = TFIPFSearch(
+            self,
+            stopping=stopping or AdaptiveStopping(self.ranking_config),
+            group_size=group_size or self.ranking_config.group_size,
+        )
+        return search.search(terms, k)
+
+    # -- persistent queries ------------------------------------------------------------
+
+    def post_persistent_query(
+        self, query: str, callback: Callable[[Document], None]
+    ) -> PersistentQuery:
+        """Register a persistent exhaustive query (Section 5.1).
+
+        The callback fires for every *future* matching publication; run an
+        exhaustive search first for current matches, as PFS does.
+        """
+        terms = self.analyze_query(query)
+        if not terms:
+            raise ValueError("query analyzed to zero terms")
+        return self.persistent.post(terms, callback)
+
+    # -- membership -----------------------------------------------------------------------
+
+    def set_online(self, peer_id: int, online: bool) -> None:
+        """Toggle a peer's availability (offline peers aren't contacted,
+        but their directory entries — and filters — remain, so searches
+        can still discover that matching documents exist; Section 2)."""
+        self._peer(peer_id).online = online
+
+    def _peer(self, peer_id: int) -> PlanetPPeer:
+        if not 0 <= peer_id < len(self.peers):
+            raise KeyError(f"no peer {peer_id} in this community")
+        return self.peers[peer_id]
+
+    def __len__(self) -> int:
+        return len(self.peers)
+
+    def num_documents(self) -> int:
+        """Total documents published across all peers."""
+        return len(self._doc_owner)
+
+    def __repr__(self) -> str:
+        return f"InProcessCommunity(peers={len(self.peers)}, docs={self.num_documents()})"

@@ -1,0 +1,121 @@
+"""The per-peer local data store (paper Section 2).
+
+Stores published XML documents, maintains the local inverted index over
+their analyzed text, and keeps the peer's Bloom filter summary in sync.
+The filter only grows incrementally on publish; removing a document marks
+the filter stale and :meth:`regenerate_filter` rebuilds it from the index
+(the prototype's behaviour — filters never shrink in place).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bloom.filter import BloomFilter
+from repro.constants import BloomConfig
+from repro.text.analyzer import Analyzer
+from repro.text.document import Document
+from repro.text.invindex import InvertedIndex
+from repro.text.xmlsnippets import XMLSnippet
+
+__all__ = ["LocalDataStore"]
+
+
+class LocalDataStore:
+    """Documents + inverted index + Bloom filter for one peer."""
+
+    def __init__(
+        self,
+        analyzer: Analyzer | None = None,
+        bloom_config: BloomConfig | None = None,
+    ) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._bloom_config = bloom_config or BloomConfig()
+        self.index = InvertedIndex()
+        self._documents: dict[str, Document] = {}
+        self._filter = BloomFilter(
+            self._bloom_config.num_bits, self._bloom_config.num_hashes
+        )
+        #: bumped every time the filter's contents change; the directory
+        #: uses it to decide whether a gossiped filter is news.
+        self.filter_version = 0
+        self._filter_stale = False
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, item: Document | XMLSnippet) -> Document:
+        """Publish a document or XML snippet: store, index, summarize.
+
+        Returns the stored :class:`Document`.  Publishing an id that
+        already exists raises; remove it first.
+        """
+        doc = item.to_document() if isinstance(item, XMLSnippet) else item
+        if doc.doc_id in self._documents:
+            raise ValueError(f"document {doc.doc_id!r} is already published")
+        term_freqs = self.analyzer.term_frequencies(doc.text)
+        self.index.add_document(doc.doc_id, term_freqs)
+        self._documents[doc.doc_id] = doc
+        new_terms = [t for t in term_freqs if t not in self._filter]
+        if new_terms:
+            self._filter.add_many(new_terms)
+            self.filter_version += 1
+        return doc
+
+    def remove(self, doc_id: str) -> Document:
+        """Remove a published document; the Bloom filter becomes stale."""
+        try:
+            doc = self._documents.pop(doc_id)
+        except KeyError:
+            raise KeyError(doc_id) from None
+        self.index.remove_document(doc_id)
+        self._filter_stale = True
+        return doc
+
+    def regenerate_filter(self) -> BloomFilter:
+        """Rebuild the Bloom filter from the live index.
+
+        Needed after removals; bumps the version if contents changed.
+        """
+        fresh = BloomFilter(self._bloom_config.num_bits, self._bloom_config.num_hashes)
+        fresh.add_many(list(self.index.terms()))
+        if fresh != self._filter:
+            self._filter = fresh
+            self.filter_version += 1
+        self._filter_stale = False
+        return self._filter
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def bloom_filter(self) -> BloomFilter:
+        """The current summary filter (regenerated first if stale)."""
+        if self._filter_stale:
+            self.regenerate_filter()
+        return self._filter
+
+    def get(self, doc_id: str) -> Document:
+        """Fetch a stored document."""
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise KeyError(doc_id) from None
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def document_ids(self) -> Iterator[str]:
+        """Iterate stored document ids."""
+        return iter(self._documents)
+
+    def num_terms(self) -> int:
+        """Distinct indexed terms."""
+        return self.index.vocabulary_size()
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalDataStore(docs={len(self)}, terms={self.num_terms()}, "
+            f"filter_v={self.filter_version})"
+        )

@@ -1,0 +1,79 @@
+"""Merged-filter directories: the Section 2 memory/accuracy trade-off.
+
+"Peers can independently trade-off accuracy for storage.  For example, a
+peer a may choose to combine the filters of several peers to save space;
+the trade-off is that a must now contact this set of peers whenever a
+query hits on this combined filter.  This ability ... is particularly
+useful for peers running on memory-constrained devices."
+
+:class:`MergedDirectory` groups the directory's filters into buckets of
+``group_size`` and stores one union filter per bucket.  Candidate lookup
+returns whole buckets: never a false negative, but every hit costs
+contacting the full group.  :func:`merge_ratio` quantifies the saving.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bloom.filter import BloomFilter
+
+__all__ = ["MergedDirectory"]
+
+
+class MergedDirectory:
+    """A compacted view over a set of per-peer Bloom filters."""
+
+    def __init__(
+        self, peer_filters: dict[int, BloomFilter], group_size: int
+    ) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if not peer_filters:
+            raise ValueError("need at least one peer filter")
+        self.group_size = group_size
+        self._groups: list[tuple[tuple[int, ...], BloomFilter]] = []
+        ordered = sorted(peer_filters)
+        for start in range(0, len(ordered), group_size):
+            members = tuple(ordered[start : start + group_size])
+            merged = peer_filters[members[0]].copy()
+            for pid in members[1:]:
+                merged.union_inplace(peer_filters[pid])
+            self._groups.append((members, merged))
+
+    @property
+    def num_groups(self) -> int:
+        """Number of stored (merged) filters."""
+        return len(self._groups)
+
+    def candidate_peers(self, terms: Sequence[str]) -> list[int]:
+        """Peers that may hold *all* ``terms`` — whole groups at a time.
+
+        A superset of the unmerged directory's candidates (the union
+        filter can only add positives), so no document is ever missed;
+        the cost is contacting every member of a hit group.
+        """
+        term_list = list(terms)
+        out: list[int] = []
+        for members, merged in self._groups:
+            if merged.contains_all(term_list):
+                out.extend(members)
+        return out
+
+    def memory_bits(self) -> int:
+        """Total filter bits stored under this merging."""
+        return sum(f.num_bits for _, f in self._groups)
+
+    @staticmethod
+    def merge_ratio(num_peers: int, group_size: int) -> float:
+        """Storage fraction kept relative to one filter per peer."""
+        if num_peers < 1 or group_size < 1:
+            raise ValueError("num_peers and group_size must be >= 1")
+        groups = (num_peers + group_size - 1) // group_size
+        return groups / num_peers
+
+    def __repr__(self) -> str:
+        return (
+            f"MergedDirectory(groups={self.num_groups}, "
+            f"group_size={self.group_size})"
+        )

@@ -1,0 +1,139 @@
+"""A PlanetP peer: local data store plus its replicated directory.
+
+The directory (Figure 1) maps every known member to its address, on-line
+status, and Bloom filter copy.  In the in-process community the directory
+entries are filled by the community's replication step (instant by
+default, mirroring the paper's search simulator where directories have
+converged); the gossip subpackage models how that replication behaves
+over time and bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.bloom.filter import BloomFilter
+from repro.constants import BloomConfig
+from repro.core.datastore import LocalDataStore
+from repro.text.analyzer import Analyzer
+from repro.text.document import Document
+from repro.text.xmlsnippets import XMLSnippet
+
+__all__ = ["PeerEntry", "PlanetPPeer"]
+
+
+@dataclass
+class PeerEntry:
+    """One row of the replicated global directory."""
+
+    peer_id: int
+    address: str
+    online: bool = True
+    bloom_filter: BloomFilter | None = None
+    filter_version: int = -1
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+class PlanetPPeer:
+    """One community member (library form)."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        address: str | None = None,
+        analyzer: Analyzer | None = None,
+        bloom_config: BloomConfig | None = None,
+    ) -> None:
+        if peer_id < 0:
+            raise ValueError("peer_id must be non-negative")
+        self.peer_id = peer_id
+        self.address = address or f"peer://{peer_id}"
+        self.store = LocalDataStore(analyzer=analyzer, bloom_config=bloom_config)
+        #: replicated directory: peer_id -> entry (includes ourselves).
+        self.directory: dict[int, PeerEntry] = {
+            peer_id: PeerEntry(peer_id, self.address, True, None, -1)
+        }
+        self.online = True
+
+    # -- publishing -----------------------------------------------------------
+
+    def publish(self, item: Document | XMLSnippet) -> Document:
+        """Publish a document to the community via this peer."""
+        return self.store.publish(item)
+
+    def remove(self, doc_id: str) -> Document:
+        """Withdraw a published document."""
+        return self.store.remove(doc_id)
+
+    # -- directory maintenance ---------------------------------------------------
+
+    def update_directory(
+        self,
+        peer_id: int,
+        address: str,
+        bloom_filter: BloomFilter,
+        filter_version: int,
+        online: bool = True,
+    ) -> bool:
+        """Install/refresh another member's entry.
+
+        Stale versions are ignored (gossip can deliver out of order).
+        Returns whether the entry changed.
+        """
+        entry = self.directory.get(peer_id)
+        if entry is None:
+            self.directory[peer_id] = PeerEntry(
+                peer_id, address, online, bloom_filter, filter_version
+            )
+            return True
+        changed = False
+        if filter_version > entry.filter_version:
+            entry.bloom_filter = bloom_filter
+            entry.filter_version = filter_version
+            changed = True
+        if entry.online != online:
+            entry.online = online
+            changed = True
+        return changed
+
+    def mark_peer_offline(self, peer_id: int) -> None:
+        """Record a failed contact (not gossiped; Section 3)."""
+        entry = self.directory.get(peer_id)
+        if entry is not None:
+            entry.online = False
+
+    def drop_peer(self, peer_id: int) -> None:
+        """Forget a member entirely (T_Dead expiry)."""
+        if peer_id == self.peer_id:
+            raise ValueError("a peer cannot drop itself")
+        self.directory.pop(peer_id, None)
+
+    def known_online_peers(self) -> list[int]:
+        """Directory rows currently believed online (excluding self)."""
+        return sorted(
+            pid
+            for pid, entry in self.directory.items()
+            if entry.online and pid != self.peer_id
+        )
+
+    def candidate_peers(self, terms: list[str]) -> list[int]:
+        """Peers whose replicated filter may match *all* ``terms``
+        (the exhaustive-search candidate set, Section 5.1)."""
+        out = []
+        for pid, entry in sorted(self.directory.items()):
+            if pid == self.peer_id:
+                if self.store.bloom_filter.contains_all(terms):
+                    out.append(pid)
+                continue
+            if entry.bloom_filter is not None and entry.bloom_filter.contains_all(
+                terms
+            ):
+                out.append(pid)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanetPPeer(id={self.peer_id}, docs={len(self.store)}, "
+            f"directory={len(self.directory)})"
+        )

@@ -1,0 +1,77 @@
+"""Persistent queries (paper Section 5.1).
+
+A persistent query registers interest in new information: whenever a new
+matching snippet appears — a new document is published (new Bloom filter
+content) or a snippet lands on a broker — the poster's callback object is
+invoked.  PFS uses these upcalls to keep query directories current, and
+the paper notes they subsume condition variables / publish-subscribe /
+tuple-space patterns.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.text.document import Document
+
+__all__ = ["PersistentQuery", "PersistentQueryManager"]
+
+
+@dataclass
+class PersistentQuery:
+    """One registered persistent (exhaustive, conjunctive) query."""
+
+    query_id: int
+    terms: tuple[str, ...]
+    callback: Callable[[Document], None]
+    #: doc ids already delivered, so re-publications don't re-fire.
+    delivered: set[str] = field(default_factory=set)
+
+    def matches(self, term_set: set[str]) -> bool:
+        """Conjunctive match against a document's term set."""
+        return all(t in term_set for t in self.terms)
+
+
+class PersistentQueryManager:
+    """Registry + dispatch of persistent queries for a community."""
+
+    def __init__(self) -> None:
+        self._queries: dict[int, PersistentQuery] = {}
+        self._ids = itertools.count()
+
+    def post(
+        self, terms: Sequence[str], callback: Callable[[Document], None]
+    ) -> PersistentQuery:
+        """Register a persistent query; returns its handle."""
+        terms_t = tuple(terms)
+        if not terms_t:
+            raise ValueError("a persistent query needs at least one term")
+        query = PersistentQuery(next(self._ids), terms_t, callback)
+        self._queries[query.query_id] = query
+        return query
+
+    def cancel(self, query_id: int) -> None:
+        """Deregister a persistent query."""
+        try:
+            del self._queries[query_id]
+        except KeyError:
+            raise KeyError(query_id) from None
+
+    def on_new_document(self, doc: Document, term_set: set[str]) -> int:
+        """Dispatch a newly published document to matching queries.
+
+        ``term_set`` is the document's analyzed terms.  Returns the number
+        of upcalls made.
+        """
+        fired = 0
+        for query in self._queries.values():
+            if doc.doc_id not in query.delivered and query.matches(term_set):
+                query.delivered.add(doc.doc_id)
+                query.callback(doc)
+                fired += 1
+        return fired
+
+    def __len__(self) -> int:
+        return len(self._queries)

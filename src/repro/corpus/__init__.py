@@ -1,0 +1,34 @@
+"""Synthetic document collections with relevance judgments.
+
+The paper evaluates search quality on five collections (CACM, MED, CRAN,
+CISI from Smart; AP89 from TREC — Table 3).  Those corpora are not
+redistributable, so this subpackage generates topic-model corpora that
+match each collection's published statistics (document count, vocabulary
+size, query count, average document size) and come with ground-truth
+relevance judgments (a query is about a topic; relevant documents are the
+ones generated from that topic).  This preserves the property Figure 6
+measures: whether IPF-based peer ranking plus adaptive stopping tracks
+centralized TF×IDF recall/precision.
+"""
+
+from repro.corpus.synthetic import SyntheticCollection, TopicModel, generate_collection
+from repro.corpus.collections import (
+    COLLECTION_PRESETS,
+    CollectionSpec,
+    collection_table_rows,
+    make_collection,
+)
+from repro.corpus.partition import partition_documents
+from repro.corpus.queries import Query
+
+__all__ = [
+    "SyntheticCollection",
+    "TopicModel",
+    "generate_collection",
+    "COLLECTION_PRESETS",
+    "CollectionSpec",
+    "collection_table_rows",
+    "make_collection",
+    "partition_documents",
+    "Query",
+]

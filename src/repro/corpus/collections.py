@@ -1,0 +1,112 @@
+"""Presets matching the paper's Table 3 collections.
+
+===== ======= ========= ============= =====================
+Trace Queries Documents Number of words Collection size (MB)
+===== ======= ========= ============= =====================
+CACM  52      3204      75493          2.1
+MED   30      1033      83451          1.0
+CRAN  152     1400      117718         1.6
+CISI  76      1460      84957          2.4
+AP89  97      84678     129603         266.0
+===== ======= ========= ============= =====================
+
+``make_collection`` regenerates a synthetic stand-in for any preset; a
+``scale`` argument shrinks document count (and queries/vocabulary
+proportionally, floored at useful minimums) for fast test/bench runs while
+preserving the corpus shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.synthetic import SyntheticCollection, generate_collection
+
+__all__ = ["CollectionSpec", "COLLECTION_PRESETS", "make_collection", "collection_table_rows"]
+
+
+@dataclass(frozen=True)
+class CollectionSpec:
+    """Published statistics of one benchmark collection (Table 3)."""
+
+    name: str
+    num_queries: int
+    num_documents: int
+    num_words: int
+    size_mb: float
+
+    def mean_doc_length(self) -> int:
+        """Approximate mean tokens/document implied by size and count.
+
+        Assumes ~6.5 bytes per token (5.5-char synthetic word + space).
+        """
+        bytes_per_doc = self.size_mb * 1_000_000 / self.num_documents
+        return max(20, int(bytes_per_doc / 6.5))
+
+
+COLLECTION_PRESETS: dict[str, CollectionSpec] = {
+    "CACM": CollectionSpec("CACM", 52, 3204, 75_493, 2.1),
+    "MED": CollectionSpec("MED", 30, 1033, 83_451, 1.0),
+    "CRAN": CollectionSpec("CRAN", 152, 1400, 117_718, 1.6),
+    "CISI": CollectionSpec("CISI", 76, 1460, 84_957, 2.4),
+    "AP89": CollectionSpec("AP89", 97, 84_678, 129_603, 266.0),
+}
+
+
+def make_collection(
+    name: str, scale: float = 1.0, seed: int = 0
+) -> SyntheticCollection:
+    """Generate the synthetic stand-in for preset ``name``.
+
+    ``scale`` in (0, 1] shrinks documents/queries/vocabulary
+    proportionally; ``scale=1`` reproduces the full Table 3 statistics.
+    """
+    try:
+        spec = COLLECTION_PRESETS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown collection {name!r}; choose from {sorted(COLLECTION_PRESETS)}"
+        ) from None
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    num_docs = max(50, int(spec.num_documents * scale))
+    num_queries = max(10, int(spec.num_queries * min(1.0, scale * 2)))
+    vocab = max(2_000, int(spec.num_words * scale))
+    mean_len = spec.mean_doc_length()
+    return generate_collection(
+        name=spec.name,
+        num_documents=num_docs,
+        vocabulary_size=vocab,
+        num_queries=num_queries,
+        mean_doc_length=mean_len,
+        seed=seed,
+    )
+
+
+def collection_table_rows(
+    names: list[str] | None = None, scale: float = 1.0, seed: int = 0
+) -> list[dict[str, object]]:
+    """Regenerate Table 3: per-collection characteristics, paper vs ours.
+
+    Returns one dict per collection with the paper's published numbers and
+    the generated corpus' measured numbers side by side.
+    """
+    rows: list[dict[str, object]] = []
+    for name in names or sorted(COLLECTION_PRESETS):
+        spec = COLLECTION_PRESETS[name.upper()]
+        coll = make_collection(name, scale=scale, seed=seed)
+        distinct = len({t for d in coll.documents for t in d.text.split()})
+        rows.append(
+            {
+                "trace": spec.name,
+                "paper_queries": spec.num_queries,
+                "paper_documents": spec.num_documents,
+                "paper_words": spec.num_words,
+                "paper_size_mb": spec.size_mb,
+                "gen_queries": coll.num_queries,
+                "gen_documents": coll.num_documents,
+                "gen_distinct_words": distinct,
+                "gen_size_mb": round(coll.total_text_bytes() / 1_000_000, 2),
+            }
+        )
+    return rows

@@ -1,0 +1,45 @@
+"""Query model with relevance judgments.
+
+Mirrors the Smart/TREC trace format conceptually: a query is a small set of
+terms plus the set of documents human assessors judged relevant.  In our
+synthetic corpora the "assessor" is the generator itself (topic identity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A benchmark query.
+
+    Attributes
+    ----------
+    query_id:
+        Unique id within its collection.
+    terms:
+        The query's terms (already analyzed; deduplicated, ordered).
+    relevant:
+        The ids of the documents judged relevant to the query.
+    """
+
+    query_id: str
+    terms: tuple[str, ...]
+    relevant: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.query_id:
+            raise ValueError("query_id must be non-empty")
+        if not self.terms:
+            raise ValueError("a query needs at least one term")
+
+    @property
+    def text(self) -> str:
+        """The query rendered as white-space separated keys (Section 5.1)."""
+        return " ".join(self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)

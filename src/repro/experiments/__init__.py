@@ -1,0 +1,23 @@
+"""Experiment harness: one runner per table and figure of the paper.
+
+=============  ==========================================  =================
+Paper item     What it reports                             Runner
+=============  ==========================================  =================
+Table 1        micro-costs of Bloom/index operations       :mod:`microbench`
+Table 2        simulation constants                        :mod:`constants` (asserted in tests)
+Table 3        benchmark-collection characteristics        :mod:`table3`
+Figure 2       propagation time / volume / bandwidth       :mod:`propagation`
+Figure 3       simultaneous-join consistency time          :mod:`join`
+Figure 4       dynamic-community convergence + bandwidth   :mod:`dynamic`
+Figure 5       2000-member dynamic community               :mod:`dynamic`
+Figure 6       recall/precision/peers-contacted            :mod:`search_quality`
+=============  ==========================================  =================
+
+Each runner returns plain data structures (lists of dict rows or series)
+and the CLI (:mod:`runner`) renders them as text tables matching the
+paper's rows/series.
+"""
+
+from repro.experiments.common import format_table, Series
+
+__all__ = ["format_table", "Series"]

@@ -1,0 +1,102 @@
+"""ASCII rendering of figure series.
+
+The experiment harness regenerates the paper's figures as data series;
+this module draws them as terminal line/scatter charts so a
+``planetp-experiments fig2 --plot`` run visually resembles the published
+figure, no plotting library required.
+
+The renderer maps each series to a glyph, bins points onto a
+width x height character grid (linear or log x axis), and frames the grid
+with axis labels and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import Series
+
+__all__ = ["plot_series", "GLYPHS"]
+
+#: Series glyphs, assigned in order.
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    """Map ``value`` in [lo, hi] to a grid index in [0, steps-1]."""
+    if hi <= lo:
+        return 0
+    if log:
+        value, lo, hi = math.log10(max(value, 1e-12)), math.log10(max(lo, 1e-12)), math.log10(hi)
+        if hi <= lo:
+            return 0
+    frac = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(round(frac * (steps - 1)))))
+
+
+def plot_series(
+    series_list: list[Series],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render series as an ASCII chart.
+
+    Parameters
+    ----------
+    width, height:
+        Plot-area size in characters (exclusive of the frame).
+    log_x:
+        Use a log10 x axis (community-size sweeps look linear this way,
+        matching the paper's log-scaled Figure 2 axis).
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    populated = [s for s in series_list if len(s)]
+    if not populated:
+        raise ValueError("nothing to plot")
+    if len(populated) > len(GLYPHS):
+        raise ValueError(f"at most {len(GLYPHS)} series supported")
+
+    all_x = [x for s in populated for x in s.xs]
+    all_y = [y for s in populated for y in s.ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_lo == y_hi:  # flat lines still need a band to sit in
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, s in zip(GLYPHS, populated):
+        for x, y in zip(s.xs, s.ys):
+            col = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, False)
+            # First-drawn series keeps contested cells (stable overlap).
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi_txt, y_lo_txt = f"{y_hi:.4g}", f"{y_lo:.4g}"
+    margin = max(len(y_hi_txt), len(y_lo_txt)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_txt.rjust(margin - 1)
+        elif i == height - 1:
+            label = y_lo_txt.rjust(margin - 1)
+        else:
+            label = " " * (margin - 1)
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * margin + "-" * width)
+    x_lo_txt, x_hi_txt = f"{x_lo:.4g}", f"{x_hi:.4g}"
+    gap = width - len(x_lo_txt) - len(x_hi_txt)
+    lines.append(" " * margin + x_lo_txt + " " * max(1, gap) + x_hi_txt)
+    axis_note = f"{x_label}{' (log)' if log_x else ''} vs {y_label}"
+    legend = "  ".join(
+        f"{glyph}={s.label}" for glyph, s in zip(GLYPHS, populated)
+    )
+    lines.append(f"{' ' * margin}{axis_note}   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Shared output plumbing for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "Series", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned text table.
+
+    Floats print with 4 significant digits; everything else via ``str``.
+    """
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One labelled (x, y) series of a figure."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+def format_series(
+    series_list: Sequence[Series], x_name: str = "x", y_name: str = "y", title: str | None = None
+) -> str:
+    """Render several series as one aligned table (x column + one column
+    per series), merging on x values."""
+    all_x = sorted({x for s in series_list for x in s.xs})
+    headers = [x_name] + [s.label for s in series_list]
+    lookup = [{x: y for x, y in zip(s.xs, s.ys)} for s in series_list]
+    rows = []
+    for x in all_x:
+        row: list[Any] = [x]
+        for table in lookup:
+            row.append(table.get(x, ""))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,63 @@
+"""Figure 3: m peers simultaneously joining an established community.
+
+The paper starts a consistent community of 1000 peers, has ``x - 1000``
+new members (each sharing 20 000 keys) join at once, and measures the time
+until the membership view is consistent again, for LAN, DSL and MIX
+topologies.  Joiners must download the full directory (~16 MB for 1000
+members) and their join rumors must reach everyone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import GossipConfig
+from repro.experiments.common import Series
+from repro.gossip.simulation import JoinResult, run_join
+
+__all__ = ["JoinSweep", "run_figure3", "figure3_series"]
+
+
+@dataclass
+class JoinSweep:
+    """All runs of the Figure 3 sweep."""
+
+    results: dict[str, list[JoinResult]]
+
+
+def run_figure3(
+    n_initial: int = 1000,
+    joiner_counts: tuple[int, ...] = (50, 100, 150, 200, 250),
+    topologies: tuple[str, ...] = ("lan", "dsl", "mix"),
+    keys_per_peer: int = 20_000,
+    seed: int = 0,
+    config: GossipConfig | None = None,
+) -> JoinSweep:
+    """Run the sweep: every topology at every joiner count."""
+    results: dict[str, list[JoinResult]] = {}
+    for topology in topologies:
+        runs = []
+        for m in joiner_counts:
+            runs.append(
+                run_join(
+                    n_initial,
+                    m,
+                    topology=topology,
+                    config=config,
+                    keys_per_peer=keys_per_peer,
+                    seed=seed,
+                )
+            )
+        results[topology.upper()] = runs
+    return JoinSweep(results)
+
+
+def figure3_series(sweep: JoinSweep) -> list[Series]:
+    """Consistency time vs total community size, one series per topology."""
+    out = []
+    for name, runs in sweep.results.items():
+        s = Series(name)
+        for r in runs:
+            s.add(r.initial_size + r.joiners, r.consistency_time_s)
+        out.append(s)
+    return out

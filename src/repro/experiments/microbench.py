@@ -1,0 +1,135 @@
+"""Table 1: micro-benchmarks of PlanetP's basic operations.
+
+The paper reports each cost as *fixed overhead + marginal per-key cost*
+(e.g. Bloom filter insertion: ``4 + 0.011n`` ms after JIT).  We time the
+same six operations at several key counts and fit the same linear model.
+Absolute milliseconds differ (Python on modern hardware vs Java on an
+800 MHz PIII); the deliverable is the cost *model* and its shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.compress import compress_filter, decompress_filter
+from repro.bloom.filter import BloomFilter
+from repro.text.invindex import InvertedIndex
+from repro.utils.stats import LinearFit, fit_linear
+
+__all__ = ["MicroBenchRow", "run_microbench", "PAPER_TABLE1"]
+
+#: The paper's after-JIT cost models, for side-by-side reporting:
+#: operation -> (fixed ms, per-key ms).
+PAPER_TABLE1: dict[str, tuple[float, float]] = {
+    "bloom_insert": (4.0, 0.011),
+    "bloom_search": (0.0, 0.010),
+    "bloom_compress": (21.0, 0.001),
+    "bloom_decompress": (0.0, 0.005),
+    "index_insert": (14.0, 0.024),
+    "index_search": (0.002, 0.0001),
+}
+
+
+@dataclass(frozen=True)
+class MicroBenchRow:
+    """One Table 1 row: a fitted cost model for an operation."""
+
+    operation: str
+    fit: LinearFit
+    key_counts: tuple[int, ...]
+    times_ms: tuple[float, ...]
+
+    def cost_string(self) -> str:
+        """Paper-style 'a + (b * no. keys)' rendering (ms)."""
+        return f"{self.fit.intercept:.3f} + ({self.fit.slope:.6f} * no. keys)"
+
+
+def _keys(n: int, tag: str) -> list[str]:
+    return [f"{tag}-key-{i}" for i in range(n)]
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def _best_of(fn, repeats: int) -> float:
+    return min(_time_once(fn) for _ in range(repeats))
+
+
+def run_microbench(
+    key_counts: tuple[int, ...] = (1000, 5000, 10000, 20000, 50000),
+    repeats: int = 3,
+) -> list[MicroBenchRow]:
+    """Measure all six Table 1 operations and fit their cost models."""
+    if len(key_counts) < 2:
+        raise ValueError("need at least two key counts to fit a line")
+    rows: list[MicroBenchRow] = []
+
+    # -- Bloom filter insertion ------------------------------------------
+    times = []
+    for n in key_counts:
+        keys = _keys(n, "ins")
+        times.append(
+            _best_of(lambda k=keys: BloomFilter.paper_prototype().add_many(k), repeats)
+        )
+    rows.append(_row("bloom_insert", key_counts, times))
+
+    # -- Bloom filter search ------------------------------------------------
+    probe = BloomFilter.paper_prototype()
+    probe.add_many(_keys(20000, "probe"))
+    times = []
+    for n in key_counts:
+        keys = _keys(n, "qry")
+        times.append(_best_of(lambda k=keys: probe.contains_each(k), repeats))
+    rows.append(_row("bloom_search", key_counts, times))
+
+    # -- Bloom filter compress / decompress ---------------------------------
+    comp_times = []
+    decomp_times = []
+    for n in key_counts:
+        bf = BloomFilter.paper_prototype()
+        bf.add_many(_keys(n, "cmp"))
+        comp_times.append(_best_of(lambda b=bf: compress_filter(b), repeats))
+        blob = compress_filter(bf)
+        decomp_times.append(
+            _best_of(lambda d=blob: decompress_filter(d, bf.num_hashes), repeats)
+        )
+    rows.append(_row("bloom_compress", key_counts, comp_times))
+    rows.append(_row("bloom_decompress", key_counts, decomp_times))
+
+    # -- inverted index insertion -----------------------------------------------
+    times = []
+    for n in key_counts:
+        freqs = {k: 1 for k in _keys(n, "idx")}
+
+        def _insert(f=freqs) -> None:
+            index = InvertedIndex()
+            index.add_document("doc", f)
+
+        times.append(_best_of(_insert, repeats))
+    rows.append(_row("index_insert", key_counts, times))
+
+    # -- inverted index search -----------------------------------------------------
+    times = []
+    for n in key_counts:
+        index = InvertedIndex()
+        # n documents of a few terms each; query hits a fixed term so the
+        # postings walk scales with key count as in the paper's setup.
+        shared = "shared-term"
+        for i in range(max(1, n // 10)):
+            index.add_document(f"d{i}", {shared: 1, f"t{i}": 2})
+        times.append(
+            _best_of(lambda ix=index: ix.conjunctive_match([shared]), repeats)
+        )
+    rows.append(_row("index_search", key_counts, times))
+    return rows
+
+
+def _row(op: str, key_counts: tuple[int, ...], times: list[float]) -> MicroBenchRow:
+    fit = fit_linear(np.asarray(key_counts, dtype=float), np.asarray(times))
+    return MicroBenchRow(op, fit, tuple(key_counts), tuple(times))

@@ -1,0 +1,315 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    planetp-experiments table1
+    planetp-experiments table3 [--scale 0.05]
+    planetp-experiments fig2 [--fast]
+    planetp-experiments fig3 [--fast]
+    planetp-experiments fig4 [--fast]
+    planetp-experiments fig5 [--fast]
+    planetp-experiments fig6 [--fast]
+    planetp-experiments all  [--fast]
+
+``--fast`` shrinks community sizes / corpus scale so each figure runs in
+seconds; omit it for paper-scale runs (minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.common import Series, format_series, format_table
+
+__all__ = ["main"]
+
+#: set by main() when --plot is given; figure commands then render ASCII
+#: charts after their tables.
+_PLOT = False
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def _maybe_plot(series: list[Series], title: str, x: str, y: str, log_x: bool = False) -> None:
+    if not _PLOT:
+        return
+    from repro.experiments.ascii_plot import plot_series
+
+    _print(plot_series(series, title=title, x_label=x, y_label=y, log_x=log_x))
+
+
+def cmd_table1(fast: bool) -> None:
+    """Table 1: micro-benchmark cost models."""
+    from repro.experiments.microbench import PAPER_TABLE1, run_microbench
+
+    counts = (1000, 5000, 10000) if fast else (1000, 5000, 10000, 20000, 50000)
+    rows = run_microbench(key_counts=counts)
+    body = []
+    for row in rows:
+        paper_fixed, paper_slope = PAPER_TABLE1[row.operation]
+        body.append(
+            [
+                row.operation,
+                row.cost_string(),
+                f"{paper_fixed} + ({paper_slope} * no. keys)",
+                f"{row.fit.r_squared:.3f}",
+            ]
+        )
+    _print(
+        format_table(
+            ["Operation", "Measured (ms)", "Paper after-JIT (ms)", "R^2"],
+            body,
+            title="Table 1: costs of PlanetP's basic operations",
+        )
+    )
+
+
+def cmd_table3(fast: bool, scale: float | None = None) -> None:
+    """Table 3: collection characteristics."""
+    from repro.experiments.table3 import format_table3, run_table3
+
+    rows = run_table3(scale=scale if scale is not None else (0.02 if fast else 1.0))
+    _print(format_table3(rows))
+
+
+def cmd_fig2(fast: bool) -> None:
+    """Figure 2: propagation time / volume / per-peer bandwidth."""
+    from repro.experiments.propagation import figure2_series, run_figure2
+
+    sizes = (100, 200, 500) if fast else (100, 200, 500, 1000, 2000, 5000)
+    sweep = run_figure2(sizes=sizes)
+    panels = figure2_series(sweep)
+    _print(
+        format_series(
+            panels["time"], "community size", "seconds",
+            title="Figure 2(a): propagation time (s) vs community size",
+        )
+    )
+    _print(
+        format_series(
+            panels["volume"], "community size", "MB",
+            title="Figure 2(b): aggregate network volume (MB) vs community size",
+        )
+    )
+    _print(
+        format_series(
+            panels["bandwidth"], "community size", "B/s",
+            title="Figure 2(c): average per-peer bandwidth (B/s), DSL scenarios",
+        )
+    )
+    _maybe_plot(panels["time"], "Figure 2(a)", "peers", "seconds", log_x=True)
+    _maybe_plot(panels["volume"], "Figure 2(b)", "peers", "MB", log_x=True)
+
+
+def cmd_fig3(fast: bool) -> None:
+    """Figure 3: simultaneous joins."""
+    from repro.experiments.join import figure3_series, run_figure3
+
+    if fast:
+        sweep = run_figure3(n_initial=200, joiner_counts=(10, 25, 50))
+    else:
+        sweep = run_figure3()
+    series = figure3_series(sweep)
+    _print(
+        format_series(
+            series, "total community size", "seconds",
+            title="Figure 3: time to reach a consistent view after mass join",
+        )
+    )
+    _maybe_plot(series, "Figure 3", "total size", "seconds")
+
+
+def _cdf_summary(label: str, samples: list[float]) -> list:
+    if not samples:
+        return [label, 0, "", "", "", ""]
+    arr = np.asarray(samples)
+    return [
+        label,
+        len(samples),
+        float(np.median(arr)),
+        float(np.percentile(arr, 90)),
+        float(np.percentile(arr, 99)),
+        float(arr.max()),
+    ]
+
+
+def cmd_fig4(fast: bool) -> None:
+    """Figure 4: dynamic-community convergence and bandwidth."""
+    from repro.experiments.dynamic import (
+        bandwidth_series,
+        run_figure4a,
+        run_figure4bc,
+    )
+
+    n = 200 if fast else 1000
+    events = 30 if fast else 100
+    results_a = run_figure4a(n_established=n, n_events=events)
+    body = [
+        _cdf_summary(label, res.convergence_samples())
+        for label, res in results_a.items()
+    ]
+    _print(
+        format_table(
+            ["Scenario", "events", "median (s)", "p90", "p99", "max"],
+            body,
+            title="Figure 4(a): Poisson arrivals, with vs without partial anti-entropy",
+        )
+    )
+
+    horizon = (2 * 3600.0) if fast else (4 * 3600.0)
+    results_bc = run_figure4bc(n_members=n, horizon_s=horizon)
+    body = []
+    for label, res in results_bc.items():
+        for kind in ("join", "rejoin"):
+            body.append(
+                _cdf_summary(f"{label}/{kind}", res.convergence_samples(label=kind))
+            )
+    _print(
+        format_table(
+            ["Scenario", "events", "median (s)", "p90", "p99", "max"],
+            body,
+            title="Figure 4(b): dynamic community convergence (join = new keys)",
+        )
+    )
+    lan_bw = bandwidth_series(results_bc["LAN"], "LAN")
+    if len(lan_bw):
+        peak = max(lan_bw.ys)
+        mean = sum(lan_bw.ys) / len(lan_bw.ys)
+        _print(
+            format_table(
+                ["Scenario", "mean agg. B/s", "peak agg. B/s"],
+                [["LAN", mean, peak]],
+                title="Figure 4(c): aggregate gossiping bandwidth",
+            )
+        )
+
+
+def cmd_fig5(fast: bool) -> None:
+    """Figure 5: 2000-member dynamic community."""
+    from repro.experiments.dynamic import run_figure5
+
+    n = 400 if fast else 2000
+    horizon = (2 * 3600.0) if fast else (4 * 3600.0)
+    result = run_figure5(n_members=n, horizon_s=horizon)
+    body = [
+        _cdf_summary("LAN", result.lan.convergence_samples()),
+        _cdf_summary("MIX", result.mix.convergence_samples()),
+        _cdf_summary("MIX-F", result.mix_fast_origin),
+        _cdf_summary("MIX-S", result.mix_slow_origin),
+    ]
+    _print(
+        format_table(
+            ["Scenario", "events", "median (s)", "p90", "p99", "max"],
+            body,
+            title=f"Figure 5: convergence in a dynamic community of {n} members",
+        )
+    )
+
+
+def cmd_fig6(fast: bool) -> None:
+    """Figure 6: search quality."""
+    from repro.experiments.search_quality import (
+        run_figure6a,
+        run_figure6b,
+        run_figure6c,
+    )
+
+    scale = 0.02 if fast else 0.2
+    peers = 100 if fast else 400
+    ks = (10, 20, 50, 100) if fast else (10, 20, 50, 100, 150, 200, 300)
+    points, series = run_figure6a(scale=scale, num_peers=peers, ks=ks)
+    _print(
+        format_series(
+            list(series.values()), "k", "value",
+            title="Figure 6(a): average recall/precision vs k (IDF vs IPF Ad.W)",
+        )
+    )
+    sizes = (50, 100, 200) if fast else (100, 200, 400, 600, 800, 1000)
+    _, series_b = run_figure6b(scale=scale, community_sizes=sizes)
+    _print(
+        format_series(
+            [series_b], "community size", "recall",
+            title="Figure 6(b): recall vs community size (k=20)",
+        )
+    )
+    points_c, series_c = run_figure6c(scale=scale, num_peers=peers, ks=ks)
+    _print(
+        format_series(
+            list(series_c.values()), "k", "peers",
+            title="Figure 6(c): peers contacted vs k",
+        )
+    )
+    _maybe_plot(list(series.values()), "Figure 6(a)", "k", "R/P")
+    _maybe_plot(list(series_c.values()), "Figure 6(c)", "k", "peers contacted")
+
+
+def cmd_table2(fast: bool) -> None:
+    """Table 2: the simulation constants in force."""
+    from repro import constants as c
+
+    rows = [
+        ["CPU gossiping time", f"{c.CPU_GOSSIP_TIME_S * 1000:.0f} ms"],
+        ["Base gossiping interval", f"{c.BASE_GOSSIP_INTERVAL_S:.0f} s"],
+        ["Max gossiping interval", f"{c.MAX_GOSSIP_INTERVAL_S:.0f} s"],
+        ["Message header size", f"{c.MESSAGE_HEADER_BYTES} bytes"],
+        ["1000 keys BF", f"{c.BF_1000_KEYS_BYTES} bytes"],
+        ["20000 keys BF", f"{c.BF_20000_KEYS_BYTES} bytes"],
+        ["BF summary", f"{c.BF_SUMMARY_BYTES} bytes"],
+        ["Peer summary", f"{c.PEER_SUMMARY_BYTES} bytes"],
+    ]
+    _print(format_table(["Constant", "Value"], rows, title="Table 2: simulation constants"))
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "fig2": cmd_fig2,
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="planetp-experiments",
+        description="Regenerate the PlanetP paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink sizes so the experiment finishes in seconds",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render ASCII charts of the figure series after the tables",
+    )
+    args = parser.parse_args(argv)
+    global _PLOT
+    _PLOT = args.plot
+    if args.experiment == "all":
+        for name in ("table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6"):
+            print(f"=== {name} ===")
+            _COMMANDS[name](args.fast)
+    else:
+        _COMMANDS[args.experiment](args.fast)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Table 3: characteristics of the benchmark collections.
+
+Regenerates the paper's collection-statistics table for our synthetic
+stand-ins, printing the published numbers next to the generated ones so
+the substitution is auditable.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.collections import collection_table_rows
+from repro.experiments.common import format_table
+
+__all__ = ["run_table3", "format_table3"]
+
+
+def run_table3(
+    names: list[str] | None = None, scale: float = 0.05, seed: int = 0
+) -> list[dict[str, object]]:
+    """Generate the per-collection rows (paper stats + generated stats).
+
+    ``scale`` defaults small so the harness runs in seconds; pass 1.0 to
+    regenerate full-size collections.
+    """
+    return collection_table_rows(names, scale=scale, seed=seed)
+
+
+def format_table3(rows: list[dict[str, object]]) -> str:
+    """Render the Table 3 comparison."""
+    headers = [
+        "Trace",
+        "Queries (paper)",
+        "Docs (paper)",
+        "Words (paper)",
+        "MB (paper)",
+        "Queries (gen)",
+        "Docs (gen)",
+        "Words (gen)",
+        "MB (gen)",
+    ]
+    body = [
+        [
+            r["trace"],
+            r["paper_queries"],
+            r["paper_documents"],
+            r["paper_words"],
+            r["paper_size_mb"],
+            r["gen_queries"],
+            r["gen_documents"],
+            r["gen_distinct_words"],
+            r["gen_size_mb"],
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 3: collection characteristics")

@@ -1,0 +1,126 @@
+"""Gossip-target selection policies.
+
+*Flat* selection (the base algorithm) picks uniformly among believed-online
+peers.  The *bandwidth-aware* policy (Section 7.2) divides peers into fast
+(>= 512 Kb/s) and slow (modem) classes:
+
+* a fast peer rumoring picks a slow target with probability 1%, otherwise
+  a fast one; its anti-entropy always targets a fast peer;
+* a slow peer rumoring targets slow peers only — unless it is the rumor's
+  source, in which case its first push goes to a fast peer so the rumor
+  enters the fast tier immediately; its anti-entropy is uniform.
+
+Selection is rejection sampling against the peer's believed-online view:
+draw from the class pool, keep if believed online, fall back to a scan of
+the pool when the pool is mostly offline.  This keeps target choice O(1)
+in the common case instead of O(N) per gossip round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import GossipConfig
+from repro.gossip.directory import DirectoryView
+
+__all__ = ["FlatSelector", "BandwidthAwareSelector"]
+
+_MAX_REJECTS = 24
+
+
+def _sample_from_pool(
+    pool: np.ndarray,
+    directory: DirectoryView,
+    rng: np.random.Generator,
+) -> int | None:
+    """A believed-online member of ``pool`` other than the owner, or None."""
+    if pool.size == 0:
+        return None
+    owner = directory.owner
+    believes = directory.believes_online
+    for _ in range(_MAX_REJECTS):
+        pid = int(pool[rng.integers(0, pool.size)])
+        if pid != owner and believes[pid]:
+            return pid
+    # Sparse pool: scan for valid candidates once.
+    mask = believes[pool]
+    candidates = pool[mask]
+    candidates = candidates[candidates != owner]
+    if candidates.size == 0:
+        return None
+    return int(candidates[rng.integers(0, candidates.size)])
+
+
+class FlatSelector:
+    """Uniform selection among all believed-online peers."""
+
+    __slots__ = ("_all",)
+
+    def __init__(self, num_peer_slots: int) -> None:
+        self._all = np.arange(num_peer_slots)
+
+    def rumor_target(
+        self,
+        directory: DirectoryView,
+        rng: np.random.Generator,
+        is_rumor_source: bool = False,
+    ) -> int | None:
+        """Target for a rumoring round."""
+        return _sample_from_pool(self._all, directory, rng)
+
+    def ae_target(
+        self, directory: DirectoryView, rng: np.random.Generator
+    ) -> int | None:
+        """Target for an anti-entropy round."""
+        return _sample_from_pool(self._all, directory, rng)
+
+
+class BandwidthAwareSelector:
+    """The Section 7.2 fast/slow tiered policy."""
+
+    __slots__ = ("fast_pool", "slow_pool", "is_fast", "_all", "fast_to_slow_prob")
+
+    def __init__(self, link_speeds: np.ndarray, config: GossipConfig) -> None:
+        speeds = np.asarray(link_speeds, dtype=float)
+        self.is_fast = speeds >= config.fast_threshold_Bps
+        self.fast_pool = np.flatnonzero(self.is_fast)
+        self.slow_pool = np.flatnonzero(~self.is_fast)
+        self._all = np.arange(speeds.size)
+        self.fast_to_slow_prob = config.fast_to_slow_prob
+
+    def rumor_target(
+        self,
+        directory: DirectoryView,
+        rng: np.random.Generator,
+        is_rumor_source: bool = False,
+    ) -> int | None:
+        """Tier-aware rumor target (fast->fast with 1% slow; slow->slow
+        unless the peer originated the rumor)."""
+        owner_fast = bool(self.is_fast[directory.owner])
+        if owner_fast:
+            want_slow = rng.random() < self.fast_to_slow_prob
+            pool = self.slow_pool if want_slow else self.fast_pool
+            target = _sample_from_pool(pool, directory, rng)
+            if target is None:  # chosen tier empty/offline: try the other
+                other = self.fast_pool if want_slow else self.slow_pool
+                target = _sample_from_pool(other, directory, rng)
+            return target
+        # Slow peer: push the rumor into the fast tier if it originated it,
+        # otherwise stay among slow peers so it cannot throttle fast ones.
+        pool = self.fast_pool if is_rumor_source else self.slow_pool
+        target = _sample_from_pool(pool, directory, rng)
+        if target is None:
+            target = _sample_from_pool(self._all, directory, rng)
+        return target
+
+    def ae_target(
+        self, directory: DirectoryView, rng: np.random.Generator
+    ) -> int | None:
+        """Anti-entropy target: fast peers reconcile with fast peers;
+        slow peers pick uniformly."""
+        if bool(self.is_fast[directory.owner]):
+            target = _sample_from_pool(self.fast_pool, directory, rng)
+            if target is None:
+                target = _sample_from_pool(self._all, directory, rng)
+            return target
+        return _sample_from_pool(self._all, directory, rng)

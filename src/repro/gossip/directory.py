@@ -1,0 +1,135 @@
+"""A peer's replicated view of the global directory.
+
+In the prototype the directory holds every member's name, address and
+Bloom filter (Figure 1).  For the gossip simulation we track the part that
+drives protocol behaviour:
+
+* the set of rumor ids the peer has learned (its information state — two
+  peers whose rumor sets are equal have identical directories, since every
+  directory change is a rumor);
+* an O(1)-comparable digest of that set (an incremental XOR of mixed
+  rumor ids), used for the cheap "same directory?" check that keeps
+  stable-state anti-entropy traffic negligible;
+* which peers it believes are currently online (gossip-target candidates;
+  updated by failed contacts and by join/rejoin rumors, never gossiped —
+  Section 3);
+* a member count (sizes the anti-entropy directory summary on the wire);
+* the time each believed-offline peer was marked offline, for the T_Dead
+  expiry rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DirectoryView"]
+
+_MIX = 0x9E3779B97F4A7C15
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(rid: int) -> int:
+    """SplitMix-style scramble so XOR digests don't cancel structurally."""
+    x = (rid + 1) * _MIX & _MASK
+    x ^= x >> 31
+    x = x * 0xBF58476D1CE4E5B9 & _MASK
+    x ^= x >> 29
+    return x
+
+
+class DirectoryView:
+    """One peer's directory replica (simulation form)."""
+
+    __slots__ = (
+        "owner",
+        "known",
+        "digest",
+        "believes_online",
+        "member_count",
+        "offline_since",
+    )
+
+    def __init__(self, owner: int, num_peer_slots: int) -> None:
+        if num_peer_slots <= 0:
+            raise ValueError("num_peer_slots must be positive")
+        self.owner = owner
+        self.known: set[int] = set()
+        self.digest: int = 0
+        #: believes_online[p] — p is a known member believed reachable.
+        self.believes_online = np.zeros(num_peer_slots, dtype=bool)
+        self.member_count = 0
+        self.offline_since: dict[int, float] = {}
+
+    # -- rumor knowledge --------------------------------------------------------
+
+    def learn(self, rid: int) -> bool:
+        """Record rumor ``rid`` as known; returns False if already known."""
+        if rid in self.known:
+            return False
+        self.known.add(rid)
+        self.digest ^= _mix(rid)
+        return True
+
+    def knows(self, rid: int) -> bool:
+        """Whether this peer knows rumor ``rid``."""
+        return rid in self.known
+
+    def missing_from(self, other_known: set[int]) -> set[int]:
+        """Rumor ids in ``other_known`` that this peer lacks."""
+        return other_known - self.known
+
+    def same_directory(self, other: "DirectoryView") -> bool:
+        """O(1) probabilistic equality via digests."""
+        return self.digest == other.digest
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_member(self, peer_id: int) -> None:
+        """Record a new community member (join rumor effect)."""
+        if not self.believes_online[peer_id] and peer_id not in self.offline_since:
+            self.member_count += 1
+        self.mark_online(peer_id)
+
+    def mark_online(self, peer_id: int) -> None:
+        """Believe ``peer_id`` is reachable again."""
+        self.believes_online[peer_id] = True
+        self.offline_since.pop(peer_id, None)
+
+    def mark_offline(self, peer_id: int, now: float) -> None:
+        """A contact attempt failed; believe ``peer_id`` is offline.
+
+        Not gossiped — each peer discovers departures independently.
+        """
+        if self.believes_online[peer_id]:
+            self.believes_online[peer_id] = False
+            self.offline_since[peer_id] = now
+
+    def expire_dead(self, now: float, t_dead_s: float) -> list[int]:
+        """Drop members continuously offline for more than ``t_dead_s``.
+
+        Returns the dropped peer ids.
+        """
+        dead = [p for p, t in self.offline_since.items() if now - t > t_dead_s]
+        for p in dead:
+            del self.offline_since[p]
+            self.member_count -= 1
+        return dead
+
+    def copy_membership_from(self, other: "DirectoryView") -> None:
+        """Bootstrap: adopt another peer's full directory snapshot."""
+        self.known = set(other.known)
+        self.digest = other.digest
+        self.believes_online[:] = other.believes_online
+        self.member_count = other.member_count
+        self.offline_since = dict(other.offline_since)
+
+    def online_candidates(self) -> np.ndarray:
+        """Ids of believed-online peers other than the owner."""
+        ids = np.flatnonzero(self.believes_online)
+        return ids[ids != self.owner]
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectoryView(owner={self.owner}, known={len(self.known)}, "
+            f"members={self.member_count})"
+        )

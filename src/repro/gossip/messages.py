@@ -1,0 +1,91 @@
+"""Wire-size model for gossip messages (paper Table 2).
+
+The simulator transfers byte *counts*, not contents; this module is the
+single place those counts are computed so experiments and tests agree on
+the cost of every message type.
+
+Message inventory
+-----------------
+``rumor_push``       header + one id digest (6 B) per active rumor
+``rumor_reply``      header + 6 B per needed id + 6 B per partial-AE id
+``rumor_data``       header + sum of rumor payloads
+``ae_request``       header + directory digest (8 B)
+``ae_nothing``       header (digests matched)
+``ae_recent``        header + 6 B per recently-learned rumor id (first,
+                     cheap reconciliation level: "message sizes are mostly
+                     proportional to the number of changes being
+                     propagated, not the community size")
+``ae_summary``       header + 48 B per known member (the full directory
+                     summary whose size the paper notes is proportional
+                     to community size; fallback when peers have diverged
+                     beyond the recent window)
+``pull_request``     header + 6 B per requested id
+``join_request``     header + joiner's own peer record + Bloom filter
+``join_snapshot``    header + (48 B + Bloom filter) per known member
+"""
+
+from __future__ import annotations
+
+from repro.constants import GossipConfig, WireSizes
+
+__all__ = ["MessageSizer"]
+
+_ID_BYTES = 6  # one rumor-id digest on the wire (Table 2's "BF summary")
+_DIGEST_BYTES = 8
+
+
+class MessageSizer:
+    """Computes message sizes from protocol configuration."""
+
+    __slots__ = ("config", "wire")
+
+    def __init__(self, config: GossipConfig, wire: WireSizes | None = None) -> None:
+        self.config = config
+        self.wire = wire or WireSizes(header=config.header_bytes)
+
+    def rumor_push(self, num_active: int) -> int:
+        """x announces its active rumor ids to y."""
+        return self.config.header_bytes + _ID_BYTES * num_active
+
+    def rumor_reply(self, num_needed: int, num_piggyback: int) -> int:
+        """y answers which ids it needs, piggybacking partial-AE ids."""
+        return self.config.header_bytes + _ID_BYTES * (num_needed + num_piggyback)
+
+    def rumor_data(self, payload_bytes: int) -> int:
+        """x ships the needed rumor payloads."""
+        return self.config.header_bytes + payload_bytes
+
+    def ae_request(self) -> int:
+        """x asks y for its directory summary, sending its own digest."""
+        return self.config.header_bytes + _DIGEST_BYTES
+
+    def ae_nothing(self) -> int:
+        """Digests matched; nothing to exchange."""
+        return self.config.header_bytes
+
+    def ae_recent(self, num_ids: int) -> int:
+        """Cheap reconciliation: the target's recently-learned rumor ids."""
+        return self.config.header_bytes + _ID_BYTES * num_ids
+
+    def ae_summary(self, num_members_known: int) -> int:
+        """y's full directory summary (proportional to community size)."""
+        return self.config.header_bytes + self.config.peer_summary_bytes * num_members_known
+
+    def pull_request(self, num_ids: int) -> int:
+        """Request specific rumor payloads by id."""
+        return self.config.header_bytes + _ID_BYTES * num_ids
+
+    def join_request(self, joiner_bf_bytes: int) -> int:
+        """A new member introduces itself to its bootstrap peer."""
+        return (
+            self.config.header_bytes
+            + self.config.peer_summary_bytes
+            + joiner_bf_bytes
+        )
+
+    def join_snapshot(self, num_members: int, bf_bytes_per_member: int) -> int:
+        """Full directory download for a new member: every member's record
+        plus its Bloom filter (the 16 MB-for-1000-peers case of Section 7.2)."""
+        return self.config.header_bytes + num_members * (
+            self.config.peer_summary_bytes + bf_bytes_per_member
+        )

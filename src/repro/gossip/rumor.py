@@ -1,0 +1,89 @@
+"""Rumors: the unit of gossiped information.
+
+Every directory-changing event (a new member joining, a previously
+off-line member rejoining, a Bloom filter update) becomes a rumor with a
+community-unique id and a wire payload size.  The gossip simulator, like
+the paper's, tracks *which* rumors each peer knows rather than the bytes
+themselves; payload sizes follow the Table 2 wire-size model.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+__all__ = ["RumorKind", "Rumor", "RumorRegistry"]
+
+
+class RumorKind(enum.Enum):
+    """What a rumor announces."""
+
+    JOIN = "join"  # a brand-new member (carries its Bloom filter)
+    REJOIN = "rejoin"  # a member came back online
+    BF_UPDATE = "bf_update"  # a member's Bloom filter grew (diff)
+
+
+@dataclass(frozen=True)
+class Rumor:
+    """One gossiped event.
+
+    Attributes
+    ----------
+    rid:
+        Community-unique rumor id.
+    kind:
+        Event type (affects how receivers update their directory).
+    origin:
+        The peer the rumor is about.
+    payload_bytes:
+        Wire size of the rumor's data (Bloom filter diff, peer record...).
+    created_at:
+        Simulation time of the event.
+    """
+
+    rid: int
+    kind: RumorKind
+    origin: int
+    payload_bytes: int
+    created_at: float
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if self.origin < 0:
+            raise ValueError("origin must be a valid peer id")
+
+
+class RumorRegistry:
+    """Community-wide id allocation and rumor lookup.
+
+    Shared by all simulated peers; peers refer to rumors by id only, so the
+    registry is the single copy of each rumor's metadata.
+    """
+
+    def __init__(self) -> None:
+        self._rumors: dict[int, Rumor] = {}
+        self._ids = itertools.count()
+
+    def create(
+        self, kind: RumorKind, origin: int, payload_bytes: int, created_at: float
+    ) -> Rumor:
+        """Mint a new rumor with a fresh id."""
+        rumor = Rumor(next(self._ids), kind, origin, payload_bytes, created_at)
+        self._rumors[rumor.rid] = rumor
+        return rumor
+
+    def get(self, rid: int) -> Rumor:
+        """Look up a rumor by id."""
+        return self._rumors[rid]
+
+    def payload_total(self, rids: list[int]) -> int:
+        """Summed payload size of the given rumor ids."""
+        return sum(self._rumors[r].payload_bytes for r in rids)
+
+    def __len__(self) -> int:
+        return len(self._rumors)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._rumors

@@ -1,0 +1,568 @@
+"""The simulated gossiping peer: PlanetP's full Section 3 protocol.
+
+Each peer runs an independent gossip timer.  A round is either:
+
+* a **rumor round** (push): announce the ids of all actively-spread rumors
+  to a random target; the target replies with which it needs (plus the
+  partial-anti-entropy piggyback of recently retired rumor ids); the
+  sender ships the needed payloads.  Per-rumor counters stop a rumor's
+  spread after ``rumor_give_up_count`` consecutive targets already knew it
+  (Demers et al.'s counter variant).
+
+* an **anti-entropy round** (pull): every ``anti_entropy_period``-th round,
+  or whenever there is nothing to rumor.  The initiator sends its
+  directory digest; on mismatch the target first returns the ids of its
+  recently learned rumors (cheap — "message sizes are mostly proportional
+  to the number of changes being propagated"), and only if the initiator
+  is still inconsistent after pulling those does it request the full
+  directory summary, whose size is proportional to community size (the
+  cost the paper calls out for AE-only gossiping).
+
+The AE-only baseline (``config.anti_entropy_only``, the paper's LAN-AE
+curve) replaces every round with a *push* anti-entropy: the initiator
+ships its full summary unconditionally and the target pulls what it lacks.
+
+Information learned through any pull (partial or full anti-entropy) is
+*not* re-spread as a rumor; information learned through a rumor push is.
+
+Implementation notes
+--------------------
+* Message contents are byte counts (:class:`MessageSizer`); rumor identity
+  travels as Python-level ids.
+* Per-message CPU cost (Table 2's 5 ms) is folded into the network's
+  fixed latency by the simulation builder.
+* Summaries/known-sets are read at delivery time rather than deep-copied
+  at send time; state grows monotonically during an exchange so this only
+  errs toward including a few extra ids, and it keeps N=5000 runs cheap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.constants import GossipConfig, WireSizes
+from repro.gossip.directory import DirectoryView
+from repro.gossip.intervals import IntervalPolicy
+from repro.gossip.messages import MessageSizer
+from repro.gossip.rumor import Rumor, RumorKind, RumorRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gossip.simulation import GossipSimulation
+
+__all__ = ["GossipPeer"]
+
+
+class GossipPeer:
+    """One community member in the gossip simulation."""
+
+    __slots__ = (
+        "pid",
+        "world",
+        "config",
+        "sizer",
+        "rng",
+        "directory",
+        "hot",
+        "recent",
+        "recent_learned",
+        "intervals",
+        "round_counter",
+        "online",
+        "keys_shared",
+        "_timer",
+        "_timer_time",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        world: "GossipSimulation",
+        rng: np.random.Generator,
+        keys_shared: int = 0,
+    ) -> None:
+        self.pid = pid
+        self.world = world
+        self.config: GossipConfig = world.config
+        self.sizer: MessageSizer = world.sizer
+        self.rng = rng
+        self.directory = DirectoryView(pid, world.num_slots)
+        #: actively-spread rumors: rid -> consecutive already-knew count.
+        self.hot: dict[int, int] = {}
+        #: recently retired rumor ids for the partial-AE piggyback.
+        self.recent: deque[int] = deque(maxlen=self.config.partial_ae_recent)
+        #: recently learned rumor ids, offered as anti-entropy's first
+        #: (cheap) reconciliation level.
+        self.recent_learned: deque[int] = deque(maxlen=self.config.ae_recent_window)
+        self.intervals = IntervalPolicy(self.config)
+        self.round_counter = 0
+        self.online = False
+        self.keys_shared = keys_shared
+        self._timer = None
+        self._timer_time = float("inf")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, initial_delay: float | None = None, stable: bool = False) -> None:
+        """Bring the peer online and start its gossip timer.
+
+        ``stable`` starts the interval at the maximum (an established,
+        quiescent community); the first round fires after ``initial_delay``
+        (default: uniform within one interval, de-synchronizing peers).
+        """
+        self.online = True
+        self.world.network.set_online(self.pid, True)
+        if stable:
+            self.intervals.interval = self.config.max_interval_s
+        if initial_delay is None:
+            initial_delay = float(self.rng.uniform(0.0, self.intervals.interval))
+        self._schedule_timer(initial_delay)
+
+    def go_offline(self) -> None:
+        """Abrupt departure: stop gossiping, become unreachable."""
+        self.online = False
+        self.world.network.set_online(self.pid, False)
+        self._cancel_timer()
+        self.world.notify_offline(self.pid)
+
+    def rejoin(self, new_keys: int = 0) -> Rumor:
+        """Come back online, announcing a rejoin rumor.
+
+        ``new_keys`` > 0 adds a Bloom-filter diff of that many keys to the
+        rumor payload (the dynamic-scenario "Join" events).  Returns the
+        minted rumor so the caller can register it for tracking.
+        """
+        payload = self.config.peer_summary_bytes
+        if new_keys > 0:
+            payload += self.world.wire.bloom_filter_bytes(new_keys)
+        rumor = self.world.registry.create(
+            RumorKind.REJOIN, self.pid, payload, self.world.sim.now
+        )
+        self.online = True
+        self.world.network.set_online(self.pid, True)
+        self.directory.learn(rumor.rid)
+        self.recent_learned.append(rumor.rid)
+        self.directory.mark_online(self.pid)
+        self.hot[rumor.rid] = 0
+        self.intervals.reset()
+        # Force the first round after a rejoin to be an anti-entropy round:
+        # the returning peer catches up on everything it missed while away
+        # before resuming normal rumoring.
+        self.round_counter = -1
+        self._schedule_timer(float(self.rng.uniform(0.0, 2.0)))
+        self.world.notify_online(self.pid)
+        return rumor
+
+    def originate_update(
+        self, payload_keys: int, payload_bytes: int | None = None
+    ) -> Rumor:
+        """Publish a Bloom filter update rumor of ``payload_keys`` new keys.
+
+        ``payload_bytes`` overrides the Table 2 wire-size interpolation
+        with an exact size (used when gossiping real compressed diffs).
+        """
+        payload = (
+            payload_bytes
+            if payload_bytes is not None
+            else self.world.wire.bloom_filter_bytes(payload_keys)
+        )
+        rumor = self.world.registry.create(
+            RumorKind.BF_UPDATE, self.pid, payload, self.world.sim.now
+        )
+        self.directory.learn(rumor.rid)
+        self.recent_learned.append(rumor.rid)
+        self.hot[rumor.rid] = 0
+        if self.intervals.reset():
+            self._reschedule_sooner()
+        return rumor
+
+    # ------------------------------------------------------------------
+    # join protocol (new member bootstrap)
+    # ------------------------------------------------------------------
+
+    def begin_join(
+        self, bootstrap: int, on_complete: Callable[[], None] | None = None
+    ) -> Rumor:
+        """Join the community via ``bootstrap``: introduce ourselves (our
+        join rumor) and download the full directory snapshot.
+
+        Returns the minted join rumor.
+        """
+        bf_bytes = self.world.wire.bloom_filter_bytes(self.keys_shared)
+        payload = self.config.peer_summary_bytes + bf_bytes
+        rumor = self.world.registry.create(
+            RumorKind.JOIN, self.pid, payload, self.world.sim.now
+        )
+        self.online = True
+        self.world.network.set_online(self.pid, True)
+        self.directory.learn(rumor.rid)
+        self.recent_learned.append(rumor.rid)
+        self.directory.add_member(self.pid)
+        self.hot[rumor.rid] = 0
+        self.world.send(
+            self.pid,
+            bootstrap,
+            self.sizer.join_request(bf_bytes),
+            lambda: self.world.peers[bootstrap]._handle_join_request(
+                self.pid, rumor.rid, on_complete
+            ),
+            on_failed=lambda: self._join_bootstrap_failed(rumor, on_complete),
+        )
+        return rumor
+
+    def _join_bootstrap_failed(
+        self, rumor: Rumor, on_complete: Callable[[], None] | None
+    ) -> None:
+        """Bootstrap target was offline: retry with another established peer."""
+        candidates = [
+            p.pid
+            for p in self.world.peers
+            if p.online and p.pid != self.pid and p.directory.member_count > 1
+        ]
+        if not candidates:
+            return
+        bootstrap = int(candidates[int(self.rng.integers(0, len(candidates)))])
+        bf_bytes = self.world.wire.bloom_filter_bytes(self.keys_shared)
+        self.world.send(
+            self.pid,
+            bootstrap,
+            self.sizer.join_request(bf_bytes),
+            lambda: self.world.peers[bootstrap]._handle_join_request(
+                self.pid, rumor.rid, on_complete
+            ),
+            on_failed=lambda: self._join_bootstrap_failed(rumor, on_complete),
+        )
+
+    def _handle_join_request(
+        self, joiner: int, join_rid: int, on_complete: Callable[[], None] | None
+    ) -> None:
+        """Bootstrap side: learn the join rumor, ship the directory snapshot."""
+        if not self.online:
+            return
+        if self.directory.learn(join_rid):
+            self._apply_rumor_effects(join_rid)
+            self.recent_learned.append(join_rid)
+            self.hot[join_rid] = 0
+            self.world.notify_learned(join_rid, self.pid)
+            if self.intervals.reset():
+                self._reschedule_sooner()
+        per_member_bf = self.world.wire.bloom_filter_bytes(
+            self.world.established_keys_per_peer
+        )
+        size = self.sizer.join_snapshot(self.directory.member_count, per_member_bf)
+        self.world.send(
+            self.pid,
+            joiner,
+            size,
+            lambda: self.world.peers[joiner]._handle_join_snapshot(
+                self.pid, join_rid, on_complete
+            ),
+        )
+
+    def _handle_join_snapshot(
+        self, bootstrap: int, own_rid: int, on_complete: Callable[[], None] | None
+    ) -> None:
+        """Joiner side: adopt the snapshot and start gossiping."""
+        if not self.online:
+            return
+        donor_peer = self.world.peers[bootstrap]
+        self.directory.copy_membership_from(donor_peer.directory)
+        self.recent_learned.extend(donor_peer.recent_learned)
+        # The copy replaced our knowledge wholesale; restore our own rumor
+        # and self-membership (the donor may not have them yet).
+        if self.directory.learn(own_rid):
+            self.recent_learned.append(own_rid)
+        self.directory.add_member(self.pid)
+        self.world.notify_snapshot(self.pid, self.directory.known)
+        self._schedule_timer(float(self.rng.uniform(0.0, 2.0)))
+        if on_complete is not None:
+            on_complete()
+
+    # ------------------------------------------------------------------
+    # the gossip round
+    # ------------------------------------------------------------------
+
+    def _schedule_timer(self, delay: float) -> None:
+        self._cancel_timer()
+        self._timer = self.world.sim.schedule(delay, self._on_timer)
+        self._timer_time = self.world.sim.now + delay
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self.world.sim.cancel(self._timer)
+            self._timer = None
+            self._timer_time = float("inf")
+
+    def _reschedule_sooner(self) -> None:
+        """After an interval reset, pull the next round forward if the
+        pending timer would fire later than one (new) interval from now."""
+        if not self.online:
+            return
+        target = self.world.sim.now + self.intervals.interval
+        if self._timer_time > target:
+            self._schedule_timer(self.intervals.interval)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._timer_time = float("inf")
+        if not self.online:
+            return
+        self.round_counter += 1
+        self.directory.expire_dead(self.world.sim.now, self.config.t_dead_s)
+        hot_ids = list(self.hot)
+        if self.config.anti_entropy_only:
+            self._round_ae_push()
+        elif hot_ids and self.round_counter % self.config.anti_entropy_period != 0:
+            self._round_rumor(hot_ids)
+        else:
+            self._round_ae_pull(had_hot=bool(hot_ids))
+        self._schedule_timer(self.intervals.interval)
+
+    # -- rumor rounds ------------------------------------------------------
+
+    def _round_rumor(self, hot_ids: list[int]) -> None:
+        is_source = any(
+            self.world.registry.get(rid).origin == self.pid for rid in hot_ids
+        )
+        target = self.world.selector.rumor_target(
+            self.directory, self.rng, is_rumor_source=is_source
+        )
+        if target is None:
+            return
+        self.world.send(
+            self.pid,
+            target,
+            self.sizer.rumor_push(len(hot_ids)),
+            lambda: self.world.peers[target]._handle_rumor_push(self.pid, hot_ids),
+            on_failed=lambda: self._contact_failed(target),
+        )
+
+    def _handle_rumor_push(self, src: int, pushed_ids: list[int]) -> None:
+        if not self.online:
+            return
+        needed = [rid for rid in pushed_ids if not self.directory.knows(rid)]
+        piggy: list[int] = []
+        if self.config.use_partial_ae:
+            piggy = [rid for rid in self.recent if rid not in pushed_ids]
+        # Receiving a rumor message re-accelerates gossip (Section 3).
+        if self.intervals.reset():
+            self._reschedule_sooner()
+        self.world.send(
+            self.pid,
+            src,
+            self.sizer.rumor_reply(len(needed), len(piggy)),
+            lambda: self.world.peers[src]._handle_rumor_reply(
+                self.pid, pushed_ids, needed, piggy
+            ),
+        )
+
+    def _handle_rumor_reply(
+        self, replier: int, pushed_ids: list[int], needed: list[int], piggy: list[int]
+    ) -> None:
+        if not self.online:
+            return
+        needed_set = set(needed)
+        for rid in pushed_ids:
+            count = self.hot.get(rid)
+            if count is None:
+                continue  # retired while the exchange was in flight
+            if rid in needed_set:
+                self.hot[rid] = 0
+            else:
+                self.hot[rid] = count + 1
+                if self.hot[rid] >= self.config.rumor_give_up_count:
+                    self._retire(rid)
+        if needed:
+            payload = self.world.registry.payload_total(needed)
+            self.world.send(
+                self.pid,
+                replier,
+                self.sizer.rumor_data(payload),
+                lambda: self.world.peers[replier]._handle_rumor_data(
+                    needed, make_hot=True
+                ),
+            )
+        if piggy:
+            missing = [rid for rid in piggy if not self.directory.knows(rid)]
+            if missing:
+                self._pull_from(replier, missing)
+
+    def _retire(self, rid: int) -> None:
+        del self.hot[rid]
+        self.recent.append(rid)
+
+    def _handle_rumor_data(self, rids: list[int], make_hot: bool) -> None:
+        if not self.online:
+            return
+        learned_any = False
+        for rid in rids:
+            if self.directory.learn(rid):
+                learned_any = True
+                self._apply_rumor_effects(rid)
+                self.recent_learned.append(rid)
+                if make_hot:
+                    self.hot[rid] = 0
+                self.world.notify_learned(rid, self.pid)
+        if learned_any and self.intervals.reset():
+            self._reschedule_sooner()
+
+    def _apply_rumor_effects(self, rid: int) -> None:
+        rumor = self.world.registry.get(rid)
+        if rumor.kind is RumorKind.JOIN:
+            self.directory.add_member(rumor.origin)
+        elif rumor.kind is RumorKind.REJOIN:
+            self.directory.mark_online(rumor.origin)
+        # BF_UPDATE changes a filter, not membership.
+
+    # -- anti-entropy rounds --------------------------------------------------
+
+    def _round_ae_pull(self, had_hot: bool) -> None:
+        target = self.world.selector.ae_target(self.directory, self.rng)
+        if target is None:
+            return
+        digest = self.directory.digest
+        self.world.send(
+            self.pid,
+            target,
+            self.sizer.ae_request(),
+            lambda: self.world.peers[target]._handle_ae_request(
+                self.pid, digest, had_hot
+            ),
+            on_failed=lambda: self._contact_failed(target),
+        )
+
+    def _handle_ae_request(self, src: int, src_digest: int, src_had_hot: bool) -> None:
+        if not self.online:
+            return
+        if src_digest == self.directory.digest:
+            self.world.send(
+                self.pid,
+                src,
+                self.sizer.ae_nothing(),
+                lambda: self.world.peers[src]._handle_ae_nothing(src_had_hot),
+            )
+        else:
+            # First reconciliation level: offer recently learned ids only,
+            # plus our knowledge count so the requester can tell whether we
+            # might hold anything it lacks beyond the window.
+            recent = list(self.recent_learned)
+            count = len(self.directory.known)
+            self.world.send(
+                self.pid,
+                src,
+                self.sizer.ae_recent(len(recent)),
+                lambda: self.world.peers[src]._handle_ae_recent(
+                    self.pid, recent, count
+                ),
+            )
+
+    def _handle_ae_nothing(self, had_hot: bool) -> None:
+        if not self.online:
+            return
+        if not had_hot:
+            self.intervals.record_no_news_contact()
+
+    def _handle_ae_recent(
+        self, summarizer: int, recent_ids: list[int], their_count: int
+    ) -> None:
+        if not self.online:
+            return
+        missing = [rid for rid in recent_ids if not self.directory.knows(rid)]
+        if their_count <= len(self.directory.known) + len(missing):
+            # Pulling the missing recent ids (if any) fully explains the
+            # knowledge gap; no need for the expensive summary.
+            if missing:
+                self._pull_from(summarizer, missing)
+            return
+        # The target knows more than the recent window accounts for: we
+        # have diverged beyond it (long offline stretch, fresh join) —
+        # fall back to the full directory summary, whose pull covers the
+        # missing recents too.
+        self.world.send(
+            self.pid,
+            summarizer,
+            self.sizer.pull_request(0),
+            lambda: self.world.peers[summarizer]._handle_summary_request(self.pid),
+        )
+
+    def _handle_summary_request(self, src: int) -> None:
+        if not self.online:
+            return
+        self.world.send(
+            self.pid,
+            src,
+            self.sizer.ae_summary(self.directory.member_count),
+            lambda: self.world.peers[src]._handle_ae_summary(self.pid),
+        )
+
+    def _handle_ae_summary(self, summarizer: int) -> None:
+        if not self.online:
+            return
+        missing = self.directory.missing_from(
+            self.world.peers[summarizer].directory.known
+        )
+        if missing:
+            self._pull_from(summarizer, sorted(missing))
+        # Digests differed but we had everything: we know more than the
+        # target; pull-only AE leaves it to the target's own rounds.
+
+    def _round_ae_push(self) -> None:
+        """AE-only baseline: ship the full summary unconditionally."""
+        target = self.world.selector.ae_target(self.directory, self.rng)
+        if target is None:
+            return
+        self.world.send(
+            self.pid,
+            target,
+            self.sizer.ae_summary(self.directory.member_count),
+            lambda: self.world.peers[target]._handle_ae_push(self.pid),
+            on_failed=lambda: self._contact_failed(target),
+        )
+
+    def _handle_ae_push(self, src: int) -> None:
+        if not self.online:
+            return
+        missing = self.directory.missing_from(self.world.peers[src].directory.known)
+        if missing:
+            self._pull_from(src, sorted(missing))
+
+    def _pull_from(self, holder: int, rids: list[int]) -> None:
+        """Request specific rumor payloads (partial/full AE pull)."""
+        self.world.send(
+            self.pid,
+            holder,
+            self.sizer.pull_request(len(rids)),
+            lambda: self.world.peers[holder]._handle_pull_request(self.pid, rids),
+        )
+
+    def _handle_pull_request(self, requester: int, rids: list[int]) -> None:
+        if not self.online:
+            return
+        have = [rid for rid in rids if self.directory.knows(rid)]
+        if not have:
+            return
+        payload = self.world.registry.payload_total(have)
+        self.world.send(
+            self.pid,
+            requester,
+            self.sizer.rumor_data(payload),
+            lambda: self.world.peers[requester]._handle_rumor_data(
+                have, make_hot=False
+            ),
+        )
+
+    # -- failures ---------------------------------------------------------------
+
+    def _contact_failed(self, target: int) -> None:
+        """A contact attempt failed: believe the target is offline."""
+        self.directory.mark_offline(target, self.world.sim.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipPeer(pid={self.pid}, online={self.online}, "
+            f"hot={len(self.hot)}, known={len(self.directory.known)})"
+        )

@@ -1,0 +1,63 @@
+"""PFS's File Server component (paper Section 6).
+
+"A very simple web server that provides two functions: (a) return a URL
+when given a local pathname, (b) return the content of the appropriate
+file in response to a GET operation."  Modeled as an in-memory path store
+per peer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FileServer"]
+
+
+class FileServer:
+    """Maps local pathnames to URLs and serves file content."""
+
+    def __init__(self, peer_id: int, host: str | None = None) -> None:
+        self.peer_id = peer_id
+        self.host = host or f"pfs-{peer_id}.local"
+        self._files: dict[str, str] = {}
+
+    def put_file(self, path: str, content: str) -> None:
+        """Create/overwrite a local file."""
+        if not path.startswith("/"):
+            raise ValueError("paths must be absolute")
+        self._files[path] = content
+
+    def delete_file(self, path: str) -> None:
+        """Remove a local file."""
+        try:
+            del self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def url_for(self, path: str) -> str:
+        """Function (a): the URL under which ``path`` is served."""
+        if path not in self._files:
+            raise FileNotFoundError(path)
+        return f"http://{self.host}{path}"
+
+    def get(self, url: str) -> str:
+        """Function (b): serve a GET for one of our URLs."""
+        prefix = f"http://{self.host}"
+        if not url.startswith(prefix):
+            raise ValueError(f"URL {url!r} is not served by this peer")
+        path = url[len(prefix) :]
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def read(self, path: str) -> str:
+        """Read a local file by path."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,118 @@
+"""Stopping policies for the distributed search (paper Section 5.2).
+
+The *selection problem*: after ranking peers, how many do we contact?
+The paper's adaptive heuristic (eq. 4) tolerates
+
+    p = floor(2 + N/300) + 2 * floor(k/50)
+
+consecutive peers that fail to contribute to the current top-k before
+stopping.  Two baselines are provided: the naive "stop once k documents
+are retrieved" rule the paper dismisses ("this obvious approach leads to
+terrible retrieval performance"), and a never-stop policy used to compute
+exhaustive upper bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.constants import RankingConfig
+
+__all__ = ["StoppingPolicy", "AdaptiveStopping", "FirstKStopping", "NeverStop"]
+
+
+class StoppingPolicy(Protocol):
+    """Decides when the peer-contact loop stops.
+
+    The search loop calls :meth:`observe` after each contacted peer with
+    whether that peer contributed at least one document to the current
+    top-k, and the number of documents retrieved so far; it stops when
+    :meth:`should_stop` returns true.
+    """
+
+    def reset(self, community_size: int, k: int) -> None:
+        """Begin a new query against ``community_size`` peers, target ``k``."""
+        ...
+
+    def observe(self, contributed: bool, total_retrieved: int) -> None:
+        """Record one contacted peer's outcome."""
+        ...
+
+    def should_stop(self) -> bool:
+        """Whether to stop contacting further peers."""
+        ...
+
+
+class AdaptiveStopping:
+    """The paper's eq. 4 heuristic."""
+
+    def __init__(self, config: RankingConfig | None = None) -> None:
+        self.config = config or RankingConfig()
+        self._p = 0
+        self._consecutive_unproductive = 0
+        self._retrieved = 0
+        self._k = 0
+
+    def reset(self, community_size: int, k: int) -> None:
+        """Begin a new query: compute eq. 4's p for this N and k."""
+        self._p = self.config.stopping_p(community_size, k)
+        self._consecutive_unproductive = 0
+        self._retrieved = 0
+        self._k = k
+
+    @property
+    def p(self) -> int:
+        """Current tolerance: consecutive unproductive peers allowed."""
+        return self._p
+
+    def observe(self, contributed: bool, total_retrieved: int) -> None:
+        """Track the consecutive-unproductive-peer streak."""
+        self._retrieved = total_retrieved
+        if contributed:
+            self._consecutive_unproductive = 0
+        else:
+            self._consecutive_unproductive += 1
+
+    def should_stop(self) -> bool:
+        """Stop once k documents exist and p peers in a row added nothing."""
+        # Only begin counting unproductive streaks once an initial set of k
+        # documents exists ("the idea is to get an initial set of k documents
+        # and then keep contacting nodes only if ...").
+        if self._retrieved < self._k:
+            return False
+        return self._consecutive_unproductive >= self._p
+
+
+class FirstKStopping:
+    """Naive baseline: stop as soon as k documents have been retrieved."""
+
+    def __init__(self) -> None:
+        self._k = 0
+        self._retrieved = 0
+
+    def reset(self, community_size: int, k: int) -> None:
+        """Begin a new query targeting ``k`` documents."""
+        self._k = k
+        self._retrieved = 0
+
+    def observe(self, contributed: bool, total_retrieved: int) -> None:
+        """Track how many documents have been retrieved."""
+        self._retrieved = total_retrieved
+
+    def should_stop(self) -> bool:
+        """Stop the moment k documents have been retrieved."""
+        return self._retrieved >= self._k
+
+
+class NeverStop:
+    """Contact every ranked peer (exhaustive upper bound)."""
+
+    def reset(self, community_size: int, k: int) -> None:
+        """Nothing to reset."""
+
+    def observe(self, contributed: bool, total_retrieved: int) -> None:
+        """Nothing to track."""
+
+    def should_stop(self) -> bool:
+        """Never stop: contact every ranked peer."""
+        return False

@@ -1,0 +1,188 @@
+"""PlanetP's distributed TF×IPF search (paper Section 5.2).
+
+The ranking problem is split in two:
+
+1. **Node ranking** — each peer i gets relevance
+   ``R_i(Q) = sum_{t in Q and t in BF_i} IPF_t`` (eq. 3), where IPF is
+   computed locally from the gossiped Bloom filters: N = number of
+   filters, N_t = filters hitting term t.  Bloom filter false positives
+   can inflate N_t slightly and rank a peer that lacks the term — exactly
+   the approximation the paper accepts.
+
+2. **Selection** — contact peers in rank order (optionally in parallel
+   groups of m), merge their locally-scored documents (eq. 2 with IPF_t
+   substituted for IDF_t), and stop per the stopping policy.
+
+The searcher is decoupled from the community through the tiny
+:class:`PeerBackend` protocol so it can run against the in-process
+community, the simulator, or tests' stub peers alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.bloom.filter import BloomFilter
+from repro.ranking.stopping import AdaptiveStopping, StoppingPolicy
+from repro.ranking.tfidf import RankedDoc
+from repro.ranking.vsm import inverse_peer_frequency
+
+__all__ = ["PeerBackend", "rank_peers", "compute_ipf", "TFIPFSearch", "DistributedSearchResult"]
+
+
+class PeerBackend(Protocol):
+    """What the distributed searcher needs from a community."""
+
+    def online_peer_ids(self) -> list[int]:
+        """Ids of peers whose directory entries are usable."""
+        ...
+
+    def peer_filter(self, peer_id: int) -> BloomFilter:
+        """The (locally replicated) Bloom filter of ``peer_id``."""
+        ...
+
+    def query_peer(
+        self, peer_id: int, terms: Sequence[str], ipf: dict[str, float], k: int
+    ) -> list[RankedDoc]:
+        """Ask ``peer_id`` for its local top-``k`` documents for the query,
+        scored with eq. 2 using the supplied IPF weights."""
+        ...
+
+
+def compute_ipf(
+    terms: Sequence[str], backend: PeerBackend
+) -> tuple[dict[str, float], dict[int, list[str]]]:
+    """IPF per query term, plus each peer's hit list.
+
+    One pass over the replicated filters yields both N_t (for IPF) and the
+    per-peer term hits needed for eq. 3.
+    """
+    peer_ids = backend.online_peer_ids()
+    n = len(peer_ids)
+    term_list = list(dict.fromkeys(terms))
+    hits_per_peer: dict[int, list[str]] = {}
+    n_t = {t: 0 for t in term_list}
+    for pid in peer_ids:
+        hits = backend.peer_filter(pid).contains_each(term_list)
+        peer_hits = [t for t, h in zip(term_list, hits) if h]
+        if peer_hits:
+            hits_per_peer[pid] = peer_hits
+            for t in peer_hits:
+                n_t[t] += 1
+    ipf = {t: inverse_peer_frequency(n, n_t[t]) for t in term_list}
+    return ipf, hits_per_peer
+
+
+def rank_peers(
+    terms: Sequence[str], backend: PeerBackend
+) -> tuple[list[tuple[int, float]], dict[str, float]]:
+    """Eq. 3 peer ranking: ``[(peer_id, R_i)]`` best-first, plus the IPF map.
+
+    Peers with zero relevance (no query term in their filter) are omitted;
+    ties break on peer id for determinism.
+    """
+    ipf, hits_per_peer = compute_ipf(terms, backend)
+    scored = [
+        (pid, sum(ipf[t] for t in peer_hits))
+        for pid, peer_hits in hits_per_peer.items()
+    ]
+    scored = [(pid, r) for pid, r in scored if r > 0.0]
+    scored.sort(key=lambda pr: (-pr[1], pr[0]))
+    return scored, ipf
+
+
+@dataclass
+class DistributedSearchResult:
+    """Outcome of one distributed ranked search."""
+
+    results: list[RankedDoc]
+    peers_contacted: list[int]
+    peer_ranking: list[tuple[int, float]] = field(repr=False, default_factory=list)
+    ipf: dict[str, float] = field(repr=False, default_factory=dict)
+
+    @property
+    def num_peers_contacted(self) -> int:
+        """How many peers were actually queried."""
+        return len(self.peers_contacted)
+
+    def doc_ids(self) -> list[str]:
+        """Ranked document ids, best first."""
+        return [r.doc_id for r in self.results]
+
+
+class TFIPFSearch:
+    """The full Section 5.2 algorithm: rank peers, contact adaptively."""
+
+    def __init__(
+        self,
+        backend: PeerBackend,
+        stopping: StoppingPolicy | None = None,
+        group_size: int = 1,
+    ) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.backend = backend
+        self.stopping = stopping if stopping is not None else AdaptiveStopping()
+        self.group_size = group_size
+
+    def search(self, terms: Sequence[str], k: int) -> DistributedSearchResult:
+        """Retrieve the top-``k`` documents for ``terms``.
+
+        Contacts peers in eq. 3 order, in groups of ``group_size``; after
+        each group, merges the returned documents into the running top-k
+        and consults the stopping policy once per peer in the group (a
+        group may overshoot the stopping point — the paper's stated
+        trade-off of the parallel variant).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        ranking, ipf = rank_peers(terms, self.backend)
+        community_size = len(self.backend.online_peer_ids())
+        self.stopping.reset(community_size, k)
+
+        top: dict[str, float] = {}
+        contacted: list[int] = []
+        for start in range(0, len(ranking), self.group_size):
+            group = ranking[start : start + self.group_size]
+            # The whole group is contacted in parallel — possibly past the
+            # stopping point, the trade-off Section 5.2 accepts for
+            # latency; responses are then merged in rank order.
+            responses = [
+                (pid, self.backend.query_peer(pid, terms, ipf, k))
+                for pid, _relevance in group
+            ]
+            for pid, returned in responses:
+                contacted.append(pid)
+                contributed = self._merge(top, returned, k)
+                self.stopping.observe(contributed, len(top))
+            if self.stopping.should_stop():
+                break
+
+        ordered = sorted(top.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        return DistributedSearchResult(
+            results=[RankedDoc(d, s) for d, s in ordered],
+            peers_contacted=contacted,
+            peer_ranking=ranking,
+            ipf=ipf,
+        )
+
+    @staticmethod
+    def _merge(top: dict[str, float], returned: list[RankedDoc], k: int) -> bool:
+        """Merge ``returned`` into ``top`` (trimmed to k); return whether any
+        returned document made it into the new top-k."""
+        if not returned:
+            return False
+        for doc in returned:
+            existing = top.get(doc.doc_id)
+            if existing is None or doc.score > existing:
+                top[doc.doc_id] = doc.score
+        if len(top) > k:
+            # Trim to the k best (ties break on doc id).
+            keep = sorted(top.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+            kept_ids = {d for d, _ in keep}
+            contributed = any(doc.doc_id in kept_ids for doc in returned)
+            top.clear()
+            top.update(keep)
+            return contributed
+        return True

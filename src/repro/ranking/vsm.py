@@ -1,0 +1,68 @@
+"""Vector-space model primitives (paper Section 5.2, after Witten et al.).
+
+The weight system is::
+
+    IDF_t   = log(1 + N / f_t)          (collection-level discrimination)
+    IPF_t   = log(1 + N / N_t)          (peer-level analogue, from Bloom filters)
+    w_{D,t} = 1 + log(f_{D,t})          (document term weight)
+    w_{Q,t} = IDF_t (or IPF_t)          (query term weight)
+
+and the similarity (eq. 2, |Q| dropped as constant)::
+
+    Sim(Q, D) = sum_{t in Q} w_{D,t} * w_{Q,t} / sqrt(|D|)
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "inverse_document_frequency",
+    "inverse_peer_frequency",
+    "document_term_weight",
+    "similarity_from_parts",
+]
+
+
+def inverse_document_frequency(num_documents: int, term_frequency: int) -> float:
+    """IDF_t = log(1 + N / f_t).
+
+    ``f_t`` is the number of occurrences of the term in the collection; a
+    term absent from the collection (f_t == 0) has undefined IDF and
+    callers must skip it (it cannot match any document anyway).
+    """
+    if num_documents < 0:
+        raise ValueError("num_documents must be non-negative")
+    if term_frequency <= 0:
+        raise ValueError("IDF undefined for a term with zero occurrences")
+    return math.log(1.0 + num_documents / term_frequency)
+
+
+def inverse_peer_frequency(num_peers: int, peers_with_term: int) -> float:
+    """IPF_t = log(1 + N / N_t), N_t = peers whose Bloom filter hits t.
+
+    Defined as 0 when no peer has the term (the term contributes nothing).
+    """
+    if num_peers < 0 or peers_with_term < 0:
+        raise ValueError("counts must be non-negative")
+    if peers_with_term == 0:
+        return 0.0
+    return math.log(1.0 + num_peers / peers_with_term)
+
+
+def document_term_weight(term_frequency_in_doc: int) -> float:
+    """w_{D,t} = 1 + log(f_{D,t}); 0 when the term is absent."""
+    if term_frequency_in_doc < 0:
+        raise ValueError("term frequency must be non-negative")
+    if term_frequency_in_doc == 0:
+        return 0.0
+    return 1.0 + math.log(term_frequency_in_doc)
+
+
+def similarity_from_parts(weighted_sum: float, doc_length: int) -> float:
+    """Sim = weighted_sum / sqrt(|D|); 0 for an empty document."""
+    if doc_length < 0:
+        raise ValueError("doc_length must be non-negative")
+    if doc_length == 0:
+        return 0.0
+    return weighted_sum / math.sqrt(doc_length)

@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates gossiping with a simulator parameterized by measured
+constants (Table 2).  This package provides the event engine, the
+link/bandwidth model, the community topologies (LAN / DSL / MIX), churn
+processes, and measurement plumbing that the gossip simulation builds on.
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.network import Network, TransferStats
+from repro.sim.topology import (
+    TOPOLOGIES,
+    lan_topology,
+    dsl_topology,
+    mix_topology,
+    make_topology,
+)
+from repro.sim.churn import ChurnModel, OnOffSchedule
+from repro.sim.metrics import BandwidthSeries, ConvergenceTracker
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Network",
+    "TransferStats",
+    "TOPOLOGIES",
+    "lan_topology",
+    "dsl_topology",
+    "mix_topology",
+    "make_topology",
+    "ChurnModel",
+    "OnOffSchedule",
+    "BandwidthSeries",
+    "ConvergenceTracker",
+]

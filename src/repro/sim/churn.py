@@ -1,0 +1,114 @@
+"""Peer churn: online/offline behaviour over time.
+
+Figure 4(b)'s dynamic community: 40% of members are online all the time;
+60% alternate between online periods averaging 60 minutes and offline
+periods averaging 140 minutes, both exponentially distributed ("generated
+using a Poisson process"); 5% of rejoins carry 1000 new keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["OnOffSchedule", "ChurnModel"]
+
+
+@dataclass(frozen=True)
+class OnOffSchedule:
+    """One peer's alternating schedule.
+
+    ``transitions`` holds the times at which the peer flips state, starting
+    from ``initially_online``; it is strictly increasing.
+    """
+
+    peer_id: int
+    initially_online: bool
+    transitions: tuple[float, ...]
+
+    def state_at(self, time: float) -> bool:
+        """Online state at ``time``."""
+        flips = sum(1 for t in self.transitions if t <= time)
+        return self.initially_online ^ (flips % 2 == 1)
+
+
+class ChurnModel:
+    """Generates per-peer on/off schedules for a dynamic community.
+
+    Parameters
+    ----------
+    num_peers:
+        Community size.
+    always_on_fraction:
+        Fraction of peers that never go offline (paper: 0.40).
+    mean_online_s, mean_offline_s:
+        Exponential means for churning peers (paper: 3600 s / 8400 s).
+    new_keys_prob:
+        Probability a rejoin carries new keys (paper: 0.05).
+    """
+
+    def __init__(
+        self,
+        num_peers: int,
+        always_on_fraction: float = 0.40,
+        mean_online_s: float = 3600.0,
+        mean_offline_s: float = 8400.0,
+        new_keys_prob: float = 0.05,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if num_peers <= 0:
+            raise ValueError("num_peers must be positive")
+        if not 0.0 <= always_on_fraction <= 1.0:
+            raise ValueError("always_on_fraction must be in [0, 1]")
+        if mean_online_s <= 0 or mean_offline_s <= 0:
+            raise ValueError("mean durations must be positive")
+        if not 0.0 <= new_keys_prob <= 1.0:
+            raise ValueError("new_keys_prob must be a probability")
+        self.num_peers = num_peers
+        self.always_on_fraction = always_on_fraction
+        self.mean_online_s = mean_online_s
+        self.mean_offline_s = mean_offline_s
+        self.new_keys_prob = new_keys_prob
+        self._rng = make_rng(seed)
+
+    def always_on_count(self) -> int:
+        """Number of peers that never churn (the first ids by convention)."""
+        return int(round(self.num_peers * self.always_on_fraction))
+
+    def generate(self, horizon_s: float) -> list[OnOffSchedule]:
+        """Schedules for every peer over ``[0, horizon_s]``.
+
+        Churning peers start in a state drawn from the stationary
+        distribution of the on/off process (online with probability
+        mean_on / (mean_on + mean_off)) so the community is in steady
+        state from t=0 rather than synchronized.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        schedules: list[OnOffSchedule] = []
+        n_always = self.always_on_count()
+        p_online = self.mean_online_s / (self.mean_online_s + self.mean_offline_s)
+        for pid in range(self.num_peers):
+            if pid < n_always:
+                schedules.append(OnOffSchedule(pid, True, ()))
+                continue
+            online = bool(self._rng.random() < p_online)
+            transitions: list[float] = []
+            t = 0.0
+            state = online
+            while True:
+                mean = self.mean_online_s if state else self.mean_offline_s
+                t += float(self._rng.exponential(mean))
+                if t >= horizon_s:
+                    break
+                transitions.append(t)
+                state = not state
+            schedules.append(OnOffSchedule(pid, online, tuple(transitions)))
+        return schedules
+
+    def rejoin_has_new_keys(self) -> bool:
+        """Sample whether a rejoin event carries 1000 new keys."""
+        return bool(self._rng.random() < self.new_keys_prob)

@@ -1,0 +1,73 @@
+"""The analysis pipeline: tokenize -> stop-word filter -> Porter stem.
+
+One :class:`Analyzer` instance is shared per community so every peer maps
+raw text to exactly the same term stream (Section 7.3 pre-processing).
+A small LRU-ish memo on stems avoids re-running the stemmer on the long
+Zipf tail of repeated words, which profiling shows dominates analysis time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.text.porter import porter_stem
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenizer import tokenize
+
+__all__ = ["Analyzer"]
+
+
+class Analyzer:
+    """Configurable text-to-terms pipeline.
+
+    Parameters
+    ----------
+    remove_stopwords:
+        Drop SMART-style stop words (paper default: on).
+    stem:
+        Apply the Porter stemmer (paper default: on).
+    """
+
+    __slots__ = ("remove_stopwords", "stem", "_stem_cache")
+
+    _CACHE_LIMIT = 200_000
+
+    def __init__(self, remove_stopwords: bool = True, stem: bool = True) -> None:
+        self.remove_stopwords = remove_stopwords
+        self.stem = stem
+        self._stem_cache: dict[str, str] = {}
+
+    def analyze(self, text: str) -> list[str]:
+        """Full pipeline: ordered list of index terms for ``text``."""
+        tokens = tokenize(text)
+        if self.remove_stopwords:
+            tokens = [t for t in tokens if t not in STOPWORDS]
+        if self.stem:
+            tokens = [self._cached_stem(t) for t in tokens]
+        return tokens
+
+    def term_frequencies(self, text: str) -> Counter:
+        """Term -> in-document frequency map (f_{D,t} of Section 5.2)."""
+        return Counter(self.analyze(text))
+
+    def analyze_query(self, text: str) -> list[str]:
+        """Analyze a query string; duplicates removed, order preserved.
+
+        PlanetP's queries are conjunctions of keys (Section 5.1), so
+        repeated terms add nothing.
+        """
+        seen: set[str] = set()
+        out: list[str] = []
+        for term in self.analyze(text):
+            if term not in seen:
+                seen.add(term)
+                out.append(term)
+        return out
+
+    def _cached_stem(self, token: str) -> str:
+        stemmed = self._stem_cache.get(token)
+        if stemmed is None:
+            stemmed = porter_stem(token)
+            if len(self._stem_cache) < self._CACHE_LIMIT:
+                self._stem_cache[token] = stemmed
+        return stemmed

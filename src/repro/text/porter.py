@@ -1,0 +1,240 @@
+"""Porter stemming algorithm (Porter 1980), implemented from scratch.
+
+The paper's pre-processing "tries to conflate words to their root (e.g.
+running becomes run)" (Section 7.3); the Porter algorithm is the canonical
+choice for English.  This is a faithful implementation of the original
+five-step algorithm, including the m() measure, the *v*, *d, *o conditions,
+and the standard published corrections.
+
+The stemmer is deterministic and community-wide identical, which matters
+because stems are what get hashed into Bloom filters.
+"""
+
+from __future__ import annotations
+
+__all__ = ["porter_stem", "PorterStemmer"]
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use :func:`porter_stem` for convenience."""
+
+    # -- character classes --------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            # 'y' is a consonant at the start or after a vowel; a vowel
+            # after a consonant ("syzygy").
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The m() measure: number of VC sequences in the stem."""
+        m = 0
+        i = 0
+        n = len(stem)
+        # Skip initial consonants.
+        while i < n and cls._is_consonant(stem, i):
+            i += 1
+        while i < n:
+            # Consume vowels.
+            while i < n and not cls._is_consonant(stem, i):
+                i += 1
+            if i >= n:
+                break
+            m += 1
+            # Consume consonants.
+            while i < n and cls._is_consonant(stem, i):
+                i += 1
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """*o condition: stem ends consonant-vowel-consonant, where the
+        final consonant is not w, x or y."""
+        if len(word) < 3:
+            return False
+        return (
+            cls._is_consonant(word, len(word) - 3)
+            and not cls._is_consonant(word, len(word) - 2)
+            and cls._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- steps --------------------------------------------------------------
+
+    @classmethod
+    def _step1a(cls, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str) -> str:
+        if word.endswith("eed"):
+            if cls._measure(word[:-3]) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and cls._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and cls._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if cls._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if cls._measure(word) == 1 and cls._ends_cvc(word):
+                return word + "e"
+        return word
+
+    @classmethod
+    def _step1c(cls, word: str) -> str:
+        if word.endswith("y") and cls._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("bli", "ble"),  # DEPARTURE in original paper: abli -> able
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+        ("logi", "log"),  # published correction
+    )
+
+    @classmethod
+    def _step2(cls, word: str) -> str:
+        for suffix, replacement in cls._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if cls._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    @classmethod
+    def _step3(cls, word: str) -> str:
+        for suffix, replacement in cls._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if cls._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    @classmethod
+    def _step4(cls, word: str) -> str:
+        for suffix in cls._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if cls._measure(stem) > 1:
+                    return stem
+                return word
+        # (m>1 and (*S or *T)) ION
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem.endswith(("s", "t")) and cls._measure(stem) > 1:
+                return stem
+        return word
+
+    @classmethod
+    def _step5a(cls, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = cls._measure(stem)
+            if m > 1 or (m == 1 and not cls._ends_cvc(stem)):
+                return stem
+        return word
+
+    @classmethod
+    def _step5b(cls, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and cls._measure(word[:-1]) > 1
+        ):
+            return word[:-1]
+        return word
+
+    # -- entry point ----------------------------------------------------------
+
+    @classmethod
+    def stem(cls, word: str) -> str:
+        """Stem one lowercase word.
+
+        Words of length <= 2 are returned unchanged, per the original
+        algorithm's recommendation.
+        """
+        if len(word) <= 2:
+            return word
+        word = cls._step1a(word)
+        word = cls._step1b(word)
+        word = cls._step1c(word)
+        word = cls._step2(word)
+        word = cls._step3(word)
+        word = cls._step4(word)
+        word = cls._step5a(word)
+        word = cls._step5b(word)
+        return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase word with the Porter algorithm."""
+    return PorterStemmer.stem(word)

@@ -1,0 +1,44 @@
+"""English stop-word list.
+
+The classic SMART-style list of high-frequency function words that the
+paper's pre-processing removes ("the, of, etc.", Section 7.3).  Stored as a
+frozenset for O(1) membership during analysis.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "is_stopword"]
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above across after afterwards again against all almost alone
+    along already also although always am among amongst an and another any
+    anyhow anyone anything anyway anywhere are around as at back be became
+    because become becomes becoming been before beforehand behind being
+    below beside besides between beyond both bottom but by call can cannot
+    could did do does doing done down during each eg either else elsewhere
+    enough etc even ever every everyone everything everywhere except few
+    for former formerly from further get gives go had has have he hence her
+    here hereafter hereby herein hereupon hers herself him himself his how
+    however ie if in indeed instead into is it its itself just keep last
+    latter latterly least less ltd made many may me meanwhile might mine
+    more moreover most mostly much must my myself namely neither never
+    nevertheless next no nobody none noone nor not nothing now nowhere of
+    off often on once one only onto or other others otherwise our ours
+    ourselves out over own per perhaps please put rather re same see seem
+    seemed seeming seems several she should since so some somehow someone
+    something sometime sometimes somewhere still such than that the their
+    them themselves then thence there thereafter thereby therefore therein
+    thereupon these they this those though through throughout thru thus to
+    together too toward towards under until up upon us very via was we well
+    were what whatever when whence whenever where whereafter whereas whereby
+    wherein whereupon wherever whether which while whither who whoever whole
+    whom whose why will with within without would yet you your yours
+    yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Whether ``token`` (already lowercased) is a stop word."""
+    return token in STOPWORDS

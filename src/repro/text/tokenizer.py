@@ -1,0 +1,34 @@
+"""Tokenizer: lowercased alphanumeric word extraction.
+
+Deliberately simple and deterministic — the same tokenizer must run at
+every peer so that Bloom filter bit positions agree community-wide.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize"]
+
+# Words are runs of letters/digits; apostrophes are treated as separators so
+# "don't" -> ["don", "t"] (the "t" is later dropped by the length filter).
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+#: Tokens shorter than this are discarded (single letters carry no content).
+MIN_TOKEN_LEN = 2
+
+#: Tokens longer than this are discarded (binary junk / URLs).
+MAX_TOKEN_LEN = 40
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric tokens.
+
+    Pure-digit tokens are kept (document ids, years); length-filtered to
+    ``[MIN_TOKEN_LEN, MAX_TOKEN_LEN]``.
+    """
+    return [
+        tok
+        for tok in _WORD_RE.findall(text.lower())
+        if MIN_TOKEN_LEN <= len(tok) <= MAX_TOKEN_LEN
+    ]

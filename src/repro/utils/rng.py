@@ -1,0 +1,40 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the reproduction (gossip target selection,
+churn processes, corpus generation, document partitioning) takes an explicit
+:class:`numpy.random.Generator`.  These helpers centralize construction so
+that a single integer seed reproduces an entire experiment, and so that
+independent components get independent streams (via ``spawn``) rather than
+sharing one generator whose consumption order would couple them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, an existing generator (returned unchanged so
+    call sites can be seed-or-generator polymorphic), or ``None`` for an
+    OS-entropy-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(
+    seed: int | np.random.Generator | None, n: int
+) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Uses :meth:`numpy.random.Generator.spawn` so the children's streams do
+    not overlap regardless of how much each consumes.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return make_rng(seed).spawn(n)

@@ -1,0 +1,91 @@
+"""Small statistics helpers used by the experiment harness.
+
+Includes the linear cost-model fit used to regenerate Table 1 (fixed
+overhead + marginal per-key cost), empirical CDFs for the convergence-time
+figures, and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_linear", "cdf_points", "percentile", "summarize"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares line fit ``y = intercept + slope * x``."""
+
+    intercept: float
+    slope: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.intercept + self.slope * x
+
+    def format_cost(self, unit: str = "ms", per: str = "key") -> str:
+        """Render in the paper's Table 1 style: ``a + (b * no. keys)``."""
+        return f"{self.intercept:.4g} + ({self.slope:.4g} * no. {per}s) {unit}"
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares fit of ``ys`` against ``xs``.
+
+    Raises ``ValueError`` for fewer than two points or degenerate x.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-D sequences of equal length")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    if np.ptp(x) == 0:
+        raise ValueError("xs are all identical; slope is undefined")
+    slope, intercept = np.polyfit(x, y, 1)
+    resid = y - (intercept + slope * x)
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(intercept), float(slope), r2)
+
+
+def cdf_points(samples: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``samples``.
+
+    Returns ``(xs, ps)`` where ``ps[i]`` is the fraction of samples <=
+    ``xs[i]``; ``xs`` is sorted ascending.  Used for the Figure 4/5
+    cumulative-percentage-of-events plots.
+    """
+    xs = np.sort(np.asarray(list(samples), dtype=float))
+    if xs.size == 0:
+        return xs, xs
+    ps = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, ps
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples``."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sample set")
+    return float(np.percentile(arr, q))
+
+
+def summarize(samples: Iterable[float]) -> dict[str, float]:
+    """Mean / median / p90 / p99 / min / max of a sample set."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summary of empty sample set")
+    return {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

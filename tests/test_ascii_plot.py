@@ -1,0 +1,70 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import GLYPHS, plot_series
+from repro.experiments.common import Series
+
+
+def _series(label, points):
+    s = Series(label)
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+class TestPlot:
+    def test_basic_render(self):
+        s = _series("lin", [(0, 0), (5, 5), (10, 10)])
+        out = plot_series([s], width=20, height=8, title="T", x_label="n", y_label="t")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "*" in out  # first glyph used
+        assert "lin" in out  # legend
+        assert "n vs t" in out
+
+    def test_extremes_plotted_at_corners(self):
+        s = _series("d", [(0, 0), (10, 10)])
+        out = plot_series([s], width=10, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        # Max y in the top row, min y in the bottom row.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_multiple_series_use_distinct_glyphs(self):
+        a = _series("a", [(0, 0), (10, 1)])
+        b = _series("b", [(0, 10), (10, 9)])
+        out = plot_series([a, b], width=20, height=8)
+        assert GLYPHS[0] in out and GLYPHS[1] in out
+        assert "a" in out and "b" in out
+
+    def test_log_x_spreads_decades(self):
+        s = _series("log", [(10, 1), (100, 2), (1000, 3)])
+        out = plot_series([s], width=21, height=6, log_x=True)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        cols = sorted(
+            col for row in rows for col, ch in enumerate(row) if ch == "*"
+        )
+        # Log axis places the middle decade near the middle column.
+        assert len(cols) == 3
+        assert abs(cols[1] - 10) <= 2
+
+    def test_flat_series_ok(self):
+        s = _series("flat", [(0, 5), (10, 5)])
+        out = plot_series([s], width=12, height=5)
+        assert "*" in out
+
+    def test_axis_labels_show_ranges(self):
+        s = _series("r", [(2, 3), (8, 9)])
+        out = plot_series([s], width=16, height=5)
+        assert "2" in out and "8" in out
+        assert "9" in out and "3" in out
+
+    def test_validation(self):
+        s = _series("x", [(0, 0)])
+        with pytest.raises(ValueError):
+            plot_series([s], width=4, height=2)
+        with pytest.raises(ValueError):
+            plot_series([Series("empty")])
+        with pytest.raises(ValueError):
+            plot_series([_series(str(i), [(0, i)]) for i in range(9)])

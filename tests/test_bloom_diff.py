@@ -1,0 +1,92 @@
+"""Tests for Bloom filter diffs (the gossip bandwidth saver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
+from repro.bloom.filter import BloomFilter
+
+
+def _filter_with(terms):
+    bf = BloomFilter(8192, 2)
+    bf.add_many(terms)
+    return bf
+
+
+class TestDiff:
+    def test_diff_of_identical_is_empty(self):
+        a = _filter_with(["x", "y"])
+        diff = diff_filters(a, a.copy())
+        assert len(diff) == 0
+
+    def test_diff_captures_added_terms(self):
+        old = _filter_with(["x"])
+        new = old.copy()
+        new.add_many(["added-1", "added-2"])
+        diff = diff_filters(old, new)
+        assert len(diff) > 0
+        restored = apply_diff(old, diff)
+        assert restored == new
+
+    def test_diff_on_shrinking_filter_raises(self):
+        old = _filter_with(["x", "y"])
+        new = _filter_with(["x"])
+        with pytest.raises(ValueError):
+            diff_filters(old, new)
+
+    def test_incompatible_families_raise(self):
+        with pytest.raises(ValueError):
+            diff_filters(BloomFilter(8192, 2), BloomFilter(8192, 3))
+
+    def test_apply_width_mismatch_raises(self):
+        diff = BloomDiff(64, np.array([1], dtype=np.int64))
+        with pytest.raises(ValueError):
+            apply_diff(BloomFilter(128, 2), diff)
+
+    def test_position_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            BloomDiff(64, np.array([64], dtype=np.int64))
+
+
+class TestWire:
+    def test_bytes_roundtrip(self):
+        old = _filter_with(["base"])
+        new = old.copy()
+        new.add_many([f"n{i}" for i in range(50)])
+        diff = diff_filters(old, new)
+        restored = BloomDiff.from_bytes(diff.to_bytes())
+        assert np.array_equal(restored.positions, diff.positions)
+        assert restored.num_bits == diff.num_bits
+
+    def test_empty_diff_bytes(self):
+        diff = BloomDiff(4096, np.zeros(0, dtype=np.int64))
+        restored = BloomDiff.from_bytes(diff.to_bytes())
+        assert len(restored) == 0
+        assert restored.num_bits == 4096
+
+    def test_wire_size_smaller_than_full_filter(self):
+        """The point of diffs: sending 100 new terms costs far less than
+        re-sending a 50 KB filter."""
+        old = BloomFilter.paper_prototype()
+        old.add_many([f"old-{i}" for i in range(10000)])
+        new = old.copy()
+        new.add_many([f"new-{i}" for i in range(100)])
+        diff = diff_filters(old, new)
+        assert diff.wire_size() < 2000  # ~200 positions, Golomb coded
+        assert diff.wire_size() == len(diff.to_bytes())
+
+
+@given(
+    st.sets(st.text(min_size=1, max_size=8), max_size=40),
+    st.sets(st.text(min_size=1, max_size=8), max_size=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_diff_apply_reconstructs(base_terms, extra_terms):
+    """old + diff(old, old+extra) == old+extra, for any term sets."""
+    old = _filter_with(sorted(base_terms))
+    new = old.copy()
+    new.add_many(sorted(extra_terms))
+    diff = diff_filters(old, new)
+    assert apply_diff(old, diff) == new

@@ -1,0 +1,169 @@
+"""Tests for the Bloom filter: the no-false-negatives contract, sizing,
+merging, and FP-rate math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.filter import BloomFilter
+from repro.constants import PROTOTYPE_BF_BITS
+
+
+class TestMembership:
+    def test_added_terms_are_members(self, small_filter):
+        for term in ("alpha", "beta", "gamma", "delta"):
+            assert term in small_filter
+
+    def test_absent_term_usually_not_member(self):
+        bf = BloomFilter(2**16, 2)
+        bf.add("present")
+        assert "definitely-absent-term" not in bf
+
+    def test_add_many_equals_add(self):
+        a = BloomFilter(4096, 2)
+        b = BloomFilter(4096, 2)
+        terms = [f"t{i}" for i in range(100)]
+        a.add_many(terms)
+        for t in terms:
+            b.add(t)
+        assert a == b
+
+    def test_contains_all(self, small_filter):
+        assert small_filter.contains_all(["alpha", "beta"])
+        assert not small_filter.contains_all(["alpha", "missing-term-xyz"])
+        assert small_filter.contains_all([])  # vacuous truth
+
+    def test_contains_each(self, small_filter):
+        hits = small_filter.contains_each(["alpha", "nope-xyz", "gamma"])
+        assert hits.tolist() == [True, False, True]
+
+    def test_empty_add_many(self):
+        bf = BloomFilter(64, 2)
+        bf.add_many([])
+        assert bf.bit_count() == 0
+
+
+class TestSizing:
+    def test_paper_prototype_dimensions(self):
+        bf = BloomFilter.paper_prototype()
+        assert bf.num_bits == PROTOTYPE_BF_BITS == 50 * 1024 * 8
+        assert bf.num_hashes == 2
+
+    def test_with_capacity_meets_fp_target(self):
+        bf = BloomFilter.with_capacity(1000, fp_rate=0.05)
+        predicted = BloomFilter.theoretical_fp_rate(bf.num_bits, bf.num_hashes, 1000)
+        assert predicted <= 0.05 + 1e-9
+
+    def test_with_capacity_fixed_hashes(self):
+        bf = BloomFilter.with_capacity(1000, fp_rate=0.05, num_hashes=2)
+        assert bf.num_hashes == 2
+        assert BloomFilter.theoretical_fp_rate(bf.num_bits, 2, 1000) <= 0.05 + 1e-9
+
+    def test_paper_5pct_claim(self):
+        # Section 7.1: a 50 KB filter summarizes 50 000 terms at < 5% FP
+        # with two hashes.
+        rate = BloomFilter.theoretical_fp_rate(PROTOTYPE_BF_BITS, 2, 50_000)
+        assert rate < 0.05
+
+    def test_paper_1000_terms_size_claim(self):
+        # Section 2: ~1.9 KB summarizes 1000 terms at < 5% with two hashes.
+        rate = BloomFilter.theoretical_fp_rate(int(1.9 * 1024 * 8), 2, 1000)
+        assert rate < 0.05
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BloomFilter.with_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.with_capacity(10, fp_rate=1.5)
+
+
+class TestObservedFpRate:
+    def test_fp_rate_near_theory(self):
+        bf = BloomFilter.with_capacity(2000, fp_rate=0.05, num_hashes=2)
+        bf.add_many([f"member-{i}" for i in range(2000)])
+        false_hits = sum(1 for i in range(10000) if f"absent-{i}" in bf)
+        observed = false_hits / 10000
+        assert observed < 0.08  # 5% target with sampling slack
+
+    def test_fill_ratio_and_estimate(self):
+        bf = BloomFilter(2**14, 2)
+        bf.add_many([f"x{i}" for i in range(1000)])
+        assert 0.0 < bf.fill_ratio() < 0.5
+        assert bf.approx_distinct_terms() == pytest.approx(1000, rel=0.15)
+
+    def test_false_positive_rate_of_empty(self):
+        assert BloomFilter(64, 2).false_positive_rate() == 0.0
+
+
+class TestMerging:
+    def test_union_contains_both(self):
+        a = BloomFilter(4096, 2)
+        b = BloomFilter(4096, 2)
+        a.add("only-a")
+        b.add("only-b")
+        merged = a.union(b)
+        assert "only-a" in merged and "only-b" in merged
+        assert merged.num_inserted == 2
+
+    def test_union_inplace(self):
+        a = BloomFilter(4096, 2)
+        b = BloomFilter(4096, 2)
+        b.add("from-b")
+        a.union_inplace(b)
+        assert "from-b" in a
+
+    def test_union_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            BloomFilter(4096, 2).union(BloomFilter(4096, 3))
+
+    def test_superset(self):
+        a = BloomFilter(4096, 2)
+        b = BloomFilter(4096, 2)
+        a.add_many(["x", "y"])
+        b.add("x")
+        assert a.is_superset_of(b)
+        assert not b.is_superset_of(a)
+
+
+class TestMisc:
+    def test_copy_is_independent(self, small_filter):
+        dup = small_filter.copy()
+        dup.add("new-term-only-in-dup")
+        assert small_filter != dup
+
+    def test_theoretical_fp_invalid(self):
+        with pytest.raises(ValueError):
+            BloomFilter.theoretical_fp_rate(0, 2, 10)
+
+    def test_unhashable(self, small_filter):
+        with pytest.raises(TypeError):
+            hash(small_filter)
+
+
+@given(st.sets(st.text(min_size=1, max_size=12), min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_property_no_false_negatives(terms):
+    """THE Bloom filter invariant: every inserted term is reported present."""
+    bf = BloomFilter(8192, 3)
+    bf.add_many(sorted(terms))
+    for term in terms:
+        assert term in bf
+
+
+@given(
+    st.sets(st.text(min_size=1, max_size=8), max_size=30),
+    st.sets(st.text(min_size=1, max_size=8), max_size=30),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_union_preserves_membership(a_terms, b_terms):
+    """Union never loses a member from either side."""
+    a = BloomFilter(8192, 2)
+    b = BloomFilter(8192, 2)
+    a.add_many(sorted(a_terms))
+    b.add_many(sorted(b_terms))
+    merged = a.union(b)
+    for term in a_terms | b_terms:
+        assert term in merged
+    assert merged.is_superset_of(a) and merged.is_superset_of(b)

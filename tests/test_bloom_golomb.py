@@ -1,0 +1,96 @@
+"""Tests for the Golomb/Rice codec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.golomb import GolombDecoder, GolombEncoder, optimal_golomb_m
+
+
+class TestParameterChoice:
+    def test_optimal_m_small_p(self):
+        # m ≈ 0.69 / p for sparse bit vectors.
+        assert optimal_golomb_m(0.01) == pytest.approx(0.69 / 0.01, rel=0.05)
+
+    def test_optimal_m_monotone(self):
+        assert optimal_golomb_m(0.001) > optimal_golomb_m(0.01) > optimal_golomb_m(0.2)
+
+    def test_optimal_m_bounds(self):
+        assert optimal_golomb_m(0.9999) >= 1
+        with pytest.raises(ValueError):
+            optimal_golomb_m(0.0)
+        with pytest.raises(ValueError):
+            optimal_golomb_m(1.0)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 10, 64, 100])
+    def test_fixed_values(self, m):
+        values = [0, 1, 2, m - 1, m, m + 1, 5 * m, 1000]
+        enc = GolombEncoder(m)
+        enc.encode_many(values)
+        dec = GolombDecoder(m, enc.getvalue())
+        assert dec.decode_many(len(values)) == values
+
+    def test_single_large_value(self):
+        enc = GolombEncoder(7)
+        enc.encode(123456)
+        dec = GolombDecoder(7, enc.getvalue())
+        assert dec.decode() == 123456
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            GolombEncoder(4).encode(-1)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            GolombEncoder(0)
+        with pytest.raises(ValueError):
+            GolombDecoder(0, b"")
+
+    def test_exhausted_stream_raises(self):
+        enc = GolombEncoder(4)
+        enc.encode(1)
+        dec = GolombDecoder(4, enc.getvalue())
+        dec.decode()
+        # The zero-padded tail decodes small phantom values until the byte
+        # boundary, then raises; drain defensively.
+        with pytest.raises(EOFError):
+            for _ in range(64):
+                dec.decode()
+
+
+class TestCompression:
+    def test_near_entropy_for_geometric_gaps(self):
+        """Golomb coding of geometric gaps should approach the entropy."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        p = 0.02
+        gaps = rng.geometric(p, size=5000) - 1
+        m = optimal_golomb_m(p)
+        enc = GolombEncoder(m)
+        enc.encode_many(gaps.tolist())
+        bits_per_gap = enc.bit_length() / gaps.size
+        entropy = -(p * math.log2(p) + (1 - p) * math.log2(1 - p)) / p
+        assert bits_per_gap < entropy * 1.1  # within 10% of optimal
+
+    def test_bit_length_tracks_output(self):
+        enc = GolombEncoder(4)
+        enc.encode_many([0, 1, 2, 3])
+        assert math.ceil(enc.bit_length() / 8) == len(enc.getvalue())
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip(m, values):
+    """Encode/decode is the identity for any m and any value list."""
+    enc = GolombEncoder(m)
+    enc.encode_many(values)
+    dec = GolombDecoder(m, enc.getvalue())
+    assert dec.decode_many(len(values)) == values

@@ -1,0 +1,91 @@
+"""Tests for the FNV-based Bloom filter hash family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.hashing import HashFamily, fnv1a_64
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv1a_64(b"planetp") == fnv1a_64(b"planetp")
+
+    def test_seed_changes_hash(self):
+        assert fnv1a_64(b"planetp", 0) != fnv1a_64(b"planetp", 1)
+
+    def test_empty_input_stable(self):
+        # The empty string hashes to a fixed (finalized) value.
+        assert fnv1a_64(b"", 0) == fnv1a_64(b"", 0)
+        assert fnv1a_64(b"", 0) != fnv1a_64(b"", 1)
+
+    def test_sequential_strings_decorrelated(self):
+        # The avalanche finalizer must break FNV's linearity: hashes of
+        # sequential strings should not form an arithmetic progression.
+        h = [fnv1a_64(f"x{i}".encode()) for i in range(4)]
+        deltas = {h[i + 1] - h[i] for i in range(3)}
+        assert len(deltas) == 3
+
+    def test_64_bit_range(self):
+        for data in (b"", b"a", b"longer input value"):
+            assert 0 <= fnv1a_64(data) < 2**64
+
+
+class TestHashFamily:
+    def test_positions_shape_and_range(self):
+        family = HashFamily(1024, 3)
+        pos = family.positions("term")
+        assert pos.shape == (3,)
+        assert ((0 <= pos) & (pos < 1024)).all()
+
+    def test_positions_deterministic_across_instances(self):
+        a = HashFamily(4096, 2)
+        b = HashFamily(4096, 2)
+        assert np.array_equal(a.positions("gossip"), b.positions("gossip"))
+
+    def test_positions_many_matches_single(self):
+        family = HashFamily(4096, 4)
+        terms = ["alpha", "beta", "gamma"]
+        many = family.positions_many(terms)
+        assert many.shape == (3, 4)
+        for i, term in enumerate(terms):
+            assert np.array_equal(many[i], family.positions(term))
+
+    def test_positions_many_empty(self):
+        family = HashFamily(64, 2)
+        assert family.positions_many([]).shape == (0, 2)
+
+    def test_different_terms_differ(self):
+        family = HashFamily(2**20, 2)
+        assert not np.array_equal(family.positions("a1"), family.positions("a2"))
+
+    def test_equality(self):
+        assert HashFamily(64, 2) == HashFamily(64, 2)
+        assert HashFamily(64, 2) != HashFamily(64, 3)
+        assert HashFamily(64, 2) != HashFamily(128, 2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HashFamily(0, 2)
+        with pytest.raises(ValueError):
+            HashFamily(64, 0)
+
+    def test_spread_is_roughly_uniform(self):
+        family = HashFamily(16, 1)
+        counts = np.zeros(16)
+        for i in range(4000):
+            counts[family.positions(f"term-{i}")[0]] += 1
+        # Each bucket should get ~250; allow generous slack.
+        assert counts.min() > 150 and counts.max() < 400
+
+
+@given(st.text(min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_property_positions_stable(term):
+    """Any unicode term hashes deterministically and in range."""
+    family = HashFamily(977, 2)  # prime-size filter
+    p1 = family.positions(term)
+    p2 = family.positions(term)
+    assert np.array_equal(p1, p2)
+    assert ((0 <= p1) & (p1 < 977)).all()

@@ -1,0 +1,75 @@
+"""Tests for the merged-filter directory (Section 2's storage trade-off)."""
+
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.core.merged import MergedDirectory
+
+
+def _filters(assignments: dict[int, list[str]]) -> dict[int, BloomFilter]:
+    out = {}
+    for pid, terms in assignments.items():
+        bf = BloomFilter(8192, 2)
+        bf.add_many(terms)
+        out[pid] = bf
+    return out
+
+
+@pytest.fixture
+def filters():
+    return _filters(
+        {
+            0: ["gossip"],
+            1: ["bloom"],
+            2: ["ranking"],
+            3: ["chord"],
+            4: ["pastry"],
+        }
+    )
+
+
+class TestMerging:
+    def test_group_size_one_is_exact(self, filters):
+        merged = MergedDirectory(filters, group_size=1)
+        assert merged.num_groups == 5
+        assert merged.candidate_peers(["gossip"]) == [0]
+
+    def test_merged_groups_return_whole_group(self, filters):
+        merged = MergedDirectory(filters, group_size=2)
+        # Groups: (0,1), (2,3), (4,).  'gossip' hits group (0,1).
+        assert merged.candidate_peers(["gossip"]) == [0, 1]
+        assert merged.candidate_peers(["pastry"]) == [4]
+
+    def test_no_false_negatives(self, filters):
+        """The invariant that makes merging safe: every true holder is
+        always among the candidates, at any group size."""
+        for group_size in (1, 2, 3, 5):
+            merged = MergedDirectory(filters, group_size=group_size)
+            for pid, term in enumerate(["gossip", "bloom", "ranking", "chord", "pastry"]):
+                assert pid in merged.candidate_peers([term]), (group_size, term)
+
+    def test_conjunction_across_merge_can_over_approximate(self, filters):
+        """A conjunctive query may hit a merged group even though no
+        single member has all terms — the accuracy cost of merging."""
+        exact = MergedDirectory(filters, group_size=1)
+        merged = MergedDirectory(filters, group_size=5)
+        assert exact.candidate_peers(["gossip", "bloom"]) == []
+        assert merged.candidate_peers(["gossip", "bloom"]) == [0, 1, 2, 3, 4]
+
+    def test_memory_savings(self, filters):
+        exact = MergedDirectory(filters, group_size=1)
+        merged = MergedDirectory(filters, group_size=5)
+        assert merged.memory_bits() == exact.memory_bits() / 5
+
+    def test_merge_ratio(self):
+        assert MergedDirectory.merge_ratio(100, 1) == 1.0
+        assert MergedDirectory.merge_ratio(100, 4) == 0.25
+        assert MergedDirectory.merge_ratio(5, 2) == pytest.approx(3 / 5)
+        with pytest.raises(ValueError):
+            MergedDirectory.merge_ratio(0, 1)
+
+    def test_validation(self, filters):
+        with pytest.raises(ValueError):
+            MergedDirectory(filters, group_size=0)
+        with pytest.raises(ValueError):
+            MergedDirectory({}, group_size=1)

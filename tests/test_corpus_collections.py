@@ -1,0 +1,108 @@
+"""Tests for the Table 3 collection presets and the peer partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.collections import (
+    COLLECTION_PRESETS,
+    collection_table_rows,
+    make_collection,
+)
+from repro.corpus.partition import partition_documents
+from repro.corpus.queries import Query
+
+
+class TestPresets:
+    def test_paper_table3_values(self):
+        """The presets must match the paper's Table 3 exactly."""
+        expected = {
+            "CACM": (52, 3204, 75493, 2.1),
+            "MED": (30, 1033, 83451, 1.0),
+            "CRAN": (152, 1400, 117718, 1.6),
+            "CISI": (76, 1460, 84957, 2.4),
+            "AP89": (97, 84678, 129603, 266.0),
+        }
+        assert set(COLLECTION_PRESETS) == set(expected)
+        for name, (q, d, w, mb) in expected.items():
+            spec = COLLECTION_PRESETS[name]
+            assert (spec.num_queries, spec.num_documents, spec.num_words, spec.size_mb) == (
+                q, d, w, mb,
+            )
+
+    def test_make_collection_scaled(self):
+        coll = make_collection("CACM", scale=0.1, seed=0)
+        assert coll.name == "CACM"
+        assert coll.num_documents == pytest.approx(320, abs=2)
+        assert coll.num_queries >= 10
+
+    def test_case_insensitive(self):
+        assert make_collection("med", scale=0.1).name == "MED"
+
+    def test_unknown_collection(self):
+        with pytest.raises(KeyError):
+            make_collection("WEB")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            make_collection("CACM", scale=0.0)
+        with pytest.raises(ValueError):
+            make_collection("CACM", scale=1.5)
+
+    def test_table_rows_structure(self):
+        rows = collection_table_rows(["CACM"], scale=0.02)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["trace"] == "CACM"
+        assert row["paper_documents"] == 3204
+        assert row["gen_documents"] > 0
+        assert row["gen_size_mb"] > 0
+
+
+class TestPartition:
+    def test_partition_covers_all_documents(self):
+        parts = partition_documents(1000, 37, seed=0)
+        assert len(parts) == 37
+        combined = np.concatenate(parts)
+        assert np.array_equal(np.sort(combined), np.arange(1000))
+
+    def test_weibull_is_skewed(self):
+        parts = partition_documents(5000, 100, distribution="weibull", shape=0.5, seed=1)
+        sizes = np.array(sorted((len(p) for p in parts), reverse=True))
+        # Top 10% of peers should hold well over 10% of documents.
+        assert sizes[:10].sum() > 0.25 * 5000
+
+    def test_uniform_is_flatter_than_weibull(self):
+        wei = partition_documents(5000, 100, "weibull", shape=0.5, seed=2)
+        uni = partition_documents(5000, 100, "uniform", seed=2)
+        assert np.std([len(p) for p in uni]) < np.std([len(p) for p in wei])
+
+    def test_deterministic(self):
+        a = partition_documents(100, 10, seed=5)
+        b = partition_documents(100, 10, seed=5)
+        for pa, pb in zip(a, b):
+            assert np.array_equal(pa, pb)
+
+    def test_zero_documents(self):
+        parts = partition_documents(0, 5, seed=0)
+        assert all(p.size == 0 for p in parts)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            partition_documents(10, 0)
+        with pytest.raises(ValueError):
+            partition_documents(-1, 5)
+        with pytest.raises(ValueError):
+            partition_documents(10, 5, distribution="exotic")
+
+
+class TestQuery:
+    def test_query_basics(self):
+        q = Query("q1", ("gossip", "peer"), frozenset({"d1"}))
+        assert q.text == "gossip peer"
+        assert len(q) == 2
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            Query("", ("t",))
+        with pytest.raises(ValueError):
+            Query("q1", ())

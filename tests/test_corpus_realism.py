@@ -1,0 +1,65 @@
+"""Tests for the corpus realism knobs (incomplete judgments, distractor
+terms) and their effect on measured search quality."""
+
+import pytest
+
+from repro.corpus.synthetic import generate_collection
+from repro.experiments.search_quality import build_testbed, evaluate_k
+
+
+class TestJudgmentRecall:
+    def test_partial_judgments_shrink_relevant_sets(self):
+        full = generate_collection("x", 200, 1500, 20, seed=6)
+        partial = generate_collection("x", 200, 1500, 20, judgment_recall=0.5, seed=6)
+        full_sizes = sum(len(q.relevant) for q in full.queries)
+        partial_sizes = sum(len(q.relevant) for q in partial.queries)
+        assert partial_sizes < full_sizes
+        assert all(q.relevant for q in partial.queries)  # never empty
+
+    def test_partial_judgments_lower_measured_precision(self):
+        """With incomplete judgments, even a good ranker returns 'unjudged'
+        documents — measured precision drops below 1.0, as with the real
+        Smart/TREC numbers."""
+        partial = generate_collection(
+            "x", 300, 2000, 15, judgment_recall=0.4, seed=7
+        )
+        testbed = build_testbed(partial, num_peers=40, seed=7)
+        point = evaluate_k(testbed, 20)
+        assert point.precision_idf < 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_collection("x", 10, 100, 2, judgment_recall=0.0)
+        with pytest.raises(ValueError):
+            generate_collection("x", 10, 100, 2, judgment_recall=1.5)
+
+
+class TestDistractors:
+    def test_distractor_terms_come_from_other_topics(self):
+        clean = generate_collection("x", 200, 1500, 30, seed=8)
+        noisy = generate_collection("x", 200, 1500, 30, distractor_prob=1.0, seed=8)
+        # Same generator stream up to query construction: the noisy run
+        # must differ in at least some query term sets.
+        clean_terms = [q.terms for q in clean.queries]
+        noisy_terms = [q.terms for q in noisy.queries]
+        assert clean_terms != noisy_terms
+
+    def test_distractors_do_not_break_evaluation(self):
+        noisy = generate_collection("x", 300, 2000, 15, distractor_prob=0.5, seed=9)
+        testbed = build_testbed(noisy, num_peers=40, seed=9)
+        point = evaluate_k(testbed, 20)
+        assert 0.0 <= point.recall_ipf <= 1.0
+        # IPF should still track IDF on blurred queries.
+        assert point.recall_ipf >= point.recall_idf - 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_collection("x", 10, 100, 2, distractor_prob=-0.1)
+
+    def test_defaults_unchanged(self):
+        a = generate_collection("x", 100, 800, 10, seed=3)
+        b = generate_collection(
+            "x", 100, 800, 10, judgment_recall=1.0, distractor_prob=0.0, seed=3
+        )
+        assert [q.terms for q in a.queries] == [q.terms for q in b.queries]
+        assert [q.relevant for q in a.queries] == [q.relevant for q in b.queries]

@@ -1,0 +1,99 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.synthetic import (
+    SyntheticCollection,
+    generate_collection,
+    make_vocabulary,
+)
+from repro.text.tokenizer import tokenize
+from repro.utils.rng import make_rng
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        words = make_vocabulary(500, make_rng(0))
+        assert len(words) == 500
+        assert len(set(words)) == 500
+
+    def test_words_survive_tokenization(self):
+        # The generator's contract: vocabulary words pass the tokenizer
+        # unchanged, so document terms and query terms coincide.
+        words = make_vocabulary(200, make_rng(1))
+        for w in words:
+            assert tokenize(w) == [w]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_vocabulary(0, make_rng(0))
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def coll(self) -> SyntheticCollection:
+        return generate_collection(
+            "test", num_documents=300, vocabulary_size=2000, num_queries=25, seed=7
+        )
+
+    def test_counts(self, coll):
+        assert coll.num_documents == 300
+        assert coll.num_queries == 25
+        assert len(coll.doc_topics) == 300
+
+    def test_documents_nonempty(self, coll):
+        assert all(d.text for d in coll.documents)
+        assert len({d.doc_id for d in coll.documents}) == 300
+
+    def test_relevance_judgments_consistent(self, coll):
+        """A query's relevant set is exactly the documents of its topic."""
+        doc_ids = {d.doc_id for d in coll.documents}
+        for q in coll.queries:
+            assert q.relevant  # every query has at least one relevant doc
+            assert q.relevant <= doc_ids
+
+    def test_queries_discriminative(self, coll):
+        """Query terms should actually appear in relevant documents far
+        more often than chance: at least half the relevant docs contain
+        at least one query term."""
+        by_id = {d.doc_id: d for d in coll.documents}
+        for q in coll.queries[:10]:
+            hits = sum(
+                1
+                for doc_id in q.relevant
+                if any(t in by_id[doc_id].text.split() for t in q.terms)
+            )
+            assert hits >= len(q.relevant) / 2
+
+    def test_deterministic(self):
+        a = generate_collection("x", 50, 500, 5, seed=3)
+        b = generate_collection("x", 50, 500, 5, seed=3)
+        assert [d.text for d in a.documents] == [d.text for d in b.documents]
+        assert [q.terms for q in a.queries] == [q.terms for q in b.queries]
+
+    def test_seed_changes_output(self):
+        a = generate_collection("x", 50, 500, 5, seed=3)
+        b = generate_collection("x", 50, 500, 5, seed=4)
+        assert [d.text for d in a.documents] != [d.text for d in b.documents]
+
+    def test_size_accounting(self, coll):
+        assert coll.total_text_bytes() == sum(len(d.text) for d in coll.documents)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_collection("x", 0, 100, 5)
+        with pytest.raises(ValueError):
+            generate_collection("x", 10, 100, 5, topic_mix=1.5)
+        with pytest.raises(ValueError):
+            generate_collection("x", 10, 100, 5, query_terms=(3, 2))
+
+    def test_zipf_term_distribution(self, coll):
+        """Term frequencies should be heavy-tailed (Zipf-ish): the top 1%
+        of terms covers a large share of tokens."""
+        from collections import Counter
+
+        counts = Counter(t for d in coll.documents for t in d.text.split())
+        freqs = np.array(sorted(counts.values(), reverse=True))
+        top = freqs[: max(1, len(freqs) // 100)].sum()
+        assert top / freqs.sum() > 0.10

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs clean and prints its story.
+
+The slower simulation examples are exercised at reduced scale by the
+benches; here we run the fast ones end-to-end as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "ranked 'gossip peer protocols'" in out
+    assert "peers contacted" in out
+    assert "IPF weights" in out
+
+
+def test_brokerage_demo():
+    out = _run("brokerage_demo.py")
+    assert "leaves gracefully" in out
+    assert "lost" in out  # the abrupt-leave data loss
+
+
+def test_pfs_demo():
+    out = _run("pfs_demo.py")
+    assert "/gossip directory" in out
+    assert "brokered snippets" in out
+    assert "reading" in out
+
+
+def test_ranked_search_example():
+    out = _run("ranked_search.py")
+    assert "adaptive" in out and "first-k" in out
+    assert "R idf" in out
+
+
+@pytest.mark.slow
+def test_dynamic_community_example():
+    out = _run("dynamic_community.py")
+    assert "convergence" in out
+    assert "aggregate gossip bandwidth" in out
+
+
+@pytest.mark.slow
+def test_gossip_scaling_example():
+    out = _run("gossip_scaling.py")
+    assert "AE-only" in out
+    assert "trade-off" in out

@@ -1,0 +1,232 @@
+"""Tests for the gossip building blocks: rumors, directory views,
+interval policy, message sizing, and target selection."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GossipConfig, WireSizes
+from repro.gossip.bandwidth_aware import BandwidthAwareSelector, FlatSelector
+from repro.gossip.directory import DirectoryView
+from repro.gossip.intervals import IntervalPolicy
+from repro.gossip.messages import MessageSizer
+from repro.gossip.rumor import Rumor, RumorKind, RumorRegistry
+from repro.utils.rng import make_rng
+
+
+class TestRumorRegistry:
+    def test_unique_ids(self):
+        reg = RumorRegistry()
+        a = reg.create(RumorKind.JOIN, 1, 100, 0.0)
+        b = reg.create(RumorKind.REJOIN, 2, 50, 1.0)
+        assert a.rid != b.rid
+        assert reg.get(a.rid) is a
+        assert len(reg) == 2
+        assert a.rid in reg
+
+    def test_payload_total(self):
+        reg = RumorRegistry()
+        a = reg.create(RumorKind.BF_UPDATE, 0, 3000, 0.0)
+        b = reg.create(RumorKind.REJOIN, 1, 48, 0.0)
+        assert reg.payload_total([a.rid, b.rid]) == 3048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rumor(0, RumorKind.JOIN, -1, 10, 0.0)
+        with pytest.raises(ValueError):
+            Rumor(0, RumorKind.JOIN, 1, -10, 0.0)
+
+
+class TestDirectoryView:
+    def test_learn_and_digest(self):
+        d = DirectoryView(0, 10)
+        assert d.learn(5)
+        assert not d.learn(5)  # duplicates ignored
+        assert d.knows(5)
+        other = DirectoryView(1, 10)
+        assert not d.same_directory(other)
+        other.learn(5)
+        assert d.same_directory(other)
+
+    def test_digest_order_independent(self):
+        a = DirectoryView(0, 10)
+        b = DirectoryView(1, 10)
+        for rid in (3, 1, 7):
+            a.learn(rid)
+        for rid in (7, 3, 1):
+            b.learn(rid)
+        assert a.same_directory(b)
+
+    def test_missing_from(self):
+        d = DirectoryView(0, 10)
+        d.learn(1)
+        assert d.missing_from({1, 2, 3}) == {2, 3}
+
+    def test_membership_tracking(self):
+        d = DirectoryView(0, 10)
+        d.add_member(3)
+        assert d.member_count == 1
+        assert d.believes_online[3]
+        d.mark_offline(3, now=100.0)
+        assert not d.believes_online[3]
+        d.mark_online(3)
+        assert d.believes_online[3]
+        assert 3 not in d.offline_since
+
+    def test_readding_member_not_double_counted(self):
+        d = DirectoryView(0, 10)
+        d.add_member(3)
+        d.add_member(3)
+        assert d.member_count == 1
+        d.mark_offline(3, 0.0)
+        d.add_member(3)  # rejoin rumor while believed offline
+        assert d.member_count == 1
+
+    def test_expire_dead(self):
+        d = DirectoryView(0, 10)
+        d.add_member(3)
+        d.add_member(4)
+        d.mark_offline(3, now=0.0)
+        dropped = d.expire_dead(now=10.0, t_dead_s=5.0)
+        assert dropped == [3]
+        assert d.member_count == 1
+
+    def test_online_candidates_exclude_owner(self):
+        d = DirectoryView(2, 5)
+        for pid in range(5):
+            d.add_member(pid)
+        assert 2 not in d.online_candidates().tolist()
+
+    def test_copy_membership(self):
+        donor = DirectoryView(0, 5)
+        donor.learn(9)
+        donor.add_member(1)
+        dup = DirectoryView(4, 5)
+        dup.copy_membership_from(donor)
+        assert dup.knows(9)
+        assert dup.member_count == donor.member_count
+        assert dup.same_directory(donor)
+
+
+class TestIntervalPolicy:
+    def test_slowdown_after_threshold(self):
+        cfg = GossipConfig()
+        policy = IntervalPolicy(cfg)
+        assert policy.interval == 30.0
+        assert not policy.record_no_news_contact()
+        assert policy.record_no_news_contact()  # second contact: slow down
+        assert policy.interval == 35.0
+
+    def test_capped_at_max(self):
+        cfg = GossipConfig(base_interval_s=30.0, max_interval_s=40.0)
+        policy = IntervalPolicy(cfg)
+        for _ in range(100):
+            policy.record_no_news_contact()
+        assert policy.interval == 40.0
+
+    def test_reset_snaps_to_base(self):
+        policy = IntervalPolicy(GossipConfig())
+        for _ in range(10):
+            policy.record_no_news_contact()
+        assert policy.interval > 30.0
+        assert policy.reset()
+        assert policy.interval == 30.0
+        assert not policy.reset()  # already at base
+
+
+class TestMessageSizer:
+    def test_table2_based_sizes(self):
+        cfg = GossipConfig()
+        sizer = MessageSizer(cfg)
+        assert sizer.rumor_push(0) == 3
+        assert sizer.rumor_push(2) == 3 + 12
+        assert sizer.rumor_reply(1, 2) == 3 + 18
+        assert sizer.rumor_data(3000) == 3003
+        assert sizer.ae_request() == 11
+        assert sizer.ae_nothing() == 3
+        assert sizer.ae_recent(5) == 3 + 30
+        assert sizer.ae_summary(1000) == 3 + 48_000
+        assert sizer.pull_request(4) == 3 + 24
+
+    def test_join_sizes_match_section72(self):
+        """Downloading 1000 filters of 20 000 keys ≈ 16 MB (Section 7.2)."""
+        cfg = GossipConfig()
+        wire = WireSizes()
+        sizer = MessageSizer(cfg, wire)
+        snapshot = sizer.join_snapshot(1000, wire.bloom_filter_bytes(20_000))
+        assert snapshot == pytest.approx(16e6, rel=0.05)
+
+    def test_bf_interpolation(self):
+        wire = WireSizes()
+        assert wire.bloom_filter_bytes(1000) == 3000
+        assert wire.bloom_filter_bytes(20000) == 16000
+        assert 3000 < wire.bloom_filter_bytes(10000) < 16000
+        assert wire.bloom_filter_bytes(0) == wire.header
+
+    def test_bf_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WireSizes().bloom_filter_bytes(-1)
+
+
+class TestSelectors:
+    def _directory(self, owner, n):
+        d = DirectoryView(owner, n)
+        for pid in range(n):
+            d.add_member(pid)
+        return d
+
+    def test_flat_never_selects_self_or_offline(self):
+        selector = FlatSelector(10)
+        d = self._directory(0, 10)
+        d.mark_offline(5, 0.0)
+        rng = make_rng(0)
+        for _ in range(200):
+            t = selector.rumor_target(d, rng)
+            assert t not in (0, 5)
+
+    def test_flat_none_when_alone(self):
+        selector = FlatSelector(1)
+        d = self._directory(0, 1)
+        assert selector.rumor_target(d, make_rng(0)) is None
+
+    def test_bandwidth_aware_classes(self):
+        from repro.constants import LINK_DSL, LINK_MODEM
+
+        speeds = np.array([LINK_DSL] * 8 + [LINK_MODEM] * 2)
+        selector = BandwidthAwareSelector(speeds, GossipConfig(bandwidth_aware=True))
+        assert selector.fast_pool.tolist() == list(range(8))
+        assert selector.slow_pool.tolist() == [8, 9]
+
+    def test_fast_peer_mostly_targets_fast(self):
+        from repro.constants import LINK_DSL, LINK_MODEM
+
+        speeds = np.array([LINK_DSL] * 8 + [LINK_MODEM] * 2)
+        selector = BandwidthAwareSelector(speeds, GossipConfig(bandwidth_aware=True))
+        d = self._directory(0, 10)
+        rng = make_rng(1)
+        targets = [selector.rumor_target(d, rng) for _ in range(500)]
+        slow_fraction = sum(1 for t in targets if t >= 8) / 500
+        assert slow_fraction < 0.05  # 1% nominal
+
+    def test_slow_source_pushes_to_fast_first(self):
+        from repro.constants import LINK_DSL, LINK_MODEM
+
+        speeds = np.array([LINK_DSL] * 8 + [LINK_MODEM] * 2)
+        selector = BandwidthAwareSelector(speeds, GossipConfig(bandwidth_aware=True))
+        d = self._directory(9, 10)
+        rng = make_rng(2)
+        # As rumor source, a slow peer targets the fast tier.
+        targets = {selector.rumor_target(d, rng, is_rumor_source=True) for _ in range(50)}
+        assert targets <= set(range(8))
+        # Otherwise it stays among slow peers.
+        targets = {selector.rumor_target(d, rng, is_rumor_source=False) for _ in range(50)}
+        assert targets == {8}
+
+    def test_fast_ae_targets_fast(self):
+        from repro.constants import LINK_DSL, LINK_MODEM
+
+        speeds = np.array([LINK_DSL] * 5 + [LINK_MODEM] * 5)
+        selector = BandwidthAwareSelector(speeds, GossipConfig(bandwidth_aware=True))
+        d = self._directory(0, 10)
+        rng = make_rng(3)
+        targets = {selector.ae_target(d, rng) for _ in range(100)}
+        assert targets <= set(range(1, 5))

@@ -1,0 +1,87 @@
+"""Tests for the stopping policies (eq. 4 and baselines)."""
+
+import pytest
+
+from repro.constants import RankingConfig
+from repro.ranking.stopping import AdaptiveStopping, FirstKStopping, NeverStop
+
+
+class TestEquation4:
+    def test_paper_formula(self):
+        cfg = RankingConfig()
+        # p = floor(2 + N/300) + 2*floor(k/50)
+        assert cfg.stopping_p(0, 0) == 2
+        assert cfg.stopping_p(300, 0) == 3
+        assert cfg.stopping_p(900, 0) == 5
+        assert cfg.stopping_p(0, 50) == 4
+        assert cfg.stopping_p(0, 100) == 6
+        assert cfg.stopping_p(600, 150) == 10
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            RankingConfig().stopping_p(-1, 10)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RankingConfig(n_divisor=0)
+        with pytest.raises(ValueError):
+            RankingConfig(group_size=0)
+
+
+class TestAdaptiveStopping:
+    def test_does_not_stop_before_k_retrieved(self):
+        policy = AdaptiveStopping()
+        policy.reset(community_size=300, k=10)
+        # Lots of unproductive peers but still fewer than k docs: keep going.
+        for _ in range(20):
+            policy.observe(contributed=False, total_retrieved=5)
+        assert not policy.should_stop()
+
+    def test_stops_after_p_unproductive(self):
+        policy = AdaptiveStopping()
+        policy.reset(community_size=0, k=10)  # p = 2
+        policy.observe(contributed=True, total_retrieved=10)
+        assert not policy.should_stop()
+        policy.observe(contributed=False, total_retrieved=10)
+        assert not policy.should_stop()
+        policy.observe(contributed=False, total_retrieved=10)
+        assert policy.should_stop()
+
+    def test_contribution_resets_streak(self):
+        policy = AdaptiveStopping()
+        policy.reset(community_size=0, k=1)  # p = 2
+        policy.observe(contributed=False, total_retrieved=1)
+        policy.observe(contributed=True, total_retrieved=1)
+        policy.observe(contributed=False, total_retrieved=1)
+        assert not policy.should_stop()
+
+    def test_p_property(self):
+        policy = AdaptiveStopping()
+        policy.reset(community_size=600, k=100)
+        assert policy.p == 2 + 2 + 4
+
+    def test_reset_clears_state(self):
+        policy = AdaptiveStopping()
+        policy.reset(0, 1)
+        policy.observe(False, 1)
+        policy.observe(False, 1)
+        assert policy.should_stop()
+        policy.reset(0, 1)
+        assert not policy.should_stop()
+
+
+class TestBaselines:
+    def test_first_k_stops_at_k(self):
+        policy = FirstKStopping()
+        policy.reset(community_size=100, k=5)
+        policy.observe(True, 4)
+        assert not policy.should_stop()
+        policy.observe(True, 5)
+        assert policy.should_stop()
+
+    def test_never_stop(self):
+        policy = NeverStop()
+        policy.reset(100, 5)
+        for _ in range(1000):
+            policy.observe(False, 10_000)
+        assert not policy.should_stop()

@@ -1,0 +1,78 @@
+"""Tests for the centralized TF×IDF baseline."""
+
+import math
+
+import pytest
+
+from repro.ranking.tfidf import CentralizedTFIDF, RankedDoc
+
+
+@pytest.fixture
+def engine() -> CentralizedTFIDF:
+    e = CentralizedTFIDF()
+    e.add_document("d-gossip", {"gossip": 3, "protocol": 1})
+    e.add_document("d-bloom", {"bloom": 2, "filter": 2})
+    e.add_document("d-both", {"gossip": 1, "bloom": 1, "filter": 1})
+    e.add_document("d-noise", {"unrelated": 5})
+    return e
+
+
+class TestScoring:
+    def test_idf_values(self, engine):
+        # 'gossip' occurs 4 times in a 4-document collection.
+        assert engine.idf("gossip") == pytest.approx(math.log(1 + 4 / 4))
+        assert engine.idf("never-seen") == 0.0
+
+    def test_matching_docs_scored(self, engine):
+        scores = engine.score_documents(["gossip"])
+        assert set(scores) == {"d-gossip", "d-both"}
+        assert scores["d-gossip"] > scores["d-both"]
+
+    def test_multi_term_union(self, engine):
+        scores = engine.score_documents(["gossip", "bloom"])
+        assert set(scores) == {"d-gossip", "d-bloom", "d-both"}
+
+    def test_unknown_term_ignored(self, engine):
+        assert engine.score_documents(["never-seen"]) == {}
+
+    def test_duplicate_query_terms_counted_once(self, engine):
+        once = engine.score_documents(["gossip"])
+        twice = engine.score_documents(["gossip", "gossip"])
+        assert once == twice
+
+
+class TestRanking:
+    def test_rank_order_and_k(self, engine):
+        top = engine.rank(["gossip", "bloom", "filter"], k=2)
+        assert len(top) == 2
+        assert top[0].score >= top[1].score
+
+    def test_rank_k_zero(self, engine):
+        assert engine.rank(["gossip"], k=0) == []
+
+    def test_rank_k_negative(self, engine):
+        with pytest.raises(ValueError):
+            engine.rank(["gossip"], k=-1)
+
+    def test_deterministic_tiebreak(self):
+        e = CentralizedTFIDF()
+        e.add_document("b", {"tt": 1})
+        e.add_document("a", {"tt": 1})
+        top = e.rank(["tt"], k=2)
+        assert [r.doc_id for r in top] == ["a", "b"]
+
+    def test_length_normalization_prefers_focused_docs(self):
+        e = CentralizedTFIDF()
+        e.add_document("short", {"zz": 1})
+        e.add_document("long", {"zz": 1, **{f"pad{i}": 1 for i in range(99)}})
+        top = e.rank(["zz"], k=2)
+        assert top[0].doc_id == "short"
+
+    def test_peers_required(self, engine):
+        ranked = [RankedDoc("d-gossip", 1.0), RankedDoc("d-both", 0.5)]
+        owners = {"d-gossip": 3, "d-both": 3, "d-bloom": 1}
+        assert engine.peers_required(ranked, owners) == {3}
+
+    def test_ranked_doc_validation(self):
+        with pytest.raises(ValueError):
+            RankedDoc("d", -0.1)

@@ -1,0 +1,161 @@
+"""Tests for TF×IPF peer ranking and the distributed search loop."""
+
+import math
+
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.ranking.stopping import AdaptiveStopping, FirstKStopping, NeverStop
+from repro.ranking.tfidf import RankedDoc
+from repro.ranking.tfipf import TFIPFSearch, compute_ipf, rank_peers
+
+
+class StubBackend:
+    """A hand-wired community: explicit filters and canned local results."""
+
+    def __init__(self, peer_terms: dict[int, list[str]], peer_docs: dict[int, list[RankedDoc]]):
+        self._filters = {}
+        for pid, terms in peer_terms.items():
+            bf = BloomFilter(8192, 2)
+            bf.add_many(terms)
+            self._filters[pid] = bf
+        self._docs = peer_docs
+        self.queries: list[int] = []
+
+    def online_peer_ids(self):
+        return sorted(self._filters)
+
+    def peer_filter(self, pid):
+        return self._filters[pid]
+
+    def query_peer(self, pid, terms, ipf, k):
+        self.queries.append(pid)
+        return self._docs.get(pid, [])[:k]
+
+
+@pytest.fixture
+def backend() -> StubBackend:
+    return StubBackend(
+        peer_terms={
+            0: ["gossip", "bloom"],
+            1: ["gossip"],
+            2: ["bloom"],
+            3: ["unrelated"],
+        },
+        peer_docs={
+            0: [RankedDoc("a0", 3.0), RankedDoc("b0", 2.0)],
+            1: [RankedDoc("a1", 2.5)],
+            2: [RankedDoc("a2", 1.0)],
+        },
+    )
+
+
+class TestIPFComputation:
+    def test_ipf_counts_filters(self, backend):
+        ipf, hits = compute_ipf(["gossip", "bloom", "absent"], backend)
+        # gossip on 2 of 4 peers, bloom on 2 of 4, absent on none.
+        assert ipf["gossip"] == pytest.approx(math.log(1 + 4 / 2))
+        assert ipf["bloom"] == pytest.approx(math.log(1 + 4 / 2))
+        assert ipf["absent"] == 0.0
+        assert set(hits) == {0, 1, 2}
+
+    def test_rank_peers_equation3(self, backend):
+        ranking, ipf = rank_peers(["gossip", "bloom"], backend)
+        # Peer 0 has both terms: top rank; 1 and 2 tie, break on id.
+        assert [pid for pid, _ in ranking] == [0, 1, 2]
+        assert ranking[0][1] == pytest.approx(ipf["gossip"] + ipf["bloom"])
+
+    def test_peers_without_terms_excluded(self, backend):
+        ranking, _ = rank_peers(["gossip"], backend)
+        assert all(pid in (0, 1) for pid, _ in ranking)
+
+
+class TestSearchLoop:
+    def test_search_returns_merged_topk(self, backend):
+        search = TFIPFSearch(backend, stopping=NeverStop())
+        result = search.search(["gossip", "bloom"], k=3)
+        assert result.doc_ids() == ["a0", "a1", "b0"]
+        assert result.peers_contacted == [0, 1, 2]
+
+    def test_adaptive_stopping_prunes_contacts(self):
+        # 30 peers hold the term; only the first holds good documents and
+        # every later peer returns nothing. With p=2, the search should
+        # stop after ~k retrieved + 2 unproductive peers.
+        peer_terms = {pid: ["tt"] for pid in range(30)}
+        peer_docs = {0: [RankedDoc(f"d{i}", 10.0 - i) for i in range(5)]}
+        backend = StubBackend(peer_terms, peer_docs)
+        search = TFIPFSearch(backend, stopping=AdaptiveStopping())
+        result = search.search(["tt"], k=3)
+        assert result.num_peers_contacted < 10
+
+    def test_first_k_stops_immediately(self, backend):
+        search = TFIPFSearch(backend, stopping=FirstKStopping())
+        result = search.search(["gossip", "bloom"], k=2)
+        assert result.num_peers_contacted == 1  # peer 0 returned 2 docs
+
+    def test_group_size_contacts_in_parallel(self, backend):
+        search = TFIPFSearch(backend, stopping=FirstKStopping(), group_size=3)
+        result = search.search(["gossip", "bloom"], k=2)
+        # The whole first group is contacted even though peer 0 sufficed.
+        assert result.num_peers_contacted == 3
+
+    def test_duplicate_docs_keep_best_score(self):
+        backend = StubBackend(
+            peer_terms={0: ["tt"], 1: ["tt"]},
+            peer_docs={
+                0: [RankedDoc("shared", 1.0)],
+                1: [RankedDoc("shared", 2.0)],
+            },
+        )
+        search = TFIPFSearch(backend, stopping=NeverStop())
+        result = search.search(["tt"], k=1)
+        assert result.results == [RankedDoc("shared", 2.0)]
+
+    def test_k_validation(self, backend):
+        search = TFIPFSearch(backend)
+        with pytest.raises(ValueError):
+            search.search(["gossip"], k=0)
+
+    def test_group_size_validation(self, backend):
+        with pytest.raises(ValueError):
+            TFIPFSearch(backend, group_size=0)
+
+    def test_no_matching_peers(self, backend):
+        search = TFIPFSearch(backend)
+        result = search.search(["nothing-has-this"], k=5)
+        assert result.results == []
+        assert result.peers_contacted == []
+
+
+class TestEvaluationMetrics:
+    def test_recall_precision(self):
+        from repro.ranking.evaluation import precision, recall
+
+        relevant = {"a", "b", "c", "d"}
+        presented = ["a", "b", "x"]
+        assert recall(presented, relevant) == pytest.approx(0.5)
+        assert precision(presented, relevant) == pytest.approx(2 / 3)
+
+    def test_edge_cases(self):
+        from repro.ranking.evaluation import precision, recall
+
+        assert recall(["x"], set()) == 1.0
+        assert precision([], {"a"}) == 1.0
+
+    def test_averaging(self):
+        from repro.corpus.queries import Query
+        from repro.ranking.evaluation import average_recall_precision
+
+        q1 = Query("q1", ("t",), frozenset({"a", "b"}))
+        q2 = Query("q2", ("t",), frozenset({"c"}))
+        avg_r, avg_p = average_recall_precision(
+            [(q1, ["a"]), (q2, ["c", "x"])]
+        )
+        assert avg_r == pytest.approx((0.5 + 1.0) / 2)
+        assert avg_p == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_empty_average_raises(self):
+        from repro.ranking.evaluation import average_recall_precision
+
+        with pytest.raises(ValueError):
+            average_recall_precision([])

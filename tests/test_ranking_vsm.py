@@ -1,0 +1,88 @@
+"""Tests for the vector-space weight functions (eqs. in Section 5.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranking.vsm import (
+    document_term_weight,
+    inverse_document_frequency,
+    inverse_peer_frequency,
+    similarity_from_parts,
+)
+
+
+class TestIDF:
+    def test_formula(self):
+        assert inverse_document_frequency(100, 10) == pytest.approx(math.log(11))
+
+    def test_rare_terms_weigh_more(self):
+        assert inverse_document_frequency(1000, 1) > inverse_document_frequency(1000, 500)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_document_frequency(100, 0)
+
+
+class TestIPF:
+    def test_formula(self):
+        # IPF_t = log(1 + N/N_t)
+        assert inverse_peer_frequency(400, 40) == pytest.approx(math.log(11))
+
+    def test_zero_peers_with_term_gives_zero(self):
+        assert inverse_peer_frequency(400, 0) == 0.0
+
+    def test_ubiquitous_term_weighs_least(self):
+        # A term on every peer is least discriminating (but not zero:
+        # log(2)).
+        assert inverse_peer_frequency(100, 100) == pytest.approx(math.log(2))
+        assert inverse_peer_frequency(100, 1) > inverse_peer_frequency(100, 100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_peer_frequency(-1, 0)
+
+
+class TestDocWeight:
+    def test_formula(self):
+        assert document_term_weight(1) == pytest.approx(1.0)
+        assert document_term_weight(10) == pytest.approx(1 + math.log(10))
+
+    def test_absent_term_zero(self):
+        assert document_term_weight(0) == 0.0
+
+    def test_sublinear_in_tf(self):
+        # Doubling tf should much-less-than-double the weight.
+        assert document_term_weight(20) < 2 * document_term_weight(10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            document_term_weight(-1)
+
+
+class TestSimilarity:
+    def test_normalization(self):
+        assert similarity_from_parts(10.0, 4) == pytest.approx(5.0)
+
+    def test_empty_document(self):
+        assert similarity_from_parts(0.0, 0) == 0.0
+
+    def test_longer_documents_penalized(self):
+        assert similarity_from_parts(10.0, 100) < similarity_from_parts(10.0, 10)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_from_parts(1.0, -1)
+
+
+@given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=50, deadline=None)
+def test_property_ipf_monotone_in_rarity(n, nt):
+    """Fewer peers holding a term => higher IPF (for fixed N)."""
+    nt = min(nt, n)
+    ipf = inverse_peer_frequency(n, nt)
+    if nt > 1:
+        assert inverse_peer_frequency(n, nt - 1) > ipf
+    assert ipf > 0

@@ -1,0 +1,32 @@
+"""Tests for the experiment CLI (argument handling + fast commands)."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "30 s" in out
+
+    def test_table1_fast_runs(self, capsys):
+        assert main(["table1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "bloom_insert" in out and "no. keys" in out
+
+    def test_table3_fast_runs(self, capsys):
+        assert main(["table3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "AP89" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

@@ -1,0 +1,109 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, log.append, "late")
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(3.0, log.append, "middle")
+        sim.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, log.append, i)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule_at(5.0, lambda: None)
+        assert sim.run() == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(10.0, log.append, "b")
+        sim.run(until=5.0)
+        assert log == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending() == 1
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_stop_when(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(float(i + 1), log.append, i)
+        sim.run(stop_when=lambda: len(log) >= 3)
+        assert log == [0, 1, 2]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(1.0, log.append, i)
+        sim.run(max_events=4)
+        assert len(log) == 4
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        keep = sim.schedule(1.0, log.append, "keep")
+        drop = sim.schedule(2.0, log.append, "drop")
+        sim.cancel(drop)
+        sim.run()
+        assert log == ["keep"]
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_run == 3
+
+    def test_empty_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0

@@ -1,0 +1,62 @@
+"""Tests for the analysis pipeline and stop words."""
+
+from collections import Counter
+
+from repro.text.analyzer import Analyzer
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_common_function_words_present(self):
+        for w in ("the", "of", "and", "is", "etc"):
+            assert is_stopword(w)
+
+    def test_content_words_absent(self):
+        for w in ("gossip", "bloom", "filter", "peer"):
+            assert not is_stopword(w)
+
+    def test_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self):
+        a = Analyzer()
+        assert a.analyze("The cats are running") == ["cat", "run"]
+
+    def test_no_stopword_removal(self):
+        a = Analyzer(remove_stopwords=False, stem=True)
+        assert "the" in a.analyze("the cats")
+
+    def test_no_stemming(self):
+        a = Analyzer(remove_stopwords=True, stem=False)
+        assert a.analyze("the cats are running") == ["cats", "running"]
+
+    def test_term_frequencies(self):
+        a = Analyzer(remove_stopwords=False, stem=False)
+        freqs = a.term_frequencies("ab ab cd")
+        assert freqs == Counter({"ab": 2, "cd": 1})
+
+    def test_analyze_query_dedups_preserving_order(self):
+        a = Analyzer(remove_stopwords=False, stem=False)
+        assert a.analyze_query("zz yy zz xx yy") == ["zz", "yy", "xx"]
+
+    def test_query_and_document_agree(self):
+        """The invariant everything rests on: queries and documents map
+        through the identical pipeline, so terms align."""
+        a = Analyzer()
+        doc_terms = set(a.analyze("distributed systems are running experiments"))
+        query_terms = a.analyze_query("running experiment")
+        assert all(t in doc_terms for t in query_terms)
+
+    def test_stem_cache_consistency(self):
+        a = Analyzer()
+        first = a.analyze("running running running")
+        second = a.analyze("running")
+        assert first == ["run", "run", "run"]
+        assert second == ["run"]
+
+    def test_empty_text(self):
+        a = Analyzer()
+        assert a.analyze("") == []
+        assert a.term_frequencies("") == Counter()

@@ -1,0 +1,141 @@
+"""Tests for the Porter stemmer against the algorithm's published examples."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.porter import PorterStemmer, porter_stem
+
+# Examples from Porter's 1980 paper, step by step.
+STEP_EXAMPLES = [
+    # step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    # step 1b cleanup
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    # step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # step 5
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", STEP_EXAMPLES)
+def test_porter_paper_examples(word, expected):
+    assert porter_stem(word) == expected
+
+
+class TestGeneralBehaviour:
+    def test_short_words_unchanged(self):
+        for w in ("a", "is", "be"):
+            assert porter_stem(w) == w
+
+    def test_common_conflations(self):
+        # The property stemming exists for: variants conflate.
+        assert porter_stem("running") == porter_stem("runs") == "run"
+        assert porter_stem("connected") == porter_stem("connecting") == "connect"
+
+    def test_measure(self):
+        m = PorterStemmer._measure
+        assert m("tr") == 0
+        assert m("ee") == 0
+        assert m("tree") == 0
+        assert m("trouble") == 1
+        assert m("oats") == 1
+        assert m("ivy") == 1
+        assert m("troubles") == 2
+        assert m("oaten") == 2
+        assert m("private") == 2
+
+    def test_cvc(self):
+        assert PorterStemmer._ends_cvc("hop")
+        assert not PorterStemmer._ends_cvc("snow")  # ends in w
+        assert not PorterStemmer._ends_cvc("box")  # ends in x
+        assert not PorterStemmer._ends_cvc("tray")  # ends in y
+
+    def test_y_as_vowel(self):
+        # 'y' after a consonant acts as a vowel.
+        assert PorterStemmer._contains_vowel("syzygy")
+        assert not PorterStemmer._contains_vowel("tr")
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_property_stem_total_and_idempotent_shape(word):
+    """Stemming never crashes, never grows a word, and yields lowercase."""
+    stem = porter_stem(word)
+    assert len(stem) <= len(word)
+    assert stem == stem.lower()

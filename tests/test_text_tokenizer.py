@@ -1,0 +1,57 @@
+"""Tests for the tokenizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import MAX_TOKEN_LEN, MIN_TOKEN_LEN, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_splits_on_punctuation(self):
+        assert tokenize("peer-to-peer, gossip!") == ["peer", "to", "peer", "gossip"]
+
+    def test_keeps_digits(self):
+        assert tokenize("trec 1989 ap89") == ["trec", "1989", "ap89"]
+
+    def test_drops_single_chars(self):
+        assert tokenize("a b cd") == ["cd"]
+
+    def test_drops_overlong_tokens(self):
+        long_token = "x" * (MAX_TOKEN_LEN + 1)
+        assert tokenize(f"ok {long_token}") == ["ok"]
+
+    def test_empty_and_whitespace(self):
+        assert tokenize("") == []
+        assert tokenize("   \n\t ") == []
+
+    def test_apostrophes_split(self):
+        assert tokenize("don't") == ["don"]  # the lone "t" is dropped
+
+    def test_order_preserved(self):
+        assert tokenize("zz yy xx") == ["zz", "yy", "xx"]
+
+    def test_unicode_stripped_to_ascii_words(self):
+        # Non-ASCII letters act as separators in this deliberately simple
+        # community-wide tokenizer.
+        assert tokenize("café" ) == ["caf"]
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_property_tokens_are_well_formed(text):
+    """Every token is lowercase alphanumeric within the length bounds."""
+    for tok in tokenize(text):
+        assert MIN_TOKEN_LEN <= len(tok) <= MAX_TOKEN_LEN
+        assert tok == tok.lower()
+        assert tok.isalnum()
+
+
+@given(st.text(max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_property_idempotent_through_rejoin(text):
+    """Tokenizing the joined token stream returns the same stream."""
+    tokens = tokenize(text)
+    assert tokenize(" ".join(tokens)) == tokens

@@ -1,0 +1,71 @@
+"""Tests for XML snippet handling and the document model."""
+
+import pytest
+
+from repro.text.document import Document
+from repro.text.xmlsnippets import XMLSnippet, extract_text
+
+
+class TestExtractText:
+    def test_element_text(self):
+        assert "hello" in extract_text("<doc>hello</doc>")
+
+    def test_tags_indexed_as_terms(self):
+        # The paper: "XML tags are indexed simply as normal terms."
+        text = extract_text("<article><title>gossip</title></article>")
+        assert "article" in text and "title" in text and "gossip" in text
+
+    def test_tags_can_be_excluded(self):
+        text = extract_text("<doc>body</doc>", include_tags=False)
+        assert "doc" not in text.split()
+        assert "body" in text
+
+    def test_attributes_included(self):
+        text = extract_text('<file url="http://x/y">content</file>')
+        assert "http://x/y" in text
+
+    def test_nested_and_tail_text(self):
+        text = extract_text("<a>one<b>two</b>three</a>")
+        for word in ("one", "two", "three"):
+            assert word in text
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            extract_text("<unclosed>")
+
+
+class TestXMLSnippet:
+    def test_valid_snippet(self):
+        s = XMLSnippet("s1", "<doc>some text</doc>")
+        assert "some text" in s.text()
+
+    def test_malformed_rejected_at_publish(self):
+        with pytest.raises(ValueError):
+            XMLSnippet("s1", "<broken")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            XMLSnippet("", "<doc>x</doc>")
+
+    def test_to_document(self):
+        s = XMLSnippet("s1", "<doc>payload words</doc>", {"url": "http://x"})
+        doc = s.to_document()
+        assert doc.doc_id == "s1"
+        assert "payload" in doc.text
+        assert doc.metadata["url"] == "http://x"
+
+
+class TestDocument:
+    def test_basics(self):
+        d = Document("d1", "body text", {"k": "v"})
+        assert len(d) == len("body text")
+        assert d.metadata["k"] == "v"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Document("", "text")
+
+    def test_frozen(self):
+        d = Document("d1", "text")
+        with pytest.raises(AttributeError):
+            d.text = "other"

@@ -1,0 +1,152 @@
+"""Unit and property tests for the numpy bit array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitops import BitArray
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        bits = BitArray(100)
+        assert bits.count() == 0
+        assert not bits.get(0)
+        assert not bits.get(99)
+
+    def test_set_get_clear(self):
+        bits = BitArray(100)
+        bits.set(7)
+        assert bits.get(7)
+        bits.clear(7)
+        assert not bits.get(7)
+
+    def test_boundary_bits(self):
+        bits = BitArray(130)  # spans three words
+        for idx in (0, 63, 64, 127, 128, 129):
+            bits.set(idx)
+            assert bits.get(idx)
+        assert bits.count() == 6
+
+    def test_out_of_range_raises(self):
+        bits = BitArray(10)
+        with pytest.raises(IndexError):
+            bits.set(10)
+        with pytest.raises(IndexError):
+            bits.get(-1)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            BitArray(0)
+
+    def test_len(self):
+        assert len(BitArray(77)) == 77
+
+
+class TestBulk:
+    def test_set_many_and_get_many(self):
+        bits = BitArray(1000)
+        idx = np.array([1, 500, 999, 63, 64])
+        bits.set_many(idx)
+        assert bits.get_many(idx).all()
+        assert not bits.get_many(np.array([2, 3])).any()
+
+    def test_set_many_duplicates(self):
+        bits = BitArray(64)
+        bits.set_many(np.array([5, 5, 5]))
+        assert bits.count() == 1
+
+    def test_set_many_empty(self):
+        bits = BitArray(64)
+        bits.set_many(np.array([], dtype=np.int64))
+        assert bits.count() == 0
+
+    def test_set_many_out_of_range(self):
+        bits = BitArray(64)
+        with pytest.raises(IndexError):
+            bits.set_many(np.array([64]))
+
+    def test_set_bit_positions_roundtrip(self):
+        bits = BitArray(500)
+        idx = np.array([0, 63, 64, 100, 499])
+        bits.set_many(idx)
+        assert np.array_equal(bits.set_bit_positions(), np.sort(idx))
+
+
+class TestAlgebra:
+    def test_union(self):
+        a, b = BitArray(128), BitArray(128)
+        a.set(1)
+        b.set(100)
+        a.union_inplace(b)
+        assert a.get(1) and a.get(100)
+        assert b.count() == 1  # b untouched
+
+    def test_intersection(self):
+        a, b = BitArray(128), BitArray(128)
+        a.set_many(np.array([1, 2, 3]))
+        b.set_many(np.array([2, 3, 4]))
+        a.intersection_inplace(b)
+        assert np.array_equal(a.set_bit_positions(), np.array([2, 3]))
+
+    def test_difference_words(self):
+        a, b = BitArray(64), BitArray(64)
+        a.set_many(np.array([1, 2]))
+        b.set(1)
+        diff = a.difference_words(b)
+        only_in_a = BitArray(64, diff.copy())
+        assert np.array_equal(only_in_a.set_bit_positions(), np.array([2]))
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitArray(64).union_inplace(BitArray(128))
+
+    def test_equality_and_copy(self):
+        a = BitArray(100)
+        a.set(42)
+        b = a.copy()
+        assert a == b
+        b.set(43)
+        assert a != b
+
+    def test_clear_all(self):
+        a = BitArray(100)
+        a.set_many(np.arange(50))
+        a.clear_all()
+        assert a.count() == 0
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self):
+        a = BitArray(300)
+        a.set_many(np.array([0, 64, 299]))
+        b = BitArray.from_bytes(300, a.to_bytes())
+        assert a == b
+
+
+@given(st.sets(st.integers(min_value=0, max_value=999), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_positions_roundtrip(indices):
+    """Whatever set of bits we set is exactly what we read back."""
+    bits = BitArray(1000)
+    if indices:
+        bits.set_many(np.array(sorted(indices)))
+    assert set(bits.set_bit_positions().tolist()) == indices
+    assert bits.count() == len(indices)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=499), max_size=100),
+    st.sets(st.integers(min_value=0, max_value=499), max_size=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_union_is_set_union(a_idx, b_idx):
+    """Bit union equals set union."""
+    a, b = BitArray(500), BitArray(500)
+    if a_idx:
+        a.set_many(np.array(sorted(a_idx)))
+    if b_idx:
+        b.set_many(np.array(sorted(b_idx)))
+    a.union_inplace(b)
+    assert set(a.set_bit_positions().tolist()) == a_idx | b_idx

@@ -1,0 +1,100 @@
+"""Tests for the Weibull/Zipf/categorical sampling helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.distributions import sample_categorical, weibull_weights, zipf_pmf
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestWeibull:
+    def test_normalized(self):
+        w = weibull_weights(50, rng=make_rng(0))
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+    def test_skew_below_one_shape(self):
+        # Shape < 1 should be heavily skewed: top peer ≫ median peer.
+        w = weibull_weights(1000, shape=0.5, rng=make_rng(0))
+        assert w.max() > 10 * np.median(w)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            weibull_weights(0)
+        with pytest.raises(ValueError):
+            weibull_weights(10, shape=-1)
+
+
+class TestZipf:
+    def test_normalized_and_monotone(self):
+        pmf = zipf_pmf(100, 1.0)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (np.diff(pmf) <= 0).all()
+
+    def test_exponent_zero_is_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert pmf == pytest.approx(np.full(10, 0.1))
+
+    def test_rank_one_dominance(self):
+        pmf = zipf_pmf(1000, 1.0)
+        assert pmf[0] / pmf[9] == pytest.approx(10.0, rel=1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0)
+        with pytest.raises(ValueError):
+            zipf_pmf(10, -0.5)
+
+
+class TestCategorical:
+    def test_matches_pmf_statistically(self):
+        pmf = np.array([0.7, 0.2, 0.1])
+        draws = sample_categorical(pmf, 20000, make_rng(1))
+        freq = np.bincount(draws, minlength=3) / draws.size
+        assert freq == pytest.approx(pmf, abs=0.02)
+
+    def test_zero_size(self):
+        assert sample_categorical(np.array([1.0]), 0, make_rng(0)).size == 0
+
+    def test_unnormalized_pmf_ok(self):
+        draws = sample_categorical(np.array([2.0, 2.0]), 1000, make_rng(0))
+        assert set(draws.tolist()) == {0, 1}
+
+    def test_invalid_pmfs(self):
+        rng = make_rng(0)
+        with pytest.raises(ValueError):
+            sample_categorical(np.array([-1.0, 2.0]), 10, rng)
+        with pytest.raises(ValueError):
+            sample_categorical(np.array([0.0, 0.0]), 10, rng)
+        with pytest.raises(ValueError):
+            sample_categorical(np.array([]), 10, rng)
+
+
+@given(st.integers(min_value=1, max_value=50), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_categorical_in_range(vocab, seed):
+    """Samples always index into the pmf."""
+    pmf = zipf_pmf(vocab, 1.0)
+    draws = sample_categorical(pmf, 100, make_rng(seed))
+    assert draws.min() >= 0 and draws.max() < vocab
+
+
+class TestRngHelpers:
+    def test_make_rng_passthrough(self):
+        gen = make_rng(5)
+        assert make_rng(gen) is gen
+
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_spawn_independent(self):
+        children = spawn_rngs(3, 4)
+        assert len(children) == 4
+        draws = {c.random() for c in children}
+        assert len(draws) == 4  # streams differ
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

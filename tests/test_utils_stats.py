@@ -1,0 +1,79 @@
+"""Tests for the statistics helpers (linear fits, CDFs, summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import cdf_points, fit_linear, percentile, summarize
+
+
+class TestFitLinear:
+    def test_exact_line(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])  # y = 1 + 2x
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0, 10], [5, 25])
+        assert fit.predict(5) == pytest.approx(15.0)
+
+    def test_noisy_r_squared_below_one(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(50.0)
+        y = 2 * x + rng.normal(0, 5, 50)
+        fit = fit_linear(x, y)
+        assert 0.8 < fit.r_squared < 1.0
+        assert fit.slope == pytest.approx(2.0, abs=0.3)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            fit_linear([3, 3, 3], [1, 2, 3])
+
+    def test_constant_y(self):
+        fit = fit_linear([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_format_cost(self):
+        fit = fit_linear([0, 1], [4.0, 4.011])
+        assert "no. keys" in fit.format_cost()
+
+
+class TestCdf:
+    def test_sorted_and_normalized(self):
+        xs, ps = cdf_points([3.0, 1.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert ps.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        xs, ps = cdf_points([])
+        assert xs.size == 0 and ps.size == 0
+
+    def test_duplicates_kept(self):
+        xs, ps = cdf_points([5.0, 5.0])
+        assert xs.tolist() == [5.0, 5.0]
+        assert ps[-1] == pytest.approx(1.0)
+
+
+class TestSummaries:
+    def test_percentile(self):
+        assert percentile(range(101), 90) == pytest.approx(90.0)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summarize_keys(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["median"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
