@@ -165,6 +165,24 @@ class BloomFilter:
         if self.hashes != other.hashes:
             raise ValueError("Bloom filters use incompatible hash families")
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_compressed(self) -> bytes:
+        """Golomb-compressed wire encoding (Section 7.1's gossip format)."""
+        from repro.bloom.compress import compress_filter
+
+        return compress_filter(self)
+
+    @classmethod
+    def from_compressed(
+        cls, data: bytes, num_hashes: int = 2, num_inserted: int = 0
+    ) -> "BloomFilter":
+        """Inverse of :meth:`to_compressed` (hash count is community-wide
+        metadata, not carried on the wire)."""
+        from repro.bloom.compress import decompress_filter
+
+        return decompress_filter(data, num_hashes=num_hashes, num_inserted=num_inserted)
+
     # -- accounting ----------------------------------------------------------------
 
     def bit_count(self) -> int:

@@ -132,6 +132,27 @@ PROTOTYPE_BF_CAPACITY: int = 50_000
 DEFAULT_BF_HASHES: int = 2
 
 # --------------------------------------------------------------------------
+# repro.net defaults (real-socket deployment; not from the paper)
+# --------------------------------------------------------------------------
+
+#: Default TCP port for `python -m repro.net` nodes (0 = ephemeral).
+NET_DEFAULT_PORT: int = 9301
+
+#: Hard upper bound on one wire frame.  The largest legitimate message is
+#: a join snapshot (~16 MB for 1000 peers per Section 7.2); anything
+#: bigger is treated as a protocol error and the connection is dropped.
+NET_MAX_FRAME_BYTES: int = 64 * 1024 * 1024
+
+#: How long a node waits for a TCP connection to be established (seconds).
+NET_CONNECT_TIMEOUT_S: float = 5.0
+
+#: How long a node waits for the response to one RPC (seconds).
+NET_REQUEST_TIMEOUT_S: float = 30.0
+
+#: Wire-format version byte carried in every codec frame.
+NET_CODEC_VERSION: int = 1
+
+# --------------------------------------------------------------------------
 # Section 6 PFS parameters
 # --------------------------------------------------------------------------
 
@@ -211,6 +232,22 @@ class RankingConfig:
         return int(self.a + community_size // self.n_divisor) + self.k_coeff * (
             k // self.k_divisor
         )
+
+
+@dataclass
+class NetConfig:
+    """Tunables of the real network layer (:mod:`repro.net`)."""
+
+    max_frame_bytes: int = NET_MAX_FRAME_BYTES
+    connect_timeout_s: float = NET_CONNECT_TIMEOUT_S
+    request_timeout_s: float = NET_REQUEST_TIMEOUT_S
+    codec_version: int = NET_CODEC_VERSION
+
+    def __post_init__(self) -> None:
+        if self.max_frame_bytes < 64:
+            raise ValueError("max_frame_bytes is too small for any message")
+        if self.connect_timeout_s <= 0 or self.request_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
 
 
 @dataclass

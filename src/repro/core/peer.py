@@ -88,6 +88,10 @@ class PlanetPPeer:
             )
             return True
         changed = False
+        if address and entry.address != address:
+            # Gossip can deliver a fresher address (rejoin on a new port).
+            entry.address = address
+            changed = True
         if filter_version > entry.filter_version:
             entry.bloom_filter = bloom_filter
             entry.filter_version = filter_version

@@ -9,9 +9,10 @@ reproduce the paper's gossip experiments (:mod:`simulation`).
 """
 
 from repro.gossip.rumor import Rumor, RumorKind
-from repro.gossip.directory import DirectoryView
+from repro.gossip.directory import DirectoryView, mix_rumor_id
 from repro.gossip.intervals import IntervalPolicy
 from repro.gossip.messages import MessageSizer
+from repro.gossip.wire import GOSSIP_MESSAGES, PeerRecord, WireRumor
 from repro.gossip.bandwidth_aware import FlatSelector, BandwidthAwareSelector
 from repro.gossip.simpeer import GossipPeer
 from repro.gossip.simulation import (
@@ -34,8 +35,12 @@ __all__ = [
     "Rumor",
     "RumorKind",
     "DirectoryView",
+    "mix_rumor_id",
     "IntervalPolicy",
     "MessageSizer",
+    "GOSSIP_MESSAGES",
+    "PeerRecord",
+    "WireRumor",
     "FlatSelector",
     "BandwidthAwareSelector",
     "GossipPeer",

@@ -22,19 +22,26 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DirectoryView"]
+__all__ = ["DirectoryView", "mix_rumor_id"]
 
 _MIX = 0x9E3779B97F4A7C15
 _MASK = 0xFFFFFFFFFFFFFFFF
 
 
-def _mix(rid: int) -> int:
-    """SplitMix-style scramble so XOR digests don't cancel structurally."""
+def mix_rumor_id(rid: int) -> int:
+    """SplitMix-style scramble so XOR digests don't cancel structurally.
+
+    Shared by the simulation's :class:`DirectoryView` and the real
+    network node so their incremental directory digests are comparable.
+    """
     x = (rid + 1) * _MIX & _MASK
     x ^= x >> 31
     x = x * 0xBF58476D1CE4E5B9 & _MASK
     x ^= x >> 29
     return x
+
+
+_mix = mix_rumor_id
 
 
 class DirectoryView:

@@ -27,6 +27,7 @@ Message inventory
 from __future__ import annotations
 
 from repro.constants import GossipConfig, WireSizes
+from repro.gossip import wire
 
 __all__ = ["MessageSizer"]
 
@@ -89,3 +90,40 @@ class MessageSizer:
         return self.config.header_bytes + num_members * (
             self.config.peer_summary_bytes + bf_bytes_per_member
         )
+
+    # -- shared-inventory dispatch ------------------------------------------
+
+    def model_size(self, msg: object) -> int:
+        """Table-2 model size for one :mod:`repro.gossip.wire` message.
+
+        This is the bridge between the two views of the inventory: the
+        real codec encodes the message's contents, this method prices the
+        same object under the simulator's byte model, and the validation
+        suite holds the two within a factor of two of each other.
+        """
+        if isinstance(msg, wire.RumorPush):
+            return self.rumor_push(len(msg.rids))
+        if isinstance(msg, wire.RumorReply):
+            return self.rumor_reply(len(msg.needed), len(msg.piggyback))
+        if isinstance(msg, wire.RumorData):
+            return self.rumor_data(sum(len(r.payload) for r in msg.rumors))
+        if isinstance(msg, wire.AERequest):
+            return self.ae_request()
+        if isinstance(msg, wire.AENothing):
+            return self.ae_nothing()
+        if isinstance(msg, wire.AERecent):
+            return self.ae_recent(len(msg.rids))
+        if isinstance(msg, wire.AESummary):
+            return self.ae_summary(len(msg.entries))
+        if isinstance(msg, wire.PullRequest):
+            return self.pull_request(len(msg.rids))
+        if isinstance(msg, wire.JoinRequest):
+            return self.join_request(len(msg.bloom))
+        if isinstance(msg, wire.JoinSnapshot):
+            # Per-member filters may differ in size; sum them exactly
+            # rather than assuming the uniform-size special case.
+            return self.config.header_bytes + sum(
+                self.config.peer_summary_bytes + len(entry.bloom)
+                for entry in msg.entries
+            )
+        raise TypeError(f"not a gossip wire message: {type(msg).__name__}")

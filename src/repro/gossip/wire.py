@@ -1,0 +1,191 @@
+"""Message *contents* for the gossip protocol: the shared wire inventory.
+
+The simulator costs messages with :class:`~repro.gossip.messages.MessageSizer`
+(Table 2's byte model) while the real network layer (:mod:`repro.net`)
+encodes them into actual frames.  Both views work from the dataclasses in
+this module, so the inventory exists exactly once: every message type the
+sizer models is a class here, and the codec round-trips precisely these
+classes.  ``MessageSizer.model_size`` dispatches on them, and
+``tests/test_net_model_agreement.py`` asserts the codec's real encodings
+stay within 2x of the model for the whole inventory.
+
+The protocol exchanges (paper Section 3, mirrored from
+:mod:`repro.gossip.simpeer`) map onto request/response pairs:
+
+=================  =====================================================
+``RumorPush``      x announces its active rumor ids; answered by
+``RumorReply``     which ids y needs + the partial-AE piggyback
+``RumorData``      x ships the needed rumor payloads (answered by an ack)
+``AERequest``      x sends its directory digest; answered by
+``AENothing``      digests matched, or
+``AERecent``       y's recently-learned rumor ids (cheap first level)
+``PullRequest``    request payloads by id — or, with no ids, the full
+``AESummary``      directory summary (proportional to community size)
+``JoinRequest``    a joiner introduces itself (record + Bloom filter)
+``JoinSnapshot``   the bootstrap's full directory download
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gossip.rumor import RumorKind
+
+__all__ = [
+    "PeerRecord",
+    "WireRumor",
+    "SnapshotEntry",
+    "RumorPush",
+    "RumorReply",
+    "RumorData",
+    "AERequest",
+    "AENothing",
+    "AERecent",
+    "AESummary",
+    "PullRequest",
+    "JoinRequest",
+    "JoinSnapshot",
+    "GOSSIP_MESSAGES",
+]
+
+
+@dataclass(frozen=True)
+class PeerRecord:
+    """One member's row of the replicated directory, as gossiped.
+
+    The paper budgets :data:`~repro.constants.PEER_SUMMARY_BYTES` (48 B)
+    per record; the codec packs it as id, flags, filter version, and a
+    length-prefixed ``host:port`` address.
+    """
+
+    peer_id: int
+    address: str
+    online: bool
+    filter_version: int
+
+
+@dataclass(frozen=True)
+class WireRumor:
+    """One gossiped event with its real payload bytes.
+
+    The simulation's :class:`~repro.gossip.rumor.Rumor` carries a payload
+    *size*; on the wire the payload is the actual data — a member record
+    plus compressed Bloom filter for JOIN/REJOIN, a Golomb-coded filter
+    diff for BF_UPDATE.
+    """
+
+    rid: int
+    kind: RumorKind
+    origin: int
+    created_at: float
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class SnapshotEntry:
+    """One member in a join snapshot: its record plus compressed filter."""
+
+    record: PeerRecord
+    bloom: bytes
+
+
+@dataclass(frozen=True)
+class RumorPush:
+    """x announces the ids of its actively-spread rumors."""
+
+    rids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RumorReply:
+    """y answers which ids it needs, piggybacking partial-AE ids."""
+
+    needed: tuple[int, ...]
+    piggyback: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RumorData:
+    """x ships the needed rumor payloads."""
+
+    rumors: tuple[WireRumor, ...]
+
+
+@dataclass(frozen=True)
+class AERequest:
+    """x asks y for reconciliation, sending its own directory digest."""
+
+    digest: int
+
+
+@dataclass(frozen=True)
+class AENothing:
+    """Digests matched (also used as the bare acknowledgement frame)."""
+
+
+@dataclass(frozen=True)
+class AERecent:
+    """Cheap reconciliation: y's recently-learned rumor ids, plus how many
+    rumors y knows in total so x can detect divergence beyond the window."""
+
+    rids: tuple[int, ...]
+    known_count: int
+
+
+@dataclass(frozen=True)
+class AESummary:
+    """y's full directory summary: member records plus every known rumor id
+    (proportional to community size — the costly fallback level)."""
+
+    entries: tuple[PeerRecord, ...]
+    rids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PullRequest:
+    """Request specific rumor payloads by id; an empty id list requests
+    the full directory summary instead (the sim's ``pull_request(0)``)."""
+
+    rids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A new member introduces itself to its bootstrap peer.
+
+    Carries everything the bootstrap needs to mint the joiner's JOIN
+    rumor: the joiner-assigned rumor id, its record, and its compressed
+    Bloom filter.
+    """
+
+    record: PeerRecord
+    bloom: bytes
+    rid: int
+    created_at: float
+
+
+@dataclass(frozen=True)
+class JoinSnapshot:
+    """Full directory download for a new member: every member's record and
+    filter (the 16 MB-for-1000-peers case of Section 7.2) plus the known
+    rumor-id set so the joiner's digest converges."""
+
+    entries: tuple[SnapshotEntry, ...]
+    rids: tuple[int, ...]
+
+
+#: The full gossip inventory, in protocol order — what the sizer models
+#: and the codec must round-trip.
+GOSSIP_MESSAGES: tuple[type, ...] = (
+    RumorPush,
+    RumorReply,
+    RumorData,
+    AERequest,
+    AENothing,
+    AERecent,
+    AESummary,
+    PullRequest,
+    JoinRequest,
+    JoinSnapshot,
+)

@@ -1,0 +1,72 @@
+"""The real network layer: PlanetP peers over actual sockets.
+
+Everything else in the repository is in-process — the gossip simulator
+moves byte counts and :class:`~repro.core.community.InProcessCommunity`
+calls peers as Python objects.  This package carries the same protocol
+objects over real transports:
+
+``codec``      versioned binary wire format for the full gossip inventory
+               (:mod:`repro.gossip.wire`) plus the search RPCs
+``transport``  asyncio TCP with connection caching, and a deterministic
+               in-memory loopback with injectable latency/drops
+``node``       :class:`NetworkPeer` — a peer as an asyncio server running
+               the Section 3 gossip state machine on wall-clock time
+``client``     :class:`NetworkSearchClient` — ranked TF×IPF and
+               exhaustive search issued over the wire
+``cli``        ``python -m repro.net`` to launch a node
+
+Quick start (async context)::
+
+    a = NetworkPeer(0)
+    await a.start()
+    b = NetworkPeer(1)
+    await b.start()
+    await b.join(a.address)
+    b.publish(Document("d1", "gossip protocols over real sockets"))
+    for _ in range(6):
+        await a.gossip_round()
+        await b.gossip_round()
+    result = await NetworkSearchClient(a).ranked_search("gossip", k=5)
+"""
+
+from repro.net.client import NetworkSearchClient
+from repro.net.codec import (
+    CodecError,
+    ErrorReply,
+    ExhaustiveQuery,
+    ExhaustiveResponse,
+    RankedQuery,
+    RankedResponse,
+    SnippetFetch,
+    SnippetResponse,
+    decode,
+    encode,
+)
+from repro.net.node import NetworkPeer
+from repro.net.transport import (
+    LoopbackNetwork,
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    TransportError,
+)
+
+__all__ = [
+    "NetworkPeer",
+    "NetworkSearchClient",
+    "Transport",
+    "TcpTransport",
+    "LoopbackNetwork",
+    "LoopbackTransport",
+    "TransportError",
+    "CodecError",
+    "encode",
+    "decode",
+    "RankedQuery",
+    "RankedResponse",
+    "ExhaustiveQuery",
+    "ExhaustiveResponse",
+    "SnippetFetch",
+    "SnippetResponse",
+    "ErrorReply",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.net`` — launch a real PlanetP node."""
+
+from repro.net.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""Command line for running a real PlanetP node.
+
+Launch a node, optionally bootstrap into an existing community, publish a
+directory of text files, and gossip until stopped::
+
+    # first node of a community
+    python -m repro.net --peer-id 0 --port 9301 --corpus ./docs
+
+    # later nodes bootstrap off any member
+    python -m repro.net --peer-id 1 --port 9302 \\
+        --bootstrap 127.0.0.1:9301 --corpus ./more-docs
+
+    # one-shot: join, converge briefly, run a ranked query, exit
+    python -m repro.net --peer-id 2 --bootstrap 127.0.0.1:9301 \\
+        --query "gossip protocols" --max-runtime 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from pathlib import Path
+
+from repro.constants import GossipConfig, NET_DEFAULT_PORT
+from repro.net.client import NetworkSearchClient
+from repro.net.node import NetworkPeer
+from repro.net.transport import TransportError
+from repro.text.document import Document
+
+__all__ = ["build_parser", "run", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.net`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="Run a PlanetP peer over real TCP sockets.",
+    )
+    parser.add_argument("--peer-id", type=int, required=True, help="community-unique id (0..65535)")
+    parser.add_argument("--host", default="127.0.0.1", help="address to bind (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=NET_DEFAULT_PORT,
+        help=f"TCP port to listen on (default {NET_DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--bootstrap", default=None, metavar="HOST:PORT",
+        help="existing member to join through (omit for the first node)",
+    )
+    parser.add_argument(
+        "--corpus", type=Path, default=None, metavar="DIR",
+        help="publish every *.txt file in DIR (doc id = file stem)",
+    )
+    parser.add_argument(
+        "--gossip-interval", type=float, default=GossipConfig().base_interval_s,
+        help="base gossip interval T_g in seconds (paper: 30)",
+    )
+    parser.add_argument(
+        "--query", default=None, help="run one ranked query after joining, print the top-k, keep serving"
+    )
+    parser.add_argument("--top-k", type=int, default=10, help="k for --query (default 10)")
+    parser.add_argument(
+        "--max-runtime", type=float, default=None, metavar="SECONDS",
+        help="exit after this many seconds (default: run forever)",
+    )
+    return parser
+
+
+def _load_corpus(node: NetworkPeer, corpus: Path) -> int:
+    count = 0
+    for path in sorted(corpus.glob("*.txt")):
+        node.publish(Document(path.stem, path.read_text(encoding="utf-8")))
+        count += 1
+    return count
+
+
+async def run(args: argparse.Namespace) -> None:
+    """Start a node per the parsed arguments and gossip until stopped."""
+    config = GossipConfig(
+        base_interval_s=args.gossip_interval,
+        max_interval_s=args.gossip_interval * 2,
+    )
+    node = NetworkPeer(args.peer_id, args.host, args.port, gossip_config=config)
+    address = await node.start()
+    print(f"peer {args.peer_id} serving at {address}")
+
+    if args.corpus is not None:
+        published = _load_corpus(node, args.corpus)
+        print(f"published {published} documents from {args.corpus}")
+
+    if args.bootstrap:
+        await node.join(args.bootstrap)
+        print(f"joined via {args.bootstrap}: {len(node.members())} members known")
+
+    node.run()
+    try:
+        if args.query:
+            # Give gossip a moment to converge before querying.
+            await asyncio.sleep(min(2.0 * args.gossip_interval, 5.0))
+            client = NetworkSearchClient(node)
+            result = await client.ranked_search(args.query, k=args.top_k)
+            print(f"ranked {args.query!r}: contacted {result.num_peers_contacted} peers")
+            for doc in result.results:
+                print(f"  {doc.doc_id:24s} score={doc.score:.3f}")
+        if args.max_runtime is not None:
+            await asyncio.sleep(args.max_runtime)
+        else:
+            while True:  # serve until interrupted
+                await asyncio.sleep(3600.0)
+    finally:
+        await node.stop()
+        print(f"peer {args.peer_id} stopped")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Console entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(run(args))
+    except KeyboardInterrupt:
+        pass
+    except (ValueError, TransportError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Async distributed search over the network (paper Section 5 over TCP).
+
+Runs the same two search modes as :class:`~repro.core.community.
+InProcessCommunity`, but the "contact a peer" step is a real RPC:
+
+* **ranked** — rank members by eq. 3 over the node's *replicated* Bloom
+  filters (reusing :func:`repro.ranking.tfipf.rank_peers`), then contact
+  them best-first in groups, merging local top-k responses and stopping
+  per the adaptive rule of :mod:`repro.ranking.stopping`.  Because the
+  ranking, merge, and stopping logic are shared with the in-process
+  implementation, a converged networked community returns the same top-k
+  as :meth:`InProcessCommunity.ranked_search` on the same corpus.
+* **exhaustive** — Section 5.1's conjunctive search against every
+  candidate whose replicated filter hits all query terms.
+
+Peers that fail to answer are marked offline in the node's directory
+(never gossiped — Section 3) and contribute nothing to the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from repro.bloom.filter import BloomFilter
+from repro.constants import RankingConfig
+from repro.core.search import exhaustive_local_match, score_local_documents
+from repro.net import codec
+from repro.net.codec import (
+    CodecError,
+    ExhaustiveQuery,
+    ExhaustiveResponse,
+    RankedQuery,
+    RankedResponse,
+    SnippetFetch,
+    SnippetResponse,
+)
+from repro.net.node import NetworkPeer
+from repro.net.transport import TransportError
+from repro.ranking.stopping import AdaptiveStopping, StoppingPolicy
+from repro.ranking.tfidf import RankedDoc
+from repro.ranking.tfipf import DistributedSearchResult, TFIPFSearch, rank_peers
+from repro.text.document import Document
+
+__all__ = ["NetworkSearchClient"]
+
+
+class _ReplicaBackend:
+    """Adapts a node's replicated directory to the ranking functions.
+
+    Only the directory-local half of the :class:`~repro.ranking.tfipf.
+    PeerBackend` protocol is needed (peer ids + filters); the actual
+    contacting happens over the transport.
+    """
+
+    def __init__(self, node: NetworkPeer) -> None:
+        self.node = node
+
+    def online_peer_ids(self) -> list[int]:
+        """Members whose replicated entries are usable for ranking."""
+        ids = []
+        for pid, entry in self.node.peer.directory.items():
+            if pid == self.node.peer_id or (
+                entry.online and entry.bloom_filter is not None
+            ):
+                ids.append(pid)
+        return sorted(ids)
+
+    def peer_filter(self, pid: int) -> BloomFilter:
+        """The replicated filter (our own live filter for ourselves)."""
+        if pid == self.node.peer_id:
+            return self.node.peer.store.bloom_filter
+        bf = self.node.peer.directory[pid].bloom_filter
+        assert bf is not None  # online_peer_ids filtered for this
+        return bf
+
+
+class NetworkSearchClient:
+    """Issues distributed searches from one :class:`NetworkPeer`."""
+
+    def __init__(
+        self,
+        node: NetworkPeer,
+        stopping: StoppingPolicy | None = None,
+        ranking_config: RankingConfig | None = None,
+        group_size: int | None = None,
+    ) -> None:
+        self.node = node
+        self.ranking_config = ranking_config or RankingConfig()
+        self.stopping = stopping or AdaptiveStopping(self.ranking_config)
+        self.group_size = group_size or self.ranking_config.group_size
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self._backend = _ReplicaBackend(node)
+
+    # -- ranked search -------------------------------------------------------
+
+    async def ranked_search(self, query: str, k: int = 20) -> DistributedSearchResult:
+        """Section 5.2 over the wire: rank by replicated filters, contact
+        best-first in groups of ``group_size``, stop adaptively."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        terms = self.node.analyzer.analyze_query(query)
+        if not terms:
+            raise ValueError("query analyzed to zero terms")
+        ranking, ipf = rank_peers(terms, self._backend)
+        self.stopping.reset(len(self._backend.online_peer_ids()), k)
+
+        top: dict[str, float] = {}
+        contacted: list[int] = []
+        for start in range(0, len(ranking), self.group_size):
+            group = ranking[start : start + self.group_size]
+            responses = await asyncio.gather(
+                *(self._query_peer(pid, terms, ipf, k) for pid, _r in group)
+            )
+            for (pid, _r), returned in zip(group, responses):
+                contacted.append(pid)
+                contributed = TFIPFSearch._merge(top, returned, k)
+                self.stopping.observe(contributed, len(top))
+            if self.stopping.should_stop():
+                break
+
+        ordered = sorted(top.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        return DistributedSearchResult(
+            results=[RankedDoc(d, s) for d, s in ordered],
+            peers_contacted=contacted,
+            peer_ranking=ranking,
+            ipf=ipf,
+        )
+
+    async def _query_peer(
+        self, pid: int, terms: Sequence[str], ipf: dict[str, float], k: int
+    ) -> list[RankedDoc]:
+        if pid == self.node.peer_id:
+            return score_local_documents(self.node.peer.store.index, terms, ipf, k)
+        msg = RankedQuery(tuple(terms), tuple(ipf.items()), k)
+        reply = await self._rpc(pid, msg)
+        if not isinstance(reply, RankedResponse):
+            return []
+        return [RankedDoc(doc_id, score) for doc_id, score in reply.results]
+
+    # -- exhaustive search --------------------------------------------------
+
+    async def exhaustive_search(self, query: str) -> list[str]:
+        """Section 5.1 over the wire: contact every candidate whose
+        replicated filter may match all terms; return sorted doc ids."""
+        terms = self.node.analyzer.analyze_query(query)
+        if not terms:
+            return []
+        results: set[str] = set()
+        candidates = self.node.peer.candidate_peers(terms)
+        if self.node.peer_id in candidates:
+            results.update(exhaustive_local_match(self.node.peer.store.index, terms))
+        remote = [pid for pid in candidates if pid != self.node.peer_id]
+        replies = await asyncio.gather(
+            *(self._rpc(pid, ExhaustiveQuery(tuple(terms))) for pid in remote)
+        )
+        for reply in replies:
+            if isinstance(reply, ExhaustiveResponse):
+                results.update(reply.doc_ids)
+        return sorted(results)
+
+    # -- document retrieval -------------------------------------------------
+
+    async def fetch(self, owner: int, doc_id: str) -> Document | None:
+        """Retrieve one document's content from the peer that owns it."""
+        if owner == self.node.peer_id:
+            try:
+                return self.node.peer.store.get(doc_id)
+            except KeyError:
+                return None
+        reply = await self._rpc(owner, SnippetFetch(doc_id))
+        if isinstance(reply, SnippetResponse) and reply.found:
+            return Document(reply.doc_id, reply.text)
+        return None
+
+    # -- plumbing ------------------------------------------------------------
+
+    async def _rpc(self, pid: int, msg: object) -> object | None:
+        entry = self.node.peer.directory.get(pid)
+        if entry is None or not entry.address:
+            return None
+        try:
+            body = await self.node.transport.request(entry.address, codec.encode(msg))
+            return codec.decode(body)
+        except (TransportError, CodecError):
+            self.node._contact_failed(pid)
+            return None

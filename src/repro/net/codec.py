@@ -1,0 +1,488 @@
+"""Versioned binary wire format for PlanetP messages.
+
+Every frame body is ``version byte + type byte + struct-packed fields``
+(big-endian throughout, no external serializer).  The transport layer adds
+a 4-byte length prefix; this module deals only in frame bodies.
+
+Two message families share the format:
+
+* the **gossip inventory** of :mod:`repro.gossip.wire` — the same objects
+  the simulator prices with :class:`~repro.gossip.messages.MessageSizer`,
+  so the cost model and the real encoding can be cross-checked; and
+* the **search RPCs** defined here — exhaustive (conjunctive) query,
+  ranked TF×IPF query carrying the caller's IPF weights, and snippet
+  fetch — plus a generic error reply.
+
+Field conventions: rumor ids travel as 6-byte big-endian integers
+(Table 2's id-digest size), short strings as ``u16`` length + UTF-8,
+document text and byte blobs as ``u32`` length + raw bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.constants import NET_CODEC_VERSION
+from repro.gossip.rumor import RumorKind
+from repro.gossip.wire import (
+    AENothing,
+    AERecent,
+    AERequest,
+    AESummary,
+    JoinRequest,
+    JoinSnapshot,
+    PeerRecord,
+    PullRequest,
+    RumorData,
+    RumorPush,
+    RumorReply,
+    SnapshotEntry,
+    WireRumor,
+)
+
+__all__ = [
+    "CodecError",
+    "RankedQuery",
+    "RankedResponse",
+    "ExhaustiveQuery",
+    "ExhaustiveResponse",
+    "SnippetFetch",
+    "SnippetResponse",
+    "ErrorReply",
+    "encode",
+    "decode",
+    "encode_member_payload",
+    "decode_member_payload",
+    "encode_update_payload",
+    "decode_update_payload",
+]
+
+
+class CodecError(ValueError):
+    """A frame could not be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# search RPCs (the non-gossip half of the inventory)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RankedQuery:
+    """Ask a peer for its local top-``k`` under eq. 2.
+
+    Carries the querier's IPF weights (computed from its replicated
+    directory) so the contacted peer scores with the *querier's* view —
+    exactly the Section 5.2 contract.
+    """
+
+    terms: tuple[str, ...]
+    ipf: tuple[tuple[str, float], ...]
+    k: int
+
+
+@dataclass(frozen=True)
+class RankedResponse:
+    """A peer's local top-k: ``(doc_id, score)`` pairs, best first."""
+
+    results: tuple[tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class ExhaustiveQuery:
+    """Section 5.1 conjunctive search: all local docs containing every term."""
+
+    terms: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ExhaustiveResponse:
+    """Sorted ids of the contacted peer's matching documents."""
+
+    doc_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SnippetFetch:
+    """Retrieve one document's content from its owner."""
+
+    doc_id: str
+
+
+@dataclass(frozen=True)
+class SnippetResponse:
+    """The fetched document (``found`` is False if the owner lacks it)."""
+
+    found: bool
+    doc_id: str
+    text: str
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """Remote-side failure report (malformed frame, unknown document...)."""
+
+    message: str
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+_RID_BYTES = 6  # Table 2's 6-byte rumor-id digest
+_RID_MAX = 1 << (8 * _RID_BYTES)
+
+_KIND_CODE = {RumorKind.JOIN: 1, RumorKind.REJOIN: 2, RumorKind.BF_UPDATE: 3}
+_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+
+class _Writer:
+    """Accumulates big-endian fields into a frame body."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.buf += _U8.pack(v)
+
+    def u16(self, v: int) -> None:
+        self.buf += _U16.pack(v)
+
+    def u32(self, v: int) -> None:
+        self.buf += _U32.pack(v)
+
+    def u64(self, v: int) -> None:
+        self.buf += _U64.pack(v)
+
+    def f64(self, v: float) -> None:
+        self.buf += _F64.pack(v)
+
+    def rid(self, v: int) -> None:
+        if not 0 <= v < _RID_MAX:
+            raise CodecError(f"rumor id {v} does not fit in {_RID_BYTES} bytes")
+        self.buf += v.to_bytes(_RID_BYTES, "big")
+
+    def rids(self, rids: tuple[int, ...]) -> None:
+        self.u32(len(rids))
+        for r in rids:
+            self.rid(r)
+
+    def text(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise CodecError("string field exceeds 64 KiB")
+        self.u16(len(raw))
+        self.buf += raw
+
+    def blob(self, b: bytes) -> None:
+        self.u32(len(b))
+        self.buf += b
+
+
+class _Reader:
+    """Reads big-endian fields from a frame body, checking bounds."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise CodecError("truncated frame")
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return _U8.unpack(self._take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self._take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self._take(8))[0]
+
+    def rid(self) -> int:
+        return int.from_bytes(self._take(_RID_BYTES), "big")
+
+    def rids(self) -> tuple[int, ...]:
+        return tuple(self.rid() for _ in range(self.u32()))
+
+    def text(self) -> str:
+        return self._take(self.u16()).decode("utf-8")
+
+    def blob(self) -> bytes:
+        return self._take(self.u32())
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise CodecError("trailing bytes after message body")
+
+
+def _w_record(w: _Writer, rec: PeerRecord) -> None:
+    w.u32(rec.peer_id)
+    w.u8(1 if rec.online else 0)
+    w.u32(rec.filter_version)
+    w.text(rec.address)
+
+
+def _r_record(r: _Reader) -> PeerRecord:
+    peer_id = r.u32()
+    online = bool(r.u8())
+    version = r.u32()
+    address = r.text()
+    return PeerRecord(peer_id, address, online, version)
+
+
+def _w_rumor(w: _Writer, rumor: WireRumor) -> None:
+    w.rid(rumor.rid)
+    w.u8(_KIND_CODE[rumor.kind])
+    w.u32(rumor.origin)
+    w.f64(rumor.created_at)
+    w.blob(rumor.payload)
+
+
+def _r_rumor(r: _Reader) -> WireRumor:
+    rid = r.rid()
+    code = r.u8()
+    if code not in _CODE_KIND:
+        raise CodecError(f"unknown rumor kind code {code}")
+    origin = r.u32()
+    created_at = r.f64()
+    payload = r.blob()
+    return WireRumor(rid, _CODE_KIND[code], origin, created_at, payload)
+
+
+# ---------------------------------------------------------------------------
+# per-type encoders/decoders
+# ---------------------------------------------------------------------------
+
+_T_RUMOR_PUSH = 1
+_T_RUMOR_REPLY = 2
+_T_RUMOR_DATA = 3
+_T_AE_REQUEST = 4
+_T_AE_NOTHING = 5
+_T_AE_RECENT = 6
+_T_AE_SUMMARY = 7
+_T_PULL_REQUEST = 8
+_T_JOIN_REQUEST = 9
+_T_JOIN_SNAPSHOT = 10
+_T_RANKED_QUERY = 16
+_T_RANKED_RESPONSE = 17
+_T_EXHAUSTIVE_QUERY = 18
+_T_EXHAUSTIVE_RESPONSE = 19
+_T_SNIPPET_FETCH = 20
+_T_SNIPPET_RESPONSE = 21
+_T_ERROR = 31
+
+_TYPE_OF = {
+    RumorPush: _T_RUMOR_PUSH,
+    RumorReply: _T_RUMOR_REPLY,
+    RumorData: _T_RUMOR_DATA,
+    AERequest: _T_AE_REQUEST,
+    AENothing: _T_AE_NOTHING,
+    AERecent: _T_AE_RECENT,
+    AESummary: _T_AE_SUMMARY,
+    PullRequest: _T_PULL_REQUEST,
+    JoinRequest: _T_JOIN_REQUEST,
+    JoinSnapshot: _T_JOIN_SNAPSHOT,
+    RankedQuery: _T_RANKED_QUERY,
+    RankedResponse: _T_RANKED_RESPONSE,
+    ExhaustiveQuery: _T_EXHAUSTIVE_QUERY,
+    ExhaustiveResponse: _T_EXHAUSTIVE_RESPONSE,
+    SnippetFetch: _T_SNIPPET_FETCH,
+    SnippetResponse: _T_SNIPPET_RESPONSE,
+    ErrorReply: _T_ERROR,
+}
+
+
+def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
+    """Encode any inventory message into a frame body."""
+    mtype = _TYPE_OF.get(type(msg))
+    if mtype is None:
+        raise CodecError(f"not a wire message: {type(msg).__name__}")
+    w = _Writer()
+    w.u8(version)
+    w.u8(mtype)
+    if isinstance(msg, RumorPush):
+        w.rids(msg.rids)
+    elif isinstance(msg, RumorReply):
+        w.rids(msg.needed)
+        w.rids(msg.piggyback)
+    elif isinstance(msg, RumorData):
+        w.u32(len(msg.rumors))
+        for rumor in msg.rumors:
+            _w_rumor(w, rumor)
+    elif isinstance(msg, AERequest):
+        w.u64(msg.digest)
+    elif isinstance(msg, AENothing):
+        pass
+    elif isinstance(msg, AERecent):
+        w.rids(msg.rids)
+        w.u32(msg.known_count)
+    elif isinstance(msg, AESummary):
+        w.u32(len(msg.entries))
+        for rec in msg.entries:
+            _w_record(w, rec)
+        w.rids(msg.rids)
+    elif isinstance(msg, PullRequest):
+        w.rids(msg.rids)
+    elif isinstance(msg, JoinRequest):
+        _w_record(w, msg.record)
+        w.blob(msg.bloom)
+        w.rid(msg.rid)
+        w.f64(msg.created_at)
+    elif isinstance(msg, JoinSnapshot):
+        w.u32(len(msg.entries))
+        for entry in msg.entries:
+            _w_record(w, entry.record)
+            w.blob(entry.bloom)
+        w.rids(msg.rids)
+    elif isinstance(msg, RankedQuery):
+        w.u16(len(msg.terms))
+        for t in msg.terms:
+            w.text(t)
+        w.u16(len(msg.ipf))
+        for term, weight in msg.ipf:
+            w.text(term)
+            w.f64(weight)
+        w.u16(msg.k)
+    elif isinstance(msg, RankedResponse):
+        w.u32(len(msg.results))
+        for doc_id, score in msg.results:
+            w.text(doc_id)
+            w.f64(score)
+    elif isinstance(msg, ExhaustiveQuery):
+        w.u16(len(msg.terms))
+        for t in msg.terms:
+            w.text(t)
+    elif isinstance(msg, ExhaustiveResponse):
+        w.u32(len(msg.doc_ids))
+        for doc_id in msg.doc_ids:
+            w.text(doc_id)
+    elif isinstance(msg, SnippetFetch):
+        w.text(msg.doc_id)
+    elif isinstance(msg, SnippetResponse):
+        w.u8(1 if msg.found else 0)
+        w.text(msg.doc_id)
+        w.blob(msg.text.encode("utf-8"))
+    elif isinstance(msg, ErrorReply):
+        w.text(msg.message)
+    return bytes(w.buf)
+
+
+def decode(body: bytes) -> object:
+    """Decode a frame body into its inventory message."""
+    r = _Reader(body)
+    version = r.u8()
+    if version != NET_CODEC_VERSION:
+        raise CodecError(f"unsupported wire version {version}")
+    mtype = r.u8()
+    if mtype == _T_RUMOR_PUSH:
+        msg: object = RumorPush(r.rids())
+    elif mtype == _T_RUMOR_REPLY:
+        msg = RumorReply(r.rids(), r.rids())
+    elif mtype == _T_RUMOR_DATA:
+        msg = RumorData(tuple(_r_rumor(r) for _ in range(r.u32())))
+    elif mtype == _T_AE_REQUEST:
+        msg = AERequest(r.u64())
+    elif mtype == _T_AE_NOTHING:
+        msg = AENothing()
+    elif mtype == _T_AE_RECENT:
+        msg = AERecent(r.rids(), r.u32())
+    elif mtype == _T_AE_SUMMARY:
+        entries = tuple(_r_record(r) for _ in range(r.u32()))
+        msg = AESummary(entries, r.rids())
+    elif mtype == _T_PULL_REQUEST:
+        msg = PullRequest(r.rids())
+    elif mtype == _T_JOIN_REQUEST:
+        record = _r_record(r)
+        bloom = r.blob()
+        rid = r.rid()
+        created_at = r.f64()
+        msg = JoinRequest(record, bloom, rid, created_at)
+    elif mtype == _T_JOIN_SNAPSHOT:
+        snap = tuple(
+            SnapshotEntry(_r_record(r), r.blob()) for _ in range(r.u32())
+        )
+        msg = JoinSnapshot(snap, r.rids())
+    elif mtype == _T_RANKED_QUERY:
+        terms = tuple(r.text() for _ in range(r.u16()))
+        ipf = tuple((r.text(), r.f64()) for _ in range(r.u16()))
+        msg = RankedQuery(terms, ipf, r.u16())
+    elif mtype == _T_RANKED_RESPONSE:
+        msg = RankedResponse(tuple((r.text(), r.f64()) for _ in range(r.u32())))
+    elif mtype == _T_EXHAUSTIVE_QUERY:
+        msg = ExhaustiveQuery(tuple(r.text() for _ in range(r.u16())))
+    elif mtype == _T_EXHAUSTIVE_RESPONSE:
+        msg = ExhaustiveResponse(tuple(r.text() for _ in range(r.u32())))
+    elif mtype == _T_SNIPPET_FETCH:
+        msg = SnippetFetch(r.text())
+    elif mtype == _T_SNIPPET_RESPONSE:
+        found = bool(r.u8())
+        doc_id = r.text()
+        text = r.blob().decode("utf-8")
+        msg = SnippetResponse(found, doc_id, text)
+    elif mtype == _T_ERROR:
+        msg = ErrorReply(r.text())
+    else:
+        raise CodecError(f"unknown message type byte {mtype}")
+    r.done()
+    return msg
+
+
+# ---------------------------------------------------------------------------
+# rumor payload encodings (what WireRumor.payload contains, per kind)
+# ---------------------------------------------------------------------------
+
+
+def encode_member_payload(record: PeerRecord, bloom: bytes) -> bytes:
+    """JOIN/REJOIN payload: the member's record + compressed Bloom filter."""
+    w = _Writer()
+    _w_record(w, record)
+    w.blob(bloom)
+    return bytes(w.buf)
+
+
+def decode_member_payload(payload: bytes) -> tuple[PeerRecord, bytes]:
+    """Inverse of :func:`encode_member_payload`."""
+    r = _Reader(payload)
+    record = _r_record(r)
+    bloom = r.blob()
+    r.done()
+    return record, bloom
+
+
+def encode_update_payload(filter_version: int, diff: bytes) -> bytes:
+    """BF_UPDATE payload: new filter version + Golomb-coded bit diff."""
+    w = _Writer()
+    w.u32(filter_version)
+    w.blob(diff)
+    return bytes(w.buf)
+
+
+def decode_update_payload(payload: bytes) -> tuple[int, bytes]:
+    """Inverse of :func:`encode_update_payload`."""
+    r = _Reader(payload)
+    version = r.u32()
+    diff = r.blob()
+    r.done()
+    return version, diff

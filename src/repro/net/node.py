@@ -1,0 +1,583 @@
+"""`NetworkPeer`: one PlanetP peer as a real network process.
+
+Wraps the library peer (:class:`~repro.core.peer.PlanetPPeer` — data
+store, inverted index, Bloom filter, replicated directory) behind an
+asyncio server loop and runs the Section 3 gossip protocol over a real
+:class:`~repro.net.transport.Transport`.  Where the simulator's
+:class:`~repro.gossip.simpeer.GossipPeer` moves byte *counts*, this node
+moves the actual bytes: join rumors carry member records plus compressed
+Bloom filters, update rumors carry Golomb-coded filter diffs, and the
+anti-entropy digests are the same incremental XOR the simulator uses
+(:func:`~repro.gossip.directory.mix_rumor_id`), so a simulated and a real
+directory are directly comparable.
+
+Replica maintenance is monotone: filters only grow, diffs are sets of
+newly-set bits, and snapshots/records are merged by union — so rumors can
+arrive in any order and every replica still converges to the publisher's
+exact filter.  (Shrinking a filter after document removal requires a full
+regeneration, which this layer does not re-gossip yet.)
+
+Liveness follows the paper: departures are never announced; a failed
+contact marks the target offline locally, and a member continuously
+offline for ``t_dead_s`` (T_Dead) is dropped from the directory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import time
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
+from repro.bloom.filter import BloomFilter
+from repro.constants import BloomConfig, GossipConfig, NetConfig
+from repro.core.peer import PeerEntry, PlanetPPeer
+from repro.core.search import exhaustive_local_match, score_local_documents
+from repro.gossip.directory import mix_rumor_id
+from repro.gossip.intervals import IntervalPolicy
+from repro.gossip.rumor import RumorKind
+from repro.gossip.wire import (
+    AENothing,
+    AERecent,
+    AERequest,
+    AESummary,
+    JoinRequest,
+    JoinSnapshot,
+    PeerRecord,
+    PullRequest,
+    RumorData,
+    RumorPush,
+    RumorReply,
+    SnapshotEntry,
+    WireRumor,
+)
+from repro.net import codec
+from repro.net.codec import (
+    CodecError,
+    ErrorReply,
+    ExhaustiveQuery,
+    ExhaustiveResponse,
+    RankedQuery,
+    RankedResponse,
+    SnippetFetch,
+    SnippetResponse,
+)
+from repro.net.transport import TcpTransport, Transport, TransportError
+from repro.text.analyzer import Analyzer
+from repro.text.document import Document
+from repro.text.xmlsnippets import XMLSnippet
+
+__all__ = ["NetworkPeer"]
+
+
+class NetworkPeer:
+    """A PlanetP community member gossiping and serving over sockets."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        transport: Transport | None = None,
+        analyzer: Analyzer | None = None,
+        bloom_config: BloomConfig | None = None,
+        gossip_config: GossipConfig | None = None,
+        net_config: NetConfig | None = None,
+        seed: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0 <= peer_id < 1 << 16:
+            raise ValueError("peer_id must fit in 16 bits for rumor-id minting")
+        self.config = gossip_config or GossipConfig()
+        self.net_config = net_config or NetConfig()
+        self.bloom_config = bloom_config or BloomConfig()
+        self.analyzer = analyzer or Analyzer()
+        self.transport = transport or TcpTransport(self.net_config)
+        self.peer = PlanetPPeer(
+            peer_id,
+            address=f"{host}:{port}",
+            analyzer=self.analyzer,
+            bloom_config=self.bloom_config,
+        )
+        self.clock = clock
+        self.rng = np.random.default_rng(peer_id if seed is None else seed)
+        #: rumor knowledge (the net-side DirectoryView): ids + XOR digest.
+        self.known: set[int] = set()
+        self.digest = 0
+        #: stored rumors by id — payloads kept so pulls can be served.
+        self.rumors: dict[int, WireRumor] = {}
+        #: actively-spread rumors: rid -> consecutive already-knew count.
+        self.hot: dict[int, int] = {}
+        #: recently retired rumor ids for the partial-AE piggyback.
+        self.recent: deque[int] = deque(maxlen=self.config.partial_ae_recent)
+        #: recently learned ids, anti-entropy's cheap first level.
+        self.recent_learned: deque[int] = deque(maxlen=self.config.ae_recent_window)
+        self.intervals = IntervalPolicy(self.config)
+        self.round_counter = 0
+        #: wall-clock time each believed-offline member was marked so.
+        self.offline_since: dict[int, float] = {}
+        self._host = host
+        self._port = port
+        self.address: str | None = None
+        self.running = False
+        self._gossip_task: asyncio.Task | None = None
+        self._rid_counter = itertools.count()
+        #: the filter state as of the last minted update rumor.
+        self._last_gossiped = BloomFilter(
+            self.bloom_config.num_bits, self.bloom_config.num_hashes
+        )
+
+    # ------------------------------------------------------------------
+    # identity & lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def peer_id(self) -> int:
+        """This node's community-wide peer id."""
+        return self.peer.peer_id
+
+    def _mint_rid(self) -> int:
+        """Globally-unique 48-bit rumor id: 16-bit peer id + 32-bit seq."""
+        return (self.peer_id << 32) | (next(self._rid_counter) & 0xFFFFFFFF)
+
+    def _own_record(self) -> PeerRecord:
+        return PeerRecord(
+            self.peer_id,
+            self.address or f"{self._host}:{self._port}",
+            True,
+            self.peer.store.filter_version,
+        )
+
+    async def start(self) -> str:
+        """Bind the server socket and begin answering requests.
+
+        Returns the bound address.  The gossip loop is started separately
+        by :meth:`run` (tests often drive :meth:`gossip_round` directly).
+        """
+        self.address = await self.transport.serve(
+            f"{self._host}:{self._port}", self._serve
+        )
+        self.peer.address = self.address
+        self.peer.directory[self.peer_id].address = self.address
+        self.running = True
+        return self.address
+
+    def run(self) -> asyncio.Task:
+        """Start the background gossip loop (one round per interval)."""
+        if self._gossip_task is None or self._gossip_task.done():
+            self._gossip_task = asyncio.create_task(self._gossip_loop())
+        return self._gossip_task
+
+    async def _gossip_loop(self) -> None:
+        # De-synchronize peers: first round fires inside one interval.
+        await asyncio.sleep(float(self.rng.uniform(0.0, self.intervals.interval)))
+        while self.running:
+            with contextlib.suppress(TransportError):
+                await self.gossip_round()
+            await asyncio.sleep(self.intervals.interval)
+
+    async def stop(self) -> None:
+        """Graceful leave: stop gossiping and close the server.
+
+        Per the paper, departure is not announced — the community
+        discovers it through failed contacts and T_Dead expiry.
+        """
+        self.running = False
+        if self._gossip_task is not None:
+            self._gossip_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._gossip_task
+            self._gossip_task = None
+        await self.transport.close()
+
+    # ------------------------------------------------------------------
+    # joining
+    # ------------------------------------------------------------------
+
+    async def join(self, bootstrap_address: str) -> None:
+        """Join the community via the peer at ``bootstrap_address``.
+
+        Introduces ourselves (record + compressed filter, minting our own
+        JOIN rumor) and adopts the bootstrap's directory snapshot.
+        """
+        record = self._own_record()
+        bloom = self.peer.store.bloom_filter.to_compressed()
+        rid = self._mint_rid()
+        now = self.clock()
+        rumor = WireRumor(
+            rid, RumorKind.JOIN, self.peer_id, now,
+            codec.encode_member_payload(record, bloom),
+        )
+        self._learn_rumor(rumor, make_hot=True)
+        body = await self.transport.request(
+            bootstrap_address, codec.encode(JoinRequest(record, bloom, rid, now))
+        )
+        reply = codec.decode(body)
+        if not isinstance(reply, JoinSnapshot):
+            raise TransportError(f"bootstrap sent {type(reply).__name__}, not a snapshot")
+        self._install_snapshot(reply)
+
+    def _install_snapshot(self, snapshot: JoinSnapshot) -> None:
+        for entry in snapshot.entries:
+            if entry.record.peer_id == self.peer_id:
+                continue
+            bf = (
+                BloomFilter.from_compressed(
+                    entry.bloom, num_hashes=self.bloom_config.num_hashes
+                )
+                if entry.bloom
+                else None
+            )
+            self._install_member(entry.record, bf)
+        # Adopt the known-id set so digests converge.  Payloads for these
+        # historical rumors are not carried (current state came with the
+        # entries); we simply cannot serve pulls for them — peers that
+        # stored them can.
+        for rid in snapshot.rids:
+            if rid not in self.known:
+                self.known.add(rid)
+                self.digest ^= mix_rumor_id(rid)
+                self.recent_learned.append(rid)
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+
+    def publish(self, item: Document | XMLSnippet) -> Document:
+        """Publish a document locally and gossip the filter growth."""
+        doc = self.peer.publish(item)
+        self.flush_updates()
+        return doc
+
+    def flush_updates(self) -> WireRumor | None:
+        """Mint a BF_UPDATE rumor for filter growth since the last one.
+
+        Returns the minted rumor, or None if the filter is unchanged.
+        """
+        current = self.peer.store.bloom_filter
+        if current == self._last_gossiped:
+            return None
+        diff = diff_filters(self._last_gossiped, current)
+        payload = codec.encode_update_payload(
+            self.peer.store.filter_version, diff.to_bytes()
+        )
+        rumor = WireRumor(
+            self._mint_rid(), RumorKind.BF_UPDATE, self.peer_id, self.clock(), payload
+        )
+        self._last_gossiped = current.copy()
+        self._learn_rumor(rumor, make_hot=True)
+        return rumor
+
+    def announce_rejoin(self) -> WireRumor:
+        """Mint a REJOIN rumor carrying our record and full filter
+        (used after coming back online at a possibly new address)."""
+        payload = codec.encode_member_payload(
+            self._own_record(), self.peer.store.bloom_filter.to_compressed()
+        )
+        rumor = WireRumor(
+            self._mint_rid(), RumorKind.REJOIN, self.peer_id, self.clock(), payload
+        )
+        self._learn_rumor(rumor, make_hot=True)
+        return rumor
+
+    # ------------------------------------------------------------------
+    # rumor knowledge
+    # ------------------------------------------------------------------
+
+    def _learn_rumor(self, rumor: WireRumor, make_hot: bool) -> bool:
+        if rumor.rid in self.known:
+            return False
+        self.known.add(rumor.rid)
+        self.digest ^= mix_rumor_id(rumor.rid)
+        self.rumors[rumor.rid] = rumor
+        self.recent_learned.append(rumor.rid)
+        self._apply_rumor(rumor)
+        if make_hot:
+            self.hot[rumor.rid] = 0
+        self.intervals.reset()
+        return True
+
+    def _apply_rumor(self, rumor: WireRumor) -> None:
+        if rumor.origin == self.peer_id:
+            return
+        if rumor.kind in (RumorKind.JOIN, RumorKind.REJOIN):
+            record, bloom = codec.decode_member_payload(rumor.payload)
+            bf = (
+                BloomFilter.from_compressed(
+                    bloom, num_hashes=self.bloom_config.num_hashes
+                )
+                if bloom
+                else None
+            )
+            self._install_member(record, bf)
+        elif rumor.kind is RumorKind.BF_UPDATE:
+            version, blob = codec.decode_update_payload(rumor.payload)
+            diff = BloomDiff.from_bytes(blob)
+            entry = self._ensure_entry(rumor.origin)
+            if entry.bloom_filter is None:
+                entry.bloom_filter = BloomFilter(
+                    self.bloom_config.num_bits, self.bloom_config.num_hashes
+                )
+            entry.bloom_filter = apply_diff(entry.bloom_filter, diff)
+            entry.filter_version = max(entry.filter_version, version)
+            entry.online = True
+
+    def _ensure_entry(self, peer_id: int) -> PeerEntry:
+        entry = self.peer.directory.get(peer_id)
+        if entry is None:
+            # Address unknown yet; the member's JOIN/REJOIN record will
+            # refresh it when it arrives (rumors are unordered).
+            entry = PeerEntry(peer_id, "", True, None, -1)
+            self.peer.directory[peer_id] = entry
+        return entry
+
+    def _install_member(self, record: PeerRecord, bf: BloomFilter | None) -> None:
+        entry = self._ensure_entry(record.peer_id)
+        if record.address:
+            entry.address = record.address
+        entry.online = True
+        self.offline_since.pop(record.peer_id, None)
+        if bf is not None:
+            if entry.bloom_filter is None:
+                entry.bloom_filter = bf
+            else:
+                # Filters are monotone; union keeps replicas convergent
+                # regardless of rumor arrival order.
+                entry.bloom_filter.union_inplace(bf)
+        entry.filter_version = max(entry.filter_version, record.filter_version)
+
+    # ------------------------------------------------------------------
+    # the gossip round (initiator side)
+    # ------------------------------------------------------------------
+
+    async def gossip_round(self) -> None:
+        """Run one gossip round: rumor push, or periodic anti-entropy."""
+        self.round_counter += 1
+        self._expire_dead()
+        hot_ids = list(self.hot)
+        if hot_ids and self.round_counter % self.config.anti_entropy_period != 0:
+            await self._rumor_round(hot_ids)
+        else:
+            await self._ae_round(had_hot=bool(hot_ids))
+
+    def _pick_target(self) -> int | None:
+        candidates = [
+            pid
+            for pid, entry in self.peer.directory.items()
+            if pid != self.peer_id and entry.online and entry.address
+        ]
+        if not candidates:
+            return None
+        return int(candidates[int(self.rng.integers(0, len(candidates)))])
+
+    async def _rumor_round(self, hot_ids: list[int]) -> None:
+        target = self._pick_target()
+        if target is None:
+            return
+        reply = await self._request_peer(target, RumorPush(tuple(hot_ids)))
+        if not isinstance(reply, RumorReply):
+            return
+        needed_set = set(reply.needed)
+        for rid in hot_ids:
+            count = self.hot.get(rid)
+            if count is None:
+                continue
+            if rid in needed_set:
+                self.hot[rid] = 0
+            else:
+                self.hot[rid] = count + 1
+                if self.hot[rid] >= self.config.rumor_give_up_count:
+                    del self.hot[rid]
+                    self.recent.append(rid)
+        if reply.needed:
+            have = tuple(
+                self.rumors[rid] for rid in reply.needed if rid in self.rumors
+            )
+            if have:
+                await self._request_peer(target, RumorData(have))
+        missing_piggy = [rid for rid in reply.piggyback if rid not in self.known]
+        if missing_piggy:
+            await self._pull_from(target, missing_piggy)
+
+    async def _ae_round(self, had_hot: bool) -> None:
+        target = self._pick_target()
+        if target is None:
+            return
+        reply = await self._request_peer(target, AERequest(self.digest))
+        if isinstance(reply, AENothing):
+            if not had_hot:
+                self.intervals.record_no_news_contact()
+        elif isinstance(reply, AERecent):
+            missing = [rid for rid in reply.rids if rid not in self.known]
+            if reply.known_count <= len(self.known) + len(missing):
+                # The cheap level fully explains the gap.
+                if missing:
+                    await self._pull_from(target, missing)
+                return
+            # Diverged beyond the recent window: fetch the full summary.
+            summary = await self._request_peer(target, PullRequest(()))
+            if isinstance(summary, AESummary):
+                for record in summary.entries:
+                    if record.peer_id != self.peer_id:
+                        self._install_member(record, None)
+                missing = [rid for rid in summary.rids if rid not in self.known]
+                if missing:
+                    await self._pull_from(target, missing)
+
+    async def _pull_from(self, target: int, rids: list[int]) -> None:
+        reply = await self._request_peer(target, PullRequest(tuple(rids)))
+        if isinstance(reply, RumorData):
+            for rumor in reply.rumors:
+                self._learn_rumor(rumor, make_hot=False)
+
+    async def _request_peer(self, pid: int, msg: object) -> object | None:
+        entry = self.peer.directory.get(pid)
+        if entry is None or not entry.address:
+            return None
+        try:
+            body = await self.transport.request(entry.address, codec.encode(msg))
+            reply = codec.decode(body)
+        except (TransportError, CodecError):
+            self._contact_failed(pid)
+            return None
+        entry.online = True
+        self.offline_since.pop(pid, None)
+        return reply
+
+    def _contact_failed(self, pid: int) -> None:
+        entry = self.peer.directory.get(pid)
+        if entry is not None and entry.online:
+            entry.online = False
+            self.offline_since.setdefault(pid, self.clock())
+
+    def _expire_dead(self) -> None:
+        now = self.clock()
+        dead = [
+            pid
+            for pid, since in self.offline_since.items()
+            if now - since > self.config.t_dead_s
+        ]
+        for pid in dead:
+            del self.offline_since[pid]
+            self.peer.drop_peer(pid)
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+
+    async def _serve(self, body: bytes) -> bytes:
+        try:
+            msg = codec.decode(body)
+        except CodecError as exc:
+            return codec.encode(ErrorReply(f"bad frame: {exc}"))
+        try:
+            reply = await self._dispatch(msg)
+        except Exception as exc:  # noqa: BLE001 - never kill the server loop
+            reply = ErrorReply(f"{type(exc).__name__}: {exc}")
+        return codec.encode(reply)
+
+    async def _dispatch(self, msg: object) -> object:
+        if isinstance(msg, RumorPush):
+            return self._on_rumor_push(msg)
+        if isinstance(msg, RumorData):
+            for rumor in msg.rumors:
+                self._learn_rumor(rumor, make_hot=True)
+            return AENothing()
+        if isinstance(msg, AERequest):
+            if msg.digest == self.digest:
+                return AENothing()
+            return AERecent(tuple(self.recent_learned), len(self.known))
+        if isinstance(msg, PullRequest):
+            return self._on_pull(msg)
+        if isinstance(msg, JoinRequest):
+            return self._on_join(msg)
+        if isinstance(msg, RankedQuery):
+            docs = score_local_documents(
+                self.peer.store.index, list(msg.terms), dict(msg.ipf), msg.k
+            )
+            return RankedResponse(tuple((d.doc_id, d.score) for d in docs))
+        if isinstance(msg, ExhaustiveQuery):
+            return ExhaustiveResponse(
+                tuple(exhaustive_local_match(self.peer.store.index, list(msg.terms)))
+            )
+        if isinstance(msg, SnippetFetch):
+            try:
+                doc = self.peer.store.get(msg.doc_id)
+            except KeyError:
+                return SnippetResponse(False, msg.doc_id, "")
+            return SnippetResponse(True, doc.doc_id, doc.text)
+        return ErrorReply(f"unexpected message {type(msg).__name__}")
+
+    def _on_rumor_push(self, msg: RumorPush) -> RumorReply:
+        needed = tuple(rid for rid in msg.rids if rid not in self.known)
+        piggy: tuple[int, ...] = ()
+        if self.config.use_partial_ae:
+            pushed = set(msg.rids)
+            piggy = tuple(rid for rid in self.recent if rid not in pushed)
+        # Receiving a rumor message re-accelerates gossip (Section 3).
+        self.intervals.reset()
+        return RumorReply(needed, piggy)
+
+    def _on_pull(self, msg: PullRequest) -> object:
+        if not msg.rids:  # empty pull = full directory summary request
+            records = tuple(
+                PeerRecord(pid, e.address, e.online, e.filter_version)
+                for pid, e in sorted(self.peer.directory.items())
+            )
+            return AESummary(records, tuple(sorted(self.known)))
+        have = tuple(
+            self.rumors[rid] for rid in msg.rids if rid in self.rumors
+        )
+        return RumorData(have)
+
+    def _on_join(self, msg: JoinRequest) -> JoinSnapshot:
+        rumor = WireRumor(
+            msg.rid,
+            RumorKind.JOIN,
+            msg.record.peer_id,
+            msg.created_at,
+            codec.encode_member_payload(msg.record, msg.bloom),
+        )
+        self._learn_rumor(rumor, make_hot=True)
+        entries = []
+        for pid, entry in sorted(self.peer.directory.items()):
+            if pid == self.peer_id:
+                record = self._own_record()
+                bloom = self.peer.store.bloom_filter.to_compressed()
+            else:
+                record = PeerRecord(pid, entry.address, entry.online, entry.filter_version)
+                bloom = (
+                    entry.bloom_filter.to_compressed()
+                    if entry.bloom_filter is not None
+                    else b""
+                )
+            entries.append(SnapshotEntry(record, bloom))
+        return JoinSnapshot(tuple(entries), tuple(sorted(self.known)))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def members(self) -> list[int]:
+        """Sorted ids of every known member (including ourselves)."""
+        return sorted(self.peer.directory)
+
+    def replica_of(self, peer_id: int) -> BloomFilter | None:
+        """Our replicated copy of ``peer_id``'s Bloom filter."""
+        if peer_id == self.peer_id:
+            return self.peer.store.bloom_filter
+        entry = self.peer.directory.get(peer_id)
+        return entry.bloom_filter if entry is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkPeer(id={self.peer_id}, addr={self.address}, "
+            f"docs={len(self.peer.store)}, members={len(self.peer.directory)}, "
+            f"known={len(self.known)})"
+        )

@@ -1,0 +1,277 @@
+"""Transports: how frame bodies move between peers.
+
+Everything above this layer is request/response: a peer sends one encoded
+frame and awaits exactly one frame in reply (the gossip exchanges of
+Section 3 map onto such pairs — push/reply, digest/summary, pull/data).
+A :class:`Transport` therefore needs only two verbs: ``serve`` (register
+an async handler at an address) and ``request`` (send bytes, get bytes).
+
+Two implementations:
+
+* :class:`TcpTransport` — real asyncio sockets.  Frames are 4-byte
+  big-endian length prefixes + body, with a max-frame guard against
+  malformed peers.  Outbound connections are cached per address and
+  reused across requests (one in-flight request per connection, as the
+  protocol is strictly request/response).
+* :class:`LoopbackTransport` — an in-memory :class:`LoopbackNetwork` with
+  injectable latency and seeded random drops, for deterministic tests of
+  the full node logic without sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from abc import ABC, abstractmethod
+from typing import Awaitable, Callable
+
+import numpy as np
+
+from repro.constants import NetConfig
+
+__all__ = [
+    "TransportError",
+    "Handler",
+    "Transport",
+    "TcpTransport",
+    "LoopbackNetwork",
+    "LoopbackTransport",
+]
+
+#: An async server callback: one request frame body in, one reply out.
+Handler = Callable[[bytes], Awaitable[bytes]]
+
+_LEN = struct.Struct(">I")
+
+
+class TransportError(ConnectionError):
+    """A peer could not be reached, timed out, or broke framing rules."""
+
+
+class Transport(ABC):
+    """Abstract request/response frame carrier."""
+
+    @abstractmethod
+    async def serve(self, address: str, handler: Handler) -> str:
+        """Start serving ``handler`` at ``address``; return the bound
+        address (which may differ, e.g. an ephemeral TCP port)."""
+
+    @abstractmethod
+    async def request(self, address: str, body: bytes) -> bytes:
+        """Send one frame to ``address`` and await the reply frame.
+
+        Raises :class:`TransportError` on connection failure, timeout, or
+        framing violation.
+        """
+
+    @abstractmethod
+    async def close(self) -> None:
+        """Stop serving and release all connections."""
+
+
+# ---------------------------------------------------------------------------
+# real sockets
+# ---------------------------------------------------------------------------
+
+
+async def _read_frame(reader: asyncio.StreamReader, max_frame: int) -> bytes:
+    """Read one length-prefixed frame; raises on EOF or oversize."""
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise TransportError(f"frame of {length} bytes exceeds max {max_frame}")
+    return await reader.readexactly(length)
+
+
+def _write_frame(writer: asyncio.StreamWriter, body: bytes) -> None:
+    """Queue one length-prefixed frame for writing."""
+    writer.write(_LEN.pack(len(body)) + body)
+
+
+class TcpTransport(Transport):
+    """Asyncio TCP transport with a per-peer connection cache."""
+
+    def __init__(self, config: NetConfig | None = None) -> None:
+        self.config = config or NetConfig()
+        self._server: asyncio.AbstractServer | None = None
+        self._handler: Handler | None = None
+        self._client_tasks: set[asyncio.Task] = set()
+        #: address -> (reader, writer, lock); one in-flight request each.
+        self._conns: dict[
+            str, tuple[asyncio.StreamReader, asyncio.StreamWriter, asyncio.Lock]
+        ] = {}
+
+    @staticmethod
+    def _split(address: str) -> tuple[str, int]:
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise TransportError(f"bad address {address!r}; want host:port")
+        return host, int(port)
+
+    async def serve(self, address: str, handler: Handler) -> str:
+        """Bind a TCP server at ``host:port`` (port 0 picks an ephemeral
+        one) and return the actual ``host:port`` bound."""
+        host, port = self._split(address)
+        self._handler = handler
+        self._server = await asyncio.start_server(self._on_client, host, port)
+        bound_port = self._server.sockets[0].getsockname()[1]
+        return f"{host}:{bound_port}"
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve request/response pairs on one inbound connection."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        try:
+            while True:
+                body = await _read_frame(reader, self.config.max_frame_bytes)
+                assert self._handler is not None
+                reply = await self._handler(body)
+                _write_frame(writer, reply)
+                await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ConnectionError,
+            TransportError,
+        ):
+            pass  # client went away, server shut down, or framing broke
+        finally:
+            if task is not None:
+                self._client_tasks.discard(task)
+            writer.close()
+
+    async def _connection(
+        self, address: str
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter, asyncio.Lock]:
+        conn = self._conns.get(address)
+        if conn is not None and not conn[1].is_closing():
+            return conn
+        host, port = self._split(address)
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.config.connect_timeout_s
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise TransportError(f"cannot connect to {address}: {exc}") from exc
+        conn = (reader, writer, asyncio.Lock())
+        self._conns[address] = conn
+        return conn
+
+    async def request(self, address: str, body: bytes) -> bytes:
+        """One RPC over the cached connection to ``address``."""
+        reader, writer, lock = await self._connection(address)
+        async with lock:
+            try:
+                _write_frame(writer, body)
+                await writer.drain()
+                return await asyncio.wait_for(
+                    _read_frame(reader, self.config.max_frame_bytes),
+                    self.config.request_timeout_s,
+                )
+            except TransportError:
+                self._drop(address)  # framing violated; connection unusable
+                raise
+            except (
+                OSError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                self._drop(address)
+                raise TransportError(f"request to {address} failed: {exc}") from exc
+
+    def _drop(self, address: str) -> None:
+        conn = self._conns.pop(address, None)
+        if conn is not None:
+            conn[1].close()
+
+    async def close(self) -> None:
+        """Close the server, inbound handlers, and cached connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        self._client_tasks.clear()
+        for address in list(self._conns):
+            self._drop(address)
+
+
+# ---------------------------------------------------------------------------
+# deterministic in-memory network
+# ---------------------------------------------------------------------------
+
+
+class LoopbackNetwork:
+    """Shared in-memory fabric for :class:`LoopbackTransport` endpoints.
+
+    ``latency_s`` is applied on each direction of every request;
+    ``drop_rate`` makes a request fail with :class:`TransportError`
+    (decided by a seeded generator, so tests are reproducible).
+    """
+
+    def __init__(
+        self, latency_s: float = 0.0, drop_rate: float = 0.0, seed: int = 0
+    ) -> None:
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError("drop_rate must be a probability")
+        self.latency_s = latency_s
+        self.drop_rate = drop_rate
+        self.rng = np.random.default_rng(seed)
+        self.handlers: dict[str, Handler] = {}
+        #: total frame bodies carried, for tests that audit traffic.
+        self.frames_carried = 0
+        self.bytes_carried = 0
+
+    def transport(self) -> "LoopbackTransport":
+        """Create a new endpoint attached to this fabric."""
+        return LoopbackTransport(self)
+
+    async def deliver(self, address: str, body: bytes) -> bytes:
+        """Route one request to the handler serving ``address``."""
+        if self.drop_rate > 0.0 and self.rng.random() < self.drop_rate:
+            raise TransportError(f"request to {address} dropped (injected)")
+        handler = self.handlers.get(address)
+        if handler is None:
+            raise TransportError(f"no peer serving at {address}")
+        if self.latency_s > 0.0:
+            await asyncio.sleep(self.latency_s)
+        self.frames_carried += 1
+        self.bytes_carried += len(body)
+        reply = await handler(body)
+        if self.latency_s > 0.0:
+            await asyncio.sleep(self.latency_s)
+        self.frames_carried += 1
+        self.bytes_carried += len(reply)
+        return reply
+
+
+class LoopbackTransport(Transport):
+    """One endpoint of a :class:`LoopbackNetwork`."""
+
+    def __init__(self, network: LoopbackNetwork) -> None:
+        self.network = network
+        self._addresses: list[str] = []
+
+    async def serve(self, address: str, handler: Handler) -> str:
+        """Register ``handler`` at ``address`` on the shared fabric."""
+        if address in self.network.handlers:
+            raise TransportError(f"address {address} already in use")
+        self.network.handlers[address] = handler
+        self._addresses.append(address)
+        return address
+
+    async def request(self, address: str, body: bytes) -> bytes:
+        """Route the request through the fabric (latency/drops applied)."""
+        return await self.network.deliver(address, body)
+
+    async def close(self) -> None:
+        """Deregister this endpoint's addresses."""
+        for address in self._addresses:
+            self.network.handlers.pop(address, None)
+        self._addresses.clear()

@@ -44,6 +44,13 @@ def test_pfs_demo():
     assert "reading" in out
 
 
+def test_network_demo():
+    out = _run("network_demo.py")
+    assert "directories converged" in out
+    assert "ranked 'gossip peer protocols' over TCP" in out
+    assert "all peers stopped" in out
+
+
 def test_ranked_search_example():
     out = _run("ranked_search.py")
     assert "adaptive" in out and "first-k" in out

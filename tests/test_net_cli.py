@@ -1,0 +1,66 @@
+"""The ``python -m repro.net`` command line: parsing and a short live run."""
+
+import asyncio
+
+import pytest
+
+from repro.constants import NET_DEFAULT_PORT
+from repro.net.cli import build_parser, run
+from repro.net.node import NetworkPeer
+from repro.text.document import Document
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["--peer-id", "3"])
+    assert args.peer_id == 3
+    assert args.host == "127.0.0.1"
+    assert args.port == NET_DEFAULT_PORT
+    assert args.bootstrap is None
+    assert args.corpus is None
+    assert args.query is None
+    assert args.max_runtime is None
+
+
+def test_parser_requires_peer_id():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_run_bootstraps_publishes_and_queries(tmp_path, capsys):
+    (tmp_path / "epidemics.txt").write_text(
+        "epidemic algorithms for replicated database maintenance"
+    )
+    (tmp_path / "gossip.txt").write_text(
+        "gossip protocols spread rumors through random peer exchanges"
+    )
+
+    async def scenario():
+        bootstrap = NetworkPeer(0, "127.0.0.1", 0)
+        await bootstrap.start()
+        bootstrap.publish(Document("bloom", "bloom filters summarize membership"))
+        bootstrap.run()
+        args = build_parser().parse_args(
+            [
+                "--peer-id", "1",
+                "--port", "0",
+                "--bootstrap", bootstrap.address,
+                "--corpus", str(tmp_path),
+                "--gossip-interval", "0.05",
+                "--query", "gossip rumors",
+                "--top-k", "2",
+                "--max-runtime", "0.2",
+            ]
+        )
+        try:
+            await run(args)
+        finally:
+            await bootstrap.stop()
+
+    asyncio.run(scenario())
+    out = capsys.readouterr().out
+    assert "peer 1 serving at" in out
+    assert "published 2 documents" in out
+    assert "joined via" in out and "2 members known" in out
+    assert "ranked 'gossip rumors'" in out
+    assert "gossip" in out.split("ranked")[1]  # the matching doc is listed
+    assert "peer 1 stopped" in out

@@ -1,0 +1,135 @@
+"""The wire codec round-trips the whole message inventory and rejects junk."""
+
+import pytest
+
+from repro.constants import NET_CODEC_VERSION
+from repro.gossip.rumor import RumorKind
+from repro.gossip.wire import (
+    GOSSIP_MESSAGES,
+    AENothing,
+    AERecent,
+    AERequest,
+    AESummary,
+    JoinRequest,
+    JoinSnapshot,
+    PeerRecord,
+    PullRequest,
+    RumorData,
+    RumorPush,
+    RumorReply,
+    SnapshotEntry,
+    WireRumor,
+)
+from repro.net.codec import (
+    CodecError,
+    ErrorReply,
+    ExhaustiveQuery,
+    ExhaustiveResponse,
+    RankedQuery,
+    RankedResponse,
+    SnippetFetch,
+    SnippetResponse,
+    decode,
+    decode_member_payload,
+    decode_update_payload,
+    encode,
+    encode_member_payload,
+    encode_update_payload,
+)
+
+RECORD = PeerRecord(7, "10.0.0.7:9301", True, 3)
+RUMOR = WireRumor((7 << 32) | 1, RumorKind.BF_UPDATE, 7, 12.5, b"\x01\x02\x03")
+
+MESSAGES = [
+    RumorPush(((7 << 32) | 1, (8 << 32) | 2)),
+    RumorReply(((7 << 32) | 1,), ((9 << 32) | 5, (9 << 32) | 6)),
+    RumorData((RUMOR, WireRumor(42, RumorKind.JOIN, 2, 0.0, b"payload"))),
+    AERequest(0xDEADBEEFCAFEF00D),
+    AENothing(),
+    AERecent(((7 << 32) | 1, 42), 17),
+    AESummary((RECORD, PeerRecord(8, "10.0.0.8:9301", False, 0)), (42,)),
+    PullRequest(((7 << 32) | 1,)),
+    PullRequest(()),
+    JoinRequest(RECORD, b"compressed-bloom", (7 << 32) | 9, 99.25),
+    JoinSnapshot(
+        (SnapshotEntry(RECORD, b"bloom-bytes"), SnapshotEntry(PeerRecord(8, "h:1", True, 0), b"")),
+        ((7 << 32) | 1, 42),
+    ),
+    RankedQuery(("gossip", "peers"), (("gossip", 1.5), ("peers", 0.25)), 10),
+    RankedResponse((("doc-a", 3.5), ("doc-b", 1.0))),
+    ExhaustiveQuery(("bloom", "filter")),
+    ExhaustiveResponse(("doc-a", "doc-b", "doc-c")),
+    SnippetFetch("doc-a"),
+    SnippetResponse(True, "doc-a", "the full text éè"),
+    SnippetResponse(False, "missing", ""),
+    ErrorReply("bad frame: truncated"),
+]
+
+
+@pytest.mark.parametrize("msg", MESSAGES, ids=lambda m: type(m).__name__)
+def test_roundtrip(msg):
+    body = encode(msg)
+    assert body[0] == NET_CODEC_VERSION
+    assert decode(body) == msg
+
+
+def test_every_gossip_type_is_covered():
+    tested = {type(m) for m in MESSAGES}
+    assert set(GOSSIP_MESSAGES) <= tested
+
+
+def test_unknown_version_rejected():
+    body = bytes([NET_CODEC_VERSION + 1]) + encode(AENothing())[1:]
+    with pytest.raises(CodecError, match="version"):
+        decode(body)
+
+
+def test_unknown_type_byte_rejected():
+    body = bytes([NET_CODEC_VERSION, 255])
+    with pytest.raises(CodecError, match="type byte"):
+        decode(body)
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(CodecError, match="trailing"):
+        decode(encode(AENothing()) + b"\x00")
+
+
+def test_truncated_frame_rejected():
+    body = encode(RumorData((RUMOR,)))
+    with pytest.raises(CodecError, match="truncated"):
+        decode(body[:-2])
+
+
+def test_non_message_rejected():
+    with pytest.raises(CodecError, match="not a wire message"):
+        encode({"not": "a message"})
+
+
+def test_oversized_rumor_id_rejected():
+    with pytest.raises(CodecError, match="6 bytes"):
+        encode(RumorPush((1 << 48,)))
+
+
+def test_oversized_string_rejected():
+    with pytest.raises(CodecError, match="64 KiB"):
+        encode(SnippetFetch("x" * 70_000))
+
+
+def test_unknown_rumor_kind_rejected():
+    body = bytearray(encode(RumorData((RUMOR,))))
+    # kind byte sits after version, type, count (u32), and rid (6 bytes)
+    kind_at = 1 + 1 + 4 + 6
+    body[kind_at] = 200
+    with pytest.raises(CodecError, match="kind"):
+        decode(bytes(body))
+
+
+def test_member_payload_roundtrip():
+    payload = encode_member_payload(RECORD, b"bloom")
+    assert decode_member_payload(payload) == (RECORD, b"bloom")
+
+
+def test_update_payload_roundtrip():
+    payload = encode_update_payload(5, b"golomb-diff")
+    assert decode_update_payload(payload) == (5, b"golomb-diff")

@@ -1,0 +1,128 @@
+"""End-to-end community tests: convergence and search parity over the wire.
+
+The two acceptance scenarios of the network layer:
+
+* a three-node loopback community converges to **bit-identical** Bloom
+  filter replicas purely through gossip; and
+* a three-node community over **real TCP sockets** answers a ranked
+  TF×IPF query with exactly the same top-k as the in-process community on
+  the same corpus — the protocol machinery changes, the results don't.
+"""
+
+import asyncio
+
+from repro.core.community import InProcessCommunity
+from repro.net.client import NetworkSearchClient
+from repro.net.node import NetworkPeer
+from repro.net.transport import LoopbackNetwork
+from repro.text.document import Document
+
+CORPUS = [
+    (0, "d-epidemic", "epidemic algorithms maintain replicated databases"),
+    (0, "d-gossip", "gossip protocols spread rumors through random exchanges"),
+    (1, "d-bloom", "bloom filters summarize set membership compactly"),
+    (1, "d-rank", "tf ipf ranking weights terms by peer frequency"),
+    (2, "d-chord", "chord routes lookups over consistent hashing"),
+    (2, "d-mix", "peers gossip bloom summaries and rank results"),
+]
+
+
+def _publish_corpus(nodes: list[NetworkPeer]) -> None:
+    for pid, doc_id, text in CORPUS:
+        nodes[pid].publish(Document(doc_id, text))
+
+
+async def _converge(nodes: list[NetworkPeer], max_rounds: int = 30) -> int:
+    """Drive gossip rounds until every digest agrees; returns rounds used."""
+    for rnd in range(1, max_rounds + 1):
+        for node in nodes:
+            await node.gossip_round()
+        if len({node.digest for node in nodes}) == 1:
+            return rnd
+    raise AssertionError(
+        f"no convergence in {max_rounds} rounds: "
+        f"{[hex(node.digest) for node in nodes]}"
+    )
+
+
+def test_loopback_community_converges_bit_identical():
+    async def scenario():
+        net = LoopbackNetwork(seed=42)
+        nodes = [
+            NetworkPeer(pid, "peer", pid, transport=net.transport(), seed=pid)
+            for pid in range(3)
+        ]
+        for node in nodes:
+            await node.start()
+        _publish_corpus(nodes)
+        await nodes[1].join(nodes[0].address)
+        await nodes[2].join(nodes[1].address)
+        rounds = await _converge(nodes)
+        assert rounds < 30
+        # Every replica is bit-identical to the publisher's live filter.
+        for owner in nodes:
+            for observer in nodes:
+                assert (
+                    observer.replica_of(owner.peer_id) == owner.peer.store.bloom_filter
+                ), f"peer {observer.peer_id}'s replica of {owner.peer_id} diverged"
+        assert all(node.members() == [0, 1, 2] for node in nodes)
+        for node in nodes:
+            await node.stop()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_ranked_search_matches_in_process_community():
+    query, k = "gossip bloom peers", 4
+
+    # Reference: the same corpus in the in-process community.
+    community = InProcessCommunity(num_peers=3)
+    for pid, doc_id, text in CORPUS:
+        community.publish(pid, Document(doc_id, text))
+    expected = community.ranked_search(query, k=k)
+
+    async def scenario():
+        nodes = [NetworkPeer(pid, "127.0.0.1", 0, seed=pid) for pid in range(3)]
+        for node in nodes:
+            await node.start()
+        _publish_corpus(nodes)
+        await nodes[1].join(nodes[0].address)
+        await nodes[2].join(nodes[0].address)
+        await _converge(nodes)
+        try:
+            result = await NetworkSearchClient(nodes[0]).ranked_search(query, k=k)
+        finally:
+            for node in nodes:
+                await node.stop()
+        return result
+
+    result = asyncio.run(scenario())
+    assert [d.doc_id for d in result.results] == [d.doc_id for d in expected.results]
+    for got, want in zip(result.results, expected.results):
+        assert got.score == want.score
+    assert result.ipf == expected.ipf
+
+
+def test_tcp_exhaustive_search_matches_in_process_community():
+    query = "gossip"
+
+    community = InProcessCommunity(num_peers=3)
+    for pid, doc_id, text in CORPUS:
+        community.publish(pid, Document(doc_id, text))
+    expected = sorted(d.doc_id for d in community.exhaustive_search(query))
+
+    async def scenario():
+        nodes = [NetworkPeer(pid, "127.0.0.1", 0, seed=pid) for pid in range(3)]
+        for node in nodes:
+            await node.start()
+        _publish_corpus(nodes)
+        await nodes[1].join(nodes[0].address)
+        await nodes[2].join(nodes[0].address)
+        await _converge(nodes)
+        try:
+            return await NetworkSearchClient(nodes[2]).exhaustive_search(query)
+        finally:
+            for node in nodes:
+                await node.stop()
+
+    assert asyncio.run(scenario()) == expected

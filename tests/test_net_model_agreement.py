@@ -1,0 +1,103 @@
+"""Satellite cross-check: real encodings vs the Table-2 byte model.
+
+The simulator prices gossip messages with ``MessageSizer`` while the
+network layer actually encodes them.  Both work from the shared inventory
+in :mod:`repro.gossip.wire`, and this suite holds them honest: for every
+inventory type, a realistically-populated instance's real encoded length
+must stay within a factor of two of the model's prediction.
+"""
+
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.constants import GossipConfig
+from repro.gossip.messages import MessageSizer
+from repro.gossip.rumor import RumorKind
+from repro.gossip.wire import (
+    GOSSIP_MESSAGES,
+    AENothing,
+    AERecent,
+    AERequest,
+    AESummary,
+    JoinRequest,
+    JoinSnapshot,
+    PeerRecord,
+    PullRequest,
+    RumorData,
+    RumorPush,
+    RumorReply,
+    SnapshotEntry,
+    WireRumor,
+)
+from repro.net.codec import RankedQuery, encode, encode_member_payload
+
+
+def _bloom_bytes(terms) -> bytes:
+    bf = BloomFilter(4096, 2)
+    bf.add_many(terms)
+    return bf.to_compressed()
+
+
+def _records(n: int) -> tuple[PeerRecord, ...]:
+    return tuple(
+        PeerRecord(pid, f"192.168.1.{pid}:9301", pid % 2 == 0, pid) for pid in range(n)
+    )
+
+
+def _rumors(n: int) -> tuple[WireRumor, ...]:
+    # Realistic payloads: a member record + small compressed filter each,
+    # just as JOIN rumors carry on the wire.
+    out = []
+    for pid in range(n):
+        payload = encode_member_payload(
+            PeerRecord(pid, f"192.168.1.{pid}:9301", True, 1),
+            _bloom_bytes([f"term-{pid}-{j}" for j in range(4)]),
+        )
+        out.append(WireRumor((pid << 32) | 1, RumorKind.JOIN, pid, 1.0, payload))
+    return tuple(out)
+
+
+_RIDS = tuple((pid << 32) | seq for pid in range(4) for seq in range(3))
+_BLOOM = _bloom_bytes([f"word-{i}" for i in range(12)])
+
+INSTANCES = [
+    RumorPush(_RIDS),
+    RumorReply(_RIDS[:5], _RIDS[5:9]),
+    RumorData(_rumors(3)),
+    AERequest(0x0123456789ABCDEF),
+    AENothing(),
+    AERecent(_RIDS, 40),
+    AESummary(_records(8), _RIDS),
+    PullRequest(_RIDS[:6]),
+    JoinRequest(_records(1)[0], _BLOOM, 7, 3.5),
+    JoinSnapshot(
+        tuple(SnapshotEntry(rec, _BLOOM) for rec in _records(6)), _RIDS
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def sizer() -> MessageSizer:
+    """The Table-2 model under the default gossip configuration."""
+    return MessageSizer(GossipConfig())
+
+
+@pytest.mark.parametrize("msg", INSTANCES, ids=lambda m: type(m).__name__)
+def test_real_encoding_within_2x_of_model(msg, sizer):
+    real = len(encode(msg))
+    model = sizer.model_size(msg)
+    assert model > 0
+    ratio = real / model
+    assert 0.5 <= ratio <= 2.0, (
+        f"{type(msg).__name__}: real={real}B model={model}B ratio={ratio:.2f}"
+    )
+
+
+def test_inventory_fully_covered(sizer):
+    instance_types = {type(m) for m in INSTANCES}
+    assert instance_types == set(GOSSIP_MESSAGES)
+
+
+def test_model_rejects_non_gossip_messages(sizer):
+    with pytest.raises(TypeError, match="not a gossip wire message"):
+        sizer.model_size(RankedQuery(("a",), (("a", 1.0),), 5))

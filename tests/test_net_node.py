@@ -1,0 +1,236 @@
+"""NetworkPeer behaviour: join, publish, rumor spread, liveness, serving.
+
+Everything runs over the deterministic loopback fabric with seeded RNGs,
+so each scenario is reproducible without real sockets.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.constants import GossipConfig
+from repro.gossip.wire import AENothing, RumorPush, RumorReply
+from repro.net import codec
+from repro.net.codec import ErrorReply
+from repro.net.node import NetworkPeer
+from repro.net.transport import LoopbackNetwork
+from repro.text.document import Document
+
+
+def _node(net: LoopbackNetwork, pid: int, clock=None, **kwargs) -> NetworkPeer:
+    extra = {"clock": clock} if clock is not None else {}
+    return NetworkPeer(
+        pid, "peer", pid, transport=net.transport(), seed=pid, **extra, **kwargs
+    )
+
+
+def test_peer_id_must_fit_16_bits():
+    with pytest.raises(ValueError, match="16 bits"):
+        NetworkPeer(1 << 16)
+
+
+def test_rumor_ids_are_globally_unique_per_peer():
+    net = LoopbackNetwork()
+    a, b = _node(net, 3), _node(net, 4)
+    rids = [a._mint_rid(), a._mint_rid(), b._mint_rid()]
+    assert len(set(rids)) == 3
+    assert rids[0] >> 32 == 3 and rids[2] >> 32 == 4
+
+
+def test_join_exchanges_records_and_filters():
+    async def scenario():
+        net = LoopbackNetwork()
+        a, b = _node(net, 0), _node(net, 1)
+        await a.start()
+        await b.start()
+        a.publish(Document("d-a", "gossip spreads rumors"))
+        b.publish(Document("d-b", "bloom filters compress membership"))
+        await b.join(a.address)
+        # The bootstrap learned the joiner's rumor; the joiner got the
+        # snapshot: both sides now see both members.
+        assert a.members() == b.members() == [0, 1]
+        # b's pre-join update rumor still needs one push to reach a.
+        await b.gossip_round()
+        assert a.digest == b.digest
+        replica = a.replica_of(1)
+        assert replica is not None
+        assert replica == b.peer.store.bloom_filter
+        await a.stop()
+        await b.stop()
+
+    asyncio.run(scenario())
+
+
+def test_flush_updates_mints_only_on_growth():
+    net = LoopbackNetwork()
+    a = _node(net, 0)
+    assert a.flush_updates() is None  # nothing published yet
+    a.publish(Document("d", "some fresh terms here"))
+    assert a.flush_updates() is None  # publish() already flushed this growth
+    a.publish(Document("d2", "some fresh terms here"))
+    assert a.flush_updates() is None  # identical terms set no new bits
+
+
+def test_rumor_round_spreads_update_and_retires_rumor():
+    async def scenario():
+        config = GossipConfig(rumor_give_up_count=2)
+        net = LoopbackNetwork()
+        a, b = _node(net, 0, gossip_config=config), _node(net, 1, gossip_config=config)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        a.publish(Document("d", "unique gossip terminology"))
+        # a's hot set holds b's JOIN rumor too; pick a's own update rumor.
+        hot_rid = next(rid for rid in a.hot if rid >> 32 == 0)
+        await a.gossip_round()
+        assert hot_rid in b.known
+        assert b.replica_of(0) == a.peer.store.bloom_filter
+        # Keep pushing to the only peer until the rumor goes cold.
+        for _ in range(config.rumor_give_up_count + 1):
+            await a.gossip_round()
+        assert hot_rid not in a.hot
+        assert hot_rid in a.recent  # retired into the partial-AE window
+        await a.stop()
+        await b.stop()
+
+    asyncio.run(scenario())
+
+
+def test_anti_entropy_reconciles_a_cold_gap():
+    async def scenario():
+        net = LoopbackNetwork()
+        a, b = _node(net, 0), _node(net, 1)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        # Give b knowledge a lacks, without rumoring: learn quietly.
+        b.publish(Document("d", "anti entropy repairs gaps"))
+        b.hot.clear()  # b will never push it
+        assert a.digest != b.digest
+        # Force a's next round to be anti-entropy (no hot rumors at a).
+        a.hot.clear()
+        await a.gossip_round()
+        assert a.digest == b.digest
+        assert a.replica_of(1) == b.peer.store.bloom_filter
+        await a.stop()
+        await b.stop()
+
+    asyncio.run(scenario())
+
+
+def test_failed_contacts_mark_offline_and_t_dead_drops():
+    async def scenario():
+        now = [0.0]
+        config = GossipConfig(t_dead_s=100.0)
+        net = LoopbackNetwork()
+        a = _node(net, 0, clock=lambda: now[0], gossip_config=config)
+        b = _node(net, 1, clock=lambda: now[0], gossip_config=config)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        await b.stop()  # silent departure: no announcement
+        a.hot.clear()
+        await a.gossip_round()  # contact fails
+        assert a.peer.directory[1].online is False
+        assert 1 in a.offline_since
+        now[0] = 50.0
+        await a.gossip_round()  # still within T_Dead
+        assert 1 in a.peer.directory
+        now[0] = 101.0
+        await a.gossip_round()  # past T_Dead: dropped
+        assert 1 not in a.peer.directory
+        await a.stop()
+
+    asyncio.run(scenario())
+
+
+def test_rejoin_refreshes_address():
+    async def scenario():
+        net = LoopbackNetwork()
+        a, b = _node(net, 0), _node(net, 1)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        old = a.peer.directory[1].address
+        # b comes back at a new address and announces a REJOIN.
+        b.address = "peer:99"
+        b.peer.address = "peer:99"
+        b.announce_rejoin()
+        await b.gossip_round()
+        assert a.peer.directory[1].address == "peer:99" != old
+        await a.stop()
+        await b.stop()
+
+    asyncio.run(scenario())
+
+
+def test_server_replies_error_on_garbage_and_unexpected_messages():
+    async def scenario():
+        net = LoopbackNetwork()
+        a = _node(net, 0)
+        address = await a.start()
+        client = net.transport()
+        assert isinstance(codec.decode(await client.request(address, b"\xff\xff")), ErrorReply)
+        body = await client.request(address, codec.encode(RumorReply((), ())))
+        assert isinstance(codec.decode(body), ErrorReply)
+        await a.stop()
+
+    asyncio.run(scenario())
+
+
+def test_push_reply_reports_needed_and_piggyback():
+    async def scenario():
+        net = LoopbackNetwork()
+        a = _node(net, 0)
+        address = await a.start()
+        a.known.update({111, 222})  # known and retired: in the AE window
+        a.recent.extend([111, 222])
+        client = net.transport()
+        unknown = (5 << 32) | 1
+        body = await client.request(address, codec.encode(RumorPush((unknown, 111))))
+        reply = codec.decode(body)
+        assert isinstance(reply, RumorReply)
+        assert reply.needed == (unknown,)
+        assert set(reply.piggyback) == {222}  # pushed ids are excluded
+        await a.stop()
+
+    asyncio.run(scenario())
+
+
+def test_background_loop_converges_two_nodes():
+    async def scenario():
+        config = GossipConfig(base_interval_s=0.02, max_interval_s=0.05)
+        net = LoopbackNetwork()
+        a, b = _node(net, 0, gossip_config=config), _node(net, 1, gossip_config=config)
+        await a.start()
+        await b.start()
+        a.publish(Document("d", "looped gossip convergence"))
+        await b.join(a.address)
+        a.run()
+        b.run()
+        for _ in range(100):
+            if a.digest == b.digest and b.replica_of(0) is not None:
+                break
+            await asyncio.sleep(0.02)
+        assert a.digest == b.digest
+        await a.stop()
+        await b.stop()
+        assert a._gossip_task is None and b._gossip_task is None
+
+    asyncio.run(scenario())
+
+
+def test_ack_for_rumor_data_is_nothing():
+    net = LoopbackNetwork()
+    a = _node(net, 0)
+
+    async def scenario():
+        address = await a.start()
+        client = net.transport()
+        from repro.gossip.wire import RumorData
+
+        body = await client.request(address, codec.encode(RumorData(())))
+        assert codec.decode(body) == AENothing()
+        await a.stop()
+
+    asyncio.run(scenario())

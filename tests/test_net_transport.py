@@ -1,0 +1,164 @@
+"""Transports carry frames faithfully: loopback determinism, real TCP."""
+
+import asyncio
+
+import pytest
+
+from repro.constants import NetConfig
+from repro.net.transport import (
+    LoopbackNetwork,
+    TcpTransport,
+    TransportError,
+)
+
+
+async def _echo(body: bytes) -> bytes:
+    return b"echo:" + body
+
+
+# -- loopback ---------------------------------------------------------------
+
+
+def test_loopback_request_response():
+    async def scenario():
+        net = LoopbackNetwork()
+        server = net.transport()
+        await server.serve("a:1", _echo)
+        client = net.transport()
+        reply = await client.request("a:1", b"hello")
+        assert reply == b"echo:hello"
+        assert net.frames_carried == 2
+        assert net.bytes_carried == len(b"hello") + len(b"echo:hello")
+
+    asyncio.run(scenario())
+
+
+def test_loopback_unknown_address():
+    async def scenario():
+        net = LoopbackNetwork()
+        with pytest.raises(TransportError, match="no peer serving"):
+            await net.transport().request("nowhere:1", b"x")
+
+    asyncio.run(scenario())
+
+
+def test_loopback_duplicate_address_rejected():
+    async def scenario():
+        net = LoopbackNetwork()
+        await net.transport().serve("a:1", _echo)
+        with pytest.raises(TransportError, match="already in use"):
+            await net.transport().serve("a:1", _echo)
+
+    asyncio.run(scenario())
+
+
+def test_loopback_injected_drops_are_deterministic():
+    async def drops_with(seed: int) -> list[bool]:
+        net = LoopbackNetwork(drop_rate=0.5, seed=seed)
+        t = net.transport()
+        await t.serve("a:1", _echo)
+        outcomes = []
+        for _ in range(20):
+            try:
+                await t.request("a:1", b"x")
+                outcomes.append(True)
+            except TransportError:
+                outcomes.append(False)
+        return outcomes
+
+    first = asyncio.run(drops_with(7))
+    second = asyncio.run(drops_with(7))
+    assert first == second
+    assert True in first and False in first
+
+
+def test_loopback_close_deregisters():
+    async def scenario():
+        net = LoopbackNetwork()
+        t = net.transport()
+        await t.serve("a:1", _echo)
+        await t.close()
+        with pytest.raises(TransportError, match="no peer serving"):
+            await net.transport().request("a:1", b"x")
+
+    asyncio.run(scenario())
+
+
+# -- TCP --------------------------------------------------------------------
+
+
+def test_tcp_request_response_and_connection_reuse():
+    async def scenario():
+        server = TcpTransport()
+        address = await server.serve("127.0.0.1:0", _echo)
+        assert address != "127.0.0.1:0"  # an ephemeral port was bound
+        client = TcpTransport()
+        try:
+            assert await client.request(address, b"one") == b"echo:one"
+            conn_after_first = client._conns[address]
+            assert await client.request(address, b"two") == b"echo:two"
+            assert client._conns[address] is conn_after_first
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_concurrent_requests_share_one_connection():
+    async def scenario():
+        server = TcpTransport()
+        address = await server.serve("127.0.0.1:0", _echo)
+        client = TcpTransport()
+        try:
+            replies = await asyncio.gather(
+                *(client.request(address, b"%d" % i) for i in range(8))
+            )
+            assert sorted(replies) == sorted(b"echo:%d" % i for i in range(8))
+            assert len(client._conns) == 1
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_connect_failure_raises():
+    async def scenario():
+        client = TcpTransport(NetConfig(connect_timeout_s=0.5))
+        # A port nothing listens on: bind one, close it, then dial it.
+        probe = TcpTransport()
+        address = await probe.serve("127.0.0.1:0", _echo)
+        await probe.close()
+        with pytest.raises(TransportError, match="cannot connect"):
+            await client.request(address, b"x")
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_oversized_reply_rejected_by_client():
+    async def big(body: bytes) -> bytes:
+        return b"y" * 4096
+
+    async def scenario():
+        server = TcpTransport()
+        address = await server.serve("127.0.0.1:0", big)
+        client = TcpTransport(NetConfig(max_frame_bytes=1024))
+        try:
+            with pytest.raises(TransportError, match="exceeds max"):
+                await client.request(address, b"x")
+            assert address not in client._conns
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_bad_address_rejected():
+    async def scenario():
+        with pytest.raises(TransportError, match="want host:port"):
+            await TcpTransport().request("no-port-here", b"x")
+
+    asyncio.run(scenario())
