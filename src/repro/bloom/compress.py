@@ -63,7 +63,10 @@ def decompress_filter(
     if count == 0:
         return bf
     decoder = GolombDecoder(m, data[_HEADER.size :])
-    gaps = np.asarray(decoder.decode_many(count), dtype=np.int64)
+    try:
+        gaps = np.asarray(decoder.decode_many(count), dtype=np.int64)
+    except EOFError as exc:
+        raise ValueError("corrupt stream: Golomb data exhausted early") from exc
     positions = np.cumsum(gaps + 1) - 1
     if positions[-1] >= num_bits:
         raise ValueError("corrupt stream: bit position beyond filter width")

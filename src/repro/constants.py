@@ -152,6 +152,31 @@ NET_REQUEST_TIMEOUT_S: float = 30.0
 #: Wire-format version byte carried in every codec frame.
 NET_CODEC_VERSION: int = 1
 
+#: Retries after the first failed attempt of one RPC (connection-level
+#: failures only; framing violations are never retried).
+NET_REQUEST_RETRIES: int = 2
+
+#: Backoff before the first retry (seconds); doubles per retry.
+NET_RETRY_BACKOFF_S: float = 0.1
+
+#: Upper bound on the exponential retry backoff (seconds).
+NET_RETRY_BACKOFF_MAX_S: float = 2.0
+
+#: Fraction of random jitter added on top of each backoff delay, to
+#: de-synchronize peers retrying against the same recovering node.
+NET_RETRY_JITTER_FRAC: float = 0.5
+
+#: Overall deadline for one RPC including all retries (seconds).
+NET_REQUEST_DEADLINE_S: float = 60.0
+
+#: Base backoff before re-rumoring with a member after a failed contact
+#: (seconds); doubles per consecutive failure.  Anti-entropy rounds ignore
+#: this so that recovered peers are always rediscovered.
+NET_CONTACT_BACKOFF_BASE_S: float = 30.0
+
+#: Upper bound on the per-member contact backoff (seconds).
+NET_CONTACT_BACKOFF_MAX_S: float = 480.0
+
 # --------------------------------------------------------------------------
 # Section 6 PFS parameters
 # --------------------------------------------------------------------------
@@ -186,6 +211,10 @@ class GossipConfig:
     #: directory summary.
     ae_recent_window: int = 50
     t_dead_s: float = T_DEAD_S
+    #: exponential backoff applied to rumor contacts with a member after
+    #: failed contacts (anti-entropy ignores it; see NetworkPeer).
+    contact_backoff_base_s: float = NET_CONTACT_BACKOFF_BASE_S
+    contact_backoff_max_s: float = NET_CONTACT_BACKOFF_MAX_S
     use_partial_ae: bool = True
     anti_entropy_only: bool = False
     bandwidth_aware: bool = False
@@ -204,6 +233,10 @@ class GossipConfig:
             raise ValueError("anti_entropy_period must be >= 1")
         if not 0.0 <= self.fast_to_slow_prob <= 1.0:
             raise ValueError("fast_to_slow_prob must be a probability")
+        if self.contact_backoff_base_s < 0 or (
+            self.contact_backoff_max_s < self.contact_backoff_base_s
+        ):
+            raise ValueError("contact backoff must satisfy 0 <= base <= max")
 
 
 @dataclass
@@ -242,12 +275,27 @@ class NetConfig:
     connect_timeout_s: float = NET_CONNECT_TIMEOUT_S
     request_timeout_s: float = NET_REQUEST_TIMEOUT_S
     codec_version: int = NET_CODEC_VERSION
+    request_retries: int = NET_REQUEST_RETRIES
+    retry_backoff_s: float = NET_RETRY_BACKOFF_S
+    retry_backoff_max_s: float = NET_RETRY_BACKOFF_MAX_S
+    retry_jitter_frac: float = NET_RETRY_JITTER_FRAC
+    request_deadline_s: float = NET_REQUEST_DEADLINE_S
 
     def __post_init__(self) -> None:
         if self.max_frame_bytes < 64:
             raise ValueError("max_frame_bytes is too small for any message")
         if self.connect_timeout_s <= 0 or self.request_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if self.request_retries < 0:
+            raise ValueError("request_retries must be >= 0")
+        if self.retry_backoff_s <= 0 or (
+            self.retry_backoff_max_s < self.retry_backoff_s
+        ):
+            raise ValueError("retry backoff must satisfy 0 < base <= max")
+        if not 0.0 <= self.retry_jitter_frac <= 1.0:
+            raise ValueError("retry_jitter_frac must be in [0, 1]")
+        if self.request_deadline_s <= 0:
+            raise ValueError("request_deadline_s must be positive")
 
 
 @dataclass

@@ -7,8 +7,11 @@ objects over real transports:
 
 ``codec``      versioned binary wire format for the full gossip inventory
                (:mod:`repro.gossip.wire`) plus the search RPCs
-``transport``  asyncio TCP with connection caching, and a deterministic
-               in-memory loopback with injectable latency/drops
+``transport``  asyncio TCP with connection caching and retry/backoff,
+               and a deterministic in-memory loopback with injectable
+               latency/drops
+``chaos``      seeded fault injection over any transport: drops, resets,
+               jitter, MIX bandwidth caps, partitions, crash windows
 ``node``       :class:`NetworkPeer` — a peer as an asyncio server running
                the Section 3 gossip state machine on wall-clock time
 ``client``     :class:`NetworkSearchClient` — ranked TF×IPF and
@@ -29,6 +32,12 @@ Quick start (async context)::
     result = await NetworkSearchClient(a).ranked_search("gossip", k=5)
 """
 
+from repro.net.chaos import (
+    EdgeFaults,
+    FaultPlan,
+    FaultyTransport,
+    VirtualClock,
+)
 from repro.net.client import NetworkSearchClient
 from repro.net.codec import (
     CodecError,
@@ -46,6 +55,7 @@ from repro.net.node import NetworkPeer
 from repro.net.transport import (
     LoopbackNetwork,
     LoopbackTransport,
+    RetryableTransportError,
     TcpTransport,
     Transport,
     TransportError,
@@ -59,6 +69,11 @@ __all__ = [
     "LoopbackNetwork",
     "LoopbackTransport",
     "TransportError",
+    "RetryableTransportError",
+    "EdgeFaults",
+    "FaultPlan",
+    "FaultyTransport",
+    "VirtualClock",
     "CodecError",
     "encode",
     "decode",

@@ -21,10 +21,11 @@ import argparse
 import asyncio
 from pathlib import Path
 
-from repro.constants import GossipConfig, NET_DEFAULT_PORT
+from repro.constants import GossipConfig, NET_DEFAULT_PORT, NetConfig
+from repro.net.chaos import EdgeFaults, FaultPlan, FaultyTransport
 from repro.net.client import NetworkSearchClient
 from repro.net.node import NetworkPeer
-from repro.net.transport import TransportError
+from repro.net.transport import TcpTransport, Transport, TransportError
 from repro.text.document import Document
 
 __all__ = ["build_parser", "run", "main"]
@@ -62,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-runtime", type=float, default=None, metavar="SECONDS",
         help="exit after this many seconds (default: run forever)",
     )
+    chaos = parser.add_argument_group(
+        "chaos", "seeded fault injection on this node's outbound requests"
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="enable fault injection with this seed (off by default)",
+    )
+    chaos.add_argument(
+        "--chaos-drop", type=float, default=0.1, metavar="P",
+        help="per-request drop probability under --chaos-seed (default 0.1)",
+    )
+    chaos.add_argument(
+        "--chaos-reset", type=float, default=0.0, metavar="P",
+        help="mid-stream reset probability under --chaos-seed (default 0)",
+    )
+    chaos.add_argument(
+        "--chaos-jitter", type=float, default=0.0, metavar="SECONDS",
+        help="max added latency per request under --chaos-seed (default 0)",
+    )
     return parser
 
 
@@ -73,15 +93,41 @@ def _load_corpus(node: NetworkPeer, corpus: Path) -> int:
     return count
 
 
+def _chaos_transport(args: argparse.Namespace) -> Transport | None:
+    """A fault-injecting TCP transport when ``--chaos-seed`` was given."""
+    if args.chaos_seed is None:
+        return None
+    plan = FaultPlan(
+        seed=args.chaos_seed,
+        default=EdgeFaults(
+            drop_rate=args.chaos_drop,
+            reset_rate=args.chaos_reset,
+            latency_max_s=args.chaos_jitter,
+        ),
+    )
+    return FaultyTransport(TcpTransport(NetConfig()), plan)
+
+
 async def run(args: argparse.Namespace) -> None:
     """Start a node per the parsed arguments and gossip until stopped."""
     config = GossipConfig(
         base_interval_s=args.gossip_interval,
         max_interval_s=args.gossip_interval * 2,
     )
-    node = NetworkPeer(args.peer_id, args.host, args.port, gossip_config=config)
+    node = NetworkPeer(
+        args.peer_id,
+        args.host,
+        args.port,
+        gossip_config=config,
+        transport=_chaos_transport(args),
+    )
     address = await node.start()
     print(f"peer {args.peer_id} serving at {address}")
+    if args.chaos_seed is not None:
+        print(
+            f"chaos enabled: seed={args.chaos_seed} drop={args.chaos_drop} "
+            f"reset={args.chaos_reset} jitter<={args.chaos_jitter}s"
+        )
 
     if args.corpus is not None:
         published = _load_corpus(node, args.corpus)

@@ -139,6 +139,10 @@ _F64 = struct.Struct(">d")
 _RID_BYTES = 6  # Table 2's 6-byte rumor-id digest
 _RID_MAX = 1 << (8 * _RID_BYTES)
 
+#: Minimum encoded sizes, used to reject forged item counts up front.
+_RECORD_MIN_BYTES = 4 + 1 + 4 + 2  # peer_id + online + version + empty address
+_RUMOR_MIN_BYTES = _RID_BYTES + 1 + 4 + 8 + 4  # rid + kind + origin + time + blob
+
 _KIND_CODE = {RumorKind.JOIN: 1, RumorKind.REJOIN: 2, RumorKind.BF_UPDATE: 3}
 _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
 
@@ -223,11 +227,23 @@ class _Reader:
     def rid(self) -> int:
         return int.from_bytes(self._take(_RID_BYTES), "big")
 
+    def count(self, min_item_bytes: int) -> int:
+        """A u32 item count, rejected up front if even minimum-sized items
+        could not fit in the remaining bytes — so a forged count can never
+        drive a long decode loop or a large allocation."""
+        n = self.u32()
+        if n * min_item_bytes > len(self.data) - self.pos:
+            raise CodecError(f"count {n} exceeds remaining frame bytes")
+        return n
+
     def rids(self) -> tuple[int, ...]:
-        return tuple(self.rid() for _ in range(self.u32()))
+        return tuple(self.rid() for _ in range(self.count(_RID_BYTES)))
 
     def text(self) -> str:
-        return self._take(self.u16()).decode("utf-8")
+        try:
+            return self._take(self.u16()).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in string field: {exc}") from exc
 
     def blob(self) -> bytes:
         return self._take(self.u32())
@@ -401,7 +417,7 @@ def decode(body: bytes) -> object:
     elif mtype == _T_RUMOR_REPLY:
         msg = RumorReply(r.rids(), r.rids())
     elif mtype == _T_RUMOR_DATA:
-        msg = RumorData(tuple(_r_rumor(r) for _ in range(r.u32())))
+        msg = RumorData(tuple(_r_rumor(r) for _ in range(r.count(_RUMOR_MIN_BYTES))))
     elif mtype == _T_AE_REQUEST:
         msg = AERequest(r.u64())
     elif mtype == _T_AE_NOTHING:
@@ -409,7 +425,7 @@ def decode(body: bytes) -> object:
     elif mtype == _T_AE_RECENT:
         msg = AERecent(r.rids(), r.u32())
     elif mtype == _T_AE_SUMMARY:
-        entries = tuple(_r_record(r) for _ in range(r.u32()))
+        entries = tuple(_r_record(r) for _ in range(r.count(_RECORD_MIN_BYTES)))
         msg = AESummary(entries, r.rids())
     elif mtype == _T_PULL_REQUEST:
         msg = PullRequest(r.rids())
@@ -421,7 +437,8 @@ def decode(body: bytes) -> object:
         msg = JoinRequest(record, bloom, rid, created_at)
     elif mtype == _T_JOIN_SNAPSHOT:
         snap = tuple(
-            SnapshotEntry(_r_record(r), r.blob()) for _ in range(r.u32())
+            SnapshotEntry(_r_record(r), r.blob())
+            for _ in range(r.count(_RECORD_MIN_BYTES + 4))
         )
         msg = JoinSnapshot(snap, r.rids())
     elif mtype == _T_RANKED_QUERY:
@@ -429,17 +446,20 @@ def decode(body: bytes) -> object:
         ipf = tuple((r.text(), r.f64()) for _ in range(r.u16()))
         msg = RankedQuery(terms, ipf, r.u16())
     elif mtype == _T_RANKED_RESPONSE:
-        msg = RankedResponse(tuple((r.text(), r.f64()) for _ in range(r.u32())))
+        msg = RankedResponse(tuple((r.text(), r.f64()) for _ in range(r.count(10))))
     elif mtype == _T_EXHAUSTIVE_QUERY:
         msg = ExhaustiveQuery(tuple(r.text() for _ in range(r.u16())))
     elif mtype == _T_EXHAUSTIVE_RESPONSE:
-        msg = ExhaustiveResponse(tuple(r.text() for _ in range(r.u32())))
+        msg = ExhaustiveResponse(tuple(r.text() for _ in range(r.count(2))))
     elif mtype == _T_SNIPPET_FETCH:
         msg = SnippetFetch(r.text())
     elif mtype == _T_SNIPPET_RESPONSE:
         found = bool(r.u8())
         doc_id = r.text()
-        text = r.blob().decode("utf-8")
+        try:
+            text = r.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in document text: {exc}") from exc
         msg = SnippetResponse(found, doc_id, text)
     elif mtype == _T_ERROR:
         msg = ErrorReply(r.text())

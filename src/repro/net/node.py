@@ -122,6 +122,12 @@ class NetworkPeer:
         self.round_counter = 0
         #: wall-clock time each believed-offline member was marked so.
         self.offline_since: dict[int, float] = {}
+        #: consecutive failed contacts per member, feeding the backoff.
+        self.contact_failures: dict[int, int] = {}
+        #: earliest clock time we will pick a member for a rumor round
+        #: again after failures (anti-entropy ignores this, so recovered
+        #: peers are always rediscovered and rejoin heals).
+        self.contact_backoff_until: dict[int, float] = {}
         self._host = host
         self._port = port
         self.address: str | None = None
@@ -178,22 +184,27 @@ class NetworkPeer:
         # De-synchronize peers: first round fires inside one interval.
         await asyncio.sleep(float(self.rng.uniform(0.0, self.intervals.interval)))
         while self.running:
-            with contextlib.suppress(TransportError):
+            with contextlib.suppress(TransportError, CodecError):
                 await self.gossip_round()
             await asyncio.sleep(self.intervals.interval)
 
     async def stop(self) -> None:
         """Graceful leave: stop gossiping and close the server.
 
+        Cancels an in-flight :meth:`gossip_round` cleanly and *awaits*
+        the cancelled loop task before closing the transport, so no
+        pending task survives to be garbage-collected ("Task was
+        destroyed but it is pending!").  Safe to call more than once.
+
         Per the paper, departure is not announced — the community
         discovers it through failed contacts and T_Dead expiry.
         """
         self.running = False
-        if self._gossip_task is not None:
-            self._gossip_task.cancel()
+        task, self._gossip_task = self._gossip_task, None
+        if task is not None:
+            task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
-                await self._gossip_task
-            self._gossip_task = None
+                await task
         await self.transport.close()
 
     # ------------------------------------------------------------------
@@ -234,7 +245,7 @@ class NetworkPeer:
                 if entry.bloom
                 else None
             )
-            self._install_member(entry.record, bf)
+            self._install_member(entry.record, bf, online=entry.record.online)
         # Adopt the known-id set so digests converge.  Payloads for these
         # historical rumors are not carried (current state came with the
         # entries); we simply cannot serve pulls for them — peers that
@@ -337,12 +348,25 @@ class NetworkPeer:
             self.peer.directory[peer_id] = entry
         return entry
 
-    def _install_member(self, record: PeerRecord, bf: BloomFilter | None) -> None:
+    def _install_member(
+        self, record: PeerRecord, bf: BloomFilter | None, online: bool = True
+    ) -> None:
+        """Merge a member record (and optionally its filter) into the
+        directory.  ``online=False`` (a summary entry the sender believes
+        dead) must not resurrect the member or reset its T_Dead timer —
+        only positive evidence (a rumor, a successful contact) does."""
         entry = self._ensure_entry(record.peer_id)
         if record.address:
             entry.address = record.address
-        entry.online = True
-        self.offline_since.pop(record.peer_id, None)
+        if online:
+            entry.online = True
+            self.offline_since.pop(record.peer_id, None)
+            self.contact_failures.pop(record.peer_id, None)
+            self.contact_backoff_until.pop(record.peer_id, None)
+        elif not entry.online:
+            # Neither we nor the sender believe it is alive: make sure the
+            # T_Dead clock is running so the entry eventually expires.
+            self.offline_since.setdefault(record.peer_id, self.clock())
         if bf is not None:
             if entry.bloom_filter is None:
                 entry.bloom_filter = bf
@@ -366,11 +390,25 @@ class NetworkPeer:
         else:
             await self._ae_round(had_hot=bool(hot_ids))
 
-    def _pick_target(self) -> int | None:
+    def _pick_target(self, include_offline: bool = False) -> int | None:
+        """A random gossip target.
+
+        Rumor rounds talk only to members believed online whose failure
+        backoff has elapsed — there is no point burning a rumor push on a
+        dead peer.  Anti-entropy rounds (``include_offline``) may pick any
+        addressed member, including believed-dead ones: that probe is how
+        a silently recovered peer is rediscovered before T_Dead fires.
+        """
+        now = self.clock()
         candidates = [
             pid
             for pid, entry in self.peer.directory.items()
-            if pid != self.peer_id and entry.online and entry.address
+            if pid != self.peer_id
+            and entry.address
+            and (
+                include_offline
+                or (entry.online and now >= self.contact_backoff_until.get(pid, 0.0))
+            )
         ]
         if not candidates:
             return None
@@ -406,7 +444,7 @@ class NetworkPeer:
             await self._pull_from(target, missing_piggy)
 
     async def _ae_round(self, had_hot: bool) -> None:
-        target = self._pick_target()
+        target = self._pick_target(include_offline=True)
         if target is None:
             return
         reply = await self._request_peer(target, AERequest(self.digest))
@@ -425,7 +463,7 @@ class NetworkPeer:
             if isinstance(summary, AESummary):
                 for record in summary.entries:
                     if record.peer_id != self.peer_id:
-                        self._install_member(record, None)
+                        self._install_member(record, None, online=record.online)
                 missing = [rid for rid in summary.rids if rid not in self.known]
                 if missing:
                     await self._pull_from(target, missing)
@@ -446,13 +484,27 @@ class NetworkPeer:
         except (TransportError, CodecError):
             self._contact_failed(pid)
             return None
+        self._contact_succeeded(pid, entry)
+        return reply
+
+    def _contact_succeeded(self, pid: int, entry: PeerEntry) -> None:
         entry.online = True
         self.offline_since.pop(pid, None)
-        return reply
+        self.contact_failures.pop(pid, None)
+        self.contact_backoff_until.pop(pid, None)
 
     def _contact_failed(self, pid: int) -> None:
         entry = self.peer.directory.get(pid)
-        if entry is not None and entry.online:
+        if entry is None:
+            return
+        failures = self.contact_failures.get(pid, 0) + 1
+        self.contact_failures[pid] = failures
+        backoff = min(
+            self.config.contact_backoff_base_s * 2.0 ** (failures - 1),
+            self.config.contact_backoff_max_s,
+        )
+        self.contact_backoff_until[pid] = self.clock() + backoff
+        if entry.online:
             entry.online = False
             self.offline_since.setdefault(pid, self.clock())
 
@@ -465,6 +517,8 @@ class NetworkPeer:
         ]
         for pid in dead:
             del self.offline_since[pid]
+            self.contact_failures.pop(pid, None)
+            self.contact_backoff_until.pop(pid, None)
             self.peer.drop_peer(pid)
 
     # ------------------------------------------------------------------

@@ -12,16 +12,23 @@ Two implementations:
   big-endian length prefixes + body, with a max-frame guard against
   malformed peers.  Outbound connections are cached per address and
   reused across requests (one in-flight request per connection, as the
-  protocol is strictly request/response).
+  protocol is strictly request/response).  Connection-level failures are
+  retried with exponential backoff + jitter under an overall per-request
+  deadline (framing violations are never retried — retrying a protocol
+  error cannot help).
 * :class:`LoopbackTransport` — an in-memory :class:`LoopbackNetwork` with
   injectable latency and seeded random drops, for deterministic tests of
   the full node logic without sockets.
+
+For fault injection on top of either transport (partitions, crash
+windows, per-edge loss and jitter) see :mod:`repro.net.chaos`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import struct
+import time
 from abc import ABC, abstractmethod
 from typing import Awaitable, Callable
 
@@ -31,6 +38,7 @@ from repro.constants import NetConfig
 
 __all__ = [
     "TransportError",
+    "RetryableTransportError",
     "Handler",
     "Transport",
     "TcpTransport",
@@ -46,6 +54,10 @@ _LEN = struct.Struct(">I")
 
 class TransportError(ConnectionError):
     """A peer could not be reached, timed out, or broke framing rules."""
+
+
+class RetryableTransportError(TransportError):
+    """A transient failure (refused/reset/timeout) worth retrying."""
 
 
 class Transport(ABC):
@@ -89,13 +101,23 @@ def _write_frame(writer: asyncio.StreamWriter, body: bytes) -> None:
 
 
 class TcpTransport(Transport):
-    """Asyncio TCP transport with a per-peer connection cache."""
+    """Asyncio TCP transport with a per-peer connection cache.
 
-    def __init__(self, config: NetConfig | None = None) -> None:
+    ``seed`` fixes the retry-jitter stream for reproducible tests; the
+    default is nondeterministic jitter, which is what a deployment wants.
+    """
+
+    def __init__(
+        self, config: NetConfig | None = None, *, seed: int | None = None
+    ) -> None:
         self.config = config or NetConfig()
         self._server: asyncio.AbstractServer | None = None
         self._handler: Handler | None = None
         self._client_tasks: set[asyncio.Task] = set()
+        self._rng = np.random.default_rng(seed)
+        #: requests that needed at least one retry / that exhausted retries.
+        self.retried_requests = 0
+        self.failed_requests = 0
         #: address -> (reader, writer, lock); one in-flight request each.
         self._conns: dict[
             str, tuple[asyncio.StreamReader, asyncio.StreamWriter, asyncio.Lock]
@@ -155,13 +177,48 @@ class TcpTransport(Transport):
                 asyncio.open_connection(host, port), self.config.connect_timeout_s
             )
         except (OSError, asyncio.TimeoutError) as exc:
-            raise TransportError(f"cannot connect to {address}: {exc}") from exc
+            raise RetryableTransportError(
+                f"cannot connect to {address}: {exc}"
+            ) from exc
         conn = (reader, writer, asyncio.Lock())
         self._conns[address] = conn
         return conn
 
     async def request(self, address: str, body: bytes) -> bytes:
-        """One RPC over the cached connection to ``address``."""
+        """One RPC to ``address``, retrying transient failures.
+
+        Connection-level failures (refused, reset, timed out) are retried
+        up to ``config.request_retries`` times with exponential backoff and
+        jitter, all under ``config.request_deadline_s``.  Framing
+        violations raise immediately.  The request may be *delivered* more
+        than once (the failure could have hit the reply); callers needing
+        exactly-once must make their handlers idempotent — every gossip
+        message of Section 3 already is.
+        """
+        cfg = self.config
+        deadline = time.monotonic() + cfg.request_deadline_s
+        attempt = 0
+        while True:
+            try:
+                return await self._attempt(address, body)
+            except RetryableTransportError:
+                attempt += 1
+                if attempt > cfg.request_retries:
+                    self.failed_requests += 1
+                    raise
+                delay = min(
+                    cfg.retry_backoff_s * 2.0 ** (attempt - 1),
+                    cfg.retry_backoff_max_s,
+                )
+                delay *= 1.0 + cfg.retry_jitter_frac * float(self._rng.random())
+                if time.monotonic() + delay > deadline:
+                    self.failed_requests += 1
+                    raise
+                self.retried_requests += 1
+                await asyncio.sleep(delay)
+
+    async def _attempt(self, address: str, body: bytes) -> bytes:
+        """One try of one RPC over the cached connection to ``address``."""
         reader, writer, lock = await self._connection(address)
         async with lock:
             try:
@@ -180,7 +237,9 @@ class TcpTransport(Transport):
                 asyncio.IncompleteReadError,
             ) as exc:
                 self._drop(address)
-                raise TransportError(f"request to {address} failed: {exc}") from exc
+                raise RetryableTransportError(
+                    f"request to {address} failed: {exc}"
+                ) from exc
 
     def _drop(self, address: str) -> None:
         conn = self._conns.pop(address, None)

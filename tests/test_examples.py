@@ -51,6 +51,14 @@ def test_network_demo():
     assert "all peers stopped" in out
 
 
+def test_chaos_demo():
+    out = _run("chaos_demo.py")
+    assert "chaos seed 1337" in out
+    assert "converged bit-for-bit" in out
+    assert "matches the in-process oracle exactly: True" in out
+    assert "all peers stopped" in out
+
+
 def test_ranked_search_example():
     out = _run("ranked_search.py")
     assert "adaptive" in out and "first-k" in out

@@ -19,6 +19,10 @@ def test_parser_defaults():
     assert args.corpus is None
     assert args.query is None
     assert args.max_runtime is None
+    assert args.chaos_seed is None  # fault injection is opt-in
+    assert args.chaos_drop == 0.1
+    assert args.chaos_reset == 0.0
+    assert args.chaos_jitter == 0.0
 
 
 def test_parser_requires_peer_id():
@@ -64,3 +68,17 @@ def test_cli_run_bootstraps_publishes_and_queries(tmp_path, capsys):
     assert "ranked 'gossip rumors'" in out
     assert "gossip" in out.split("ranked")[1]  # the matching doc is listed
     assert "peer 1 stopped" in out
+
+
+def test_chaos_transport_built_only_when_seeded():
+    from repro.net.chaos import FaultyTransport
+    from repro.net.cli import _chaos_transport
+
+    plain = build_parser().parse_args(["--peer-id", "1"])
+    assert _chaos_transport(plain) is None
+    chaotic = build_parser().parse_args(
+        ["--peer-id", "1", "--chaos-seed", "7", "--chaos-drop", "0.5"]
+    )
+    transport = _chaos_transport(chaotic)
+    assert isinstance(transport, FaultyTransport)
+    assert transport.plan.seed == 7

@@ -1,0 +1,130 @@
+"""Fuzzing the wire codec: mutated frames must fail closed.
+
+Every valid frame in the inventory is mutated hundreds of ways — bit
+flips, truncations, extensions, splices, zeroed runs — and the decoder
+must either return a message or raise :class:`CodecError`.  Nothing else:
+no ``struct.error``, no ``IndexError``, no ``UnicodeDecodeError``, and no
+unbounded work driven by a forged length or count.
+
+Deterministic: the whole run derives from SEED (printed on failure).
+"""
+
+import random
+import struct
+import time
+
+import pytest
+
+from repro.constants import NET_CODEC_VERSION
+from repro.net.codec import (
+    CodecError,
+    decode,
+    decode_member_payload,
+    decode_update_payload,
+)
+from tests.test_net_codec import MESSAGES, RECORD
+from repro.net.codec import encode, encode_member_payload, encode_update_payload
+
+SEED = 20260806
+MUTATIONS_PER_FRAME = 250
+
+
+def _mutate(rng: random.Random, frame: bytes) -> bytes:
+    data = bytearray(frame)
+    op = rng.randrange(5)
+    if op == 0 and data:  # flip a random byte
+        i = rng.randrange(len(data))
+        data[i] ^= rng.randrange(1, 256)
+    elif op == 1:  # truncate
+        data = data[: rng.randrange(len(data) + 1)]
+    elif op == 2:  # extend with junk
+        data += rng.randbytes(rng.randrange(1, 16))
+    elif op == 3 and len(data) >= 2:  # splice a random slice over another
+        i, j = sorted(rng.randrange(len(data)) for _ in range(2))
+        k = rng.randrange(len(data))
+        data[i:j] = data[k : k + (j - i)]
+    else:  # zero a run
+        if data:
+            i = rng.randrange(len(data))
+            data[i : i + rng.randrange(1, 8)] = b"\x00" * min(
+                rng.randrange(1, 8), len(data) - i
+            )
+    return bytes(data)
+
+
+def _decode_must_fail_closed(frame: bytes, context: str) -> None:
+    try:
+        decode(frame)
+    except CodecError:
+        pass
+    except Exception as exc:  # noqa: BLE001 — the point of the fuzz
+        raise AssertionError(
+            f"{context}: decoder leaked {type(exc).__name__}: {exc!r} "
+            f"on frame {frame.hex()}"
+        ) from exc
+
+
+@pytest.mark.parametrize("msg", MESSAGES, ids=lambda m: type(m).__name__)
+def test_mutated_frames_raise_codec_error_only(msg):
+    rng = random.Random(f"{SEED}-{type(msg).__name__}")
+    frame = encode(msg)
+    for i in range(MUTATIONS_PER_FRAME):
+        mutated = _mutate(rng, frame)
+        _decode_must_fail_closed(mutated, f"seed={SEED} {type(msg).__name__}#{i}")
+
+
+def test_random_garbage_frames_fail_closed():
+    rng = random.Random(f"{SEED}-garbage")
+    for i in range(500):
+        frame = rng.randbytes(rng.randrange(0, 64))
+        _decode_must_fail_closed(frame, f"seed={SEED} garbage#{i}")
+    # Garbage with a valid header is the nastier case: the body parser runs.
+    for mtype in range(0, 33):
+        for i in range(50):
+            body = rng.randbytes(rng.randrange(0, 48))
+            frame = bytes([NET_CODEC_VERSION, mtype]) + body
+            _decode_must_fail_closed(frame, f"seed={SEED} typed-garbage t={mtype}#{i}")
+
+
+@pytest.mark.parametrize("mtype", [1, 2, 3, 7, 10, 17, 19])
+def test_forged_count_is_rejected_before_allocation(mtype):
+    """A u32 count of ~4 billion must be rejected against the frame size
+    immediately, not drive a 4-billion-iteration decode loop."""
+    frame = bytes([NET_CODEC_VERSION, mtype]) + struct.pack(">I", 0xFFFFFFFF)
+    started = time.monotonic()
+    with pytest.raises(CodecError, match="count|truncated|exceeds"):
+        decode(frame)
+    assert time.monotonic() - started < 1.0
+
+
+def test_forged_snippet_length_is_rejected_before_allocation():
+    # SnippetResponse: found flag + doc_id + u32 text length claiming 4 GiB.
+    frame = (
+        bytes([NET_CODEC_VERSION, 21, 1])
+        + struct.pack(">H", 1)
+        + b"d"
+        + struct.pack(">I", 0xFFFFFFFF)
+    )
+    with pytest.raises(CodecError):
+        decode(frame)
+
+
+def test_mutated_rumor_payloads_fail_closed():
+    rng = random.Random(f"{SEED}-payloads")
+    member = encode_member_payload(RECORD, b"compressed-bloom-bytes")
+    update = encode_update_payload(12, b"\x01\x02\x03\x04")
+    for i in range(MUTATIONS_PER_FRAME):
+        for name, payload, decoder in (
+            ("member", member, decode_member_payload),
+            ("update", update, decode_update_payload),
+        ):
+            mutated = _mutate(rng, payload)
+            try:
+                decoder(mutated)
+            except CodecError:
+                pass
+            except Exception as exc:  # noqa: BLE001
+                raise AssertionError(
+                    f"seed={SEED} {name}#{i}: {type(exc).__name__}: {exc!r} "
+                    f"on payload {mutated.hex()}"
+                ) from exc

@@ -234,3 +234,42 @@ def test_ack_for_rumor_data_is_nothing():
         await a.stop()
 
     asyncio.run(scenario())
+
+
+def test_stop_cancels_inflight_gossip_cleanly():
+    """Start/stop 20 peers with the background loop running: no "Task was
+    destroyed but it is pending!" warnings, no stray tasks, no loop
+    exception-handler callbacks."""
+    import gc
+
+    problems = []
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        loop.set_exception_handler(
+            lambda _loop, context: problems.append(context["message"])
+        )
+        config = GossipConfig(base_interval_s=0.005, max_interval_s=0.01)
+        net = LoopbackNetwork()
+        bootstrap = _node(net, 0, gossip_config=config)
+        await bootstrap.start()
+        bootstrap.run()
+        for i in range(1, 21):
+            node = _node(net, i, gossip_config=config)
+            await node.start()
+            node.publish(Document(f"d{i}", f"churn start stop {i}"))
+            await node.join(bootstrap.address)
+            node.run()
+            if i % 2:
+                await asyncio.sleep(0.01)  # let a gossip round get in flight
+            await node.stop()
+            assert node._gossip_task is None
+            await node.stop()  # idempotent
+        await bootstrap.stop()
+        current = asyncio.current_task()
+        leftovers = [t for t in asyncio.all_tasks() if t is not current]
+        assert leftovers == [], f"tasks survived stop(): {leftovers}"
+
+    asyncio.run(scenario())
+    gc.collect()  # would emit "Task was destroyed" through the handler
+    assert problems == []

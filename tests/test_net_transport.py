@@ -162,3 +162,117 @@ def test_tcp_bad_address_rejected():
             await TcpTransport().request("no-port-here", b"x")
 
     asyncio.run(scenario())
+
+
+# -- retry / backoff --------------------------------------------------------
+
+_FAST_RETRY = NetConfig(
+    request_retries=2,
+    retry_backoff_s=0.01,
+    retry_backoff_max_s=0.02,
+    retry_jitter_frac=0.0,
+)
+
+
+def test_tcp_retry_recovers_from_transient_connection_error():
+    calls = []
+
+    async def flaky(body: bytes) -> bytes:
+        calls.append(body)
+        if len(calls) == 1:
+            raise ConnectionResetError("simulated mid-stream reset")
+        return b"ok:" + body
+
+    async def scenario():
+        server = TcpTransport()
+        address = await server.serve("127.0.0.1:0", flaky)
+        client = TcpTransport(_FAST_RETRY)
+        try:
+            assert await client.request(address, b"x") == b"ok:x"
+            assert len(calls) == 2
+            assert client.retried_requests == 1
+            assert client.failed_requests == 0
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_retries_exhaust_then_fail():
+    calls = []
+
+    async def always_resets(body: bytes) -> bytes:
+        calls.append(body)
+        raise ConnectionResetError("still down")
+
+    async def scenario():
+        server = TcpTransport()
+        address = await server.serve("127.0.0.1:0", always_resets)
+        client = TcpTransport(_FAST_RETRY)
+        try:
+            with pytest.raises(TransportError):
+                await client.request(address, b"x")
+            assert len(calls) == 1 + _FAST_RETRY.request_retries
+            assert client.failed_requests == 1
+            assert client.retried_requests == _FAST_RETRY.request_retries
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_framing_violation_is_not_retried():
+    async def big(body: bytes) -> bytes:
+        return b"y" * 4096
+
+    async def scenario():
+        server = TcpTransport()
+        address = await server.serve("127.0.0.1:0", big)
+        client = TcpTransport(
+            NetConfig(
+                max_frame_bytes=1024,
+                request_retries=5,
+                retry_backoff_s=0.01,
+                retry_jitter_frac=0.0,
+            )
+        )
+        try:
+            with pytest.raises(TransportError, match="exceeds max"):
+                await client.request(address, b"x")
+            # A protocol violation will not heal with time: no retries.
+            assert client.retried_requests == 0
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_deadline_cuts_retries_short():
+    async def scenario():
+        client = TcpTransport(
+            NetConfig(
+                connect_timeout_s=0.2,
+                request_retries=50,
+                retry_backoff_s=5.0,
+                retry_backoff_max_s=5.0,
+                retry_jitter_frac=0.0,
+                request_deadline_s=0.5,
+            )
+        )
+        probe = TcpTransport()
+        address = await probe.serve("127.0.0.1:0", _echo)
+        await probe.close()
+        try:
+            with pytest.raises(TransportError, match="cannot connect"):
+                await client.request(address, b"x")
+            # The 5 s backoff would overshoot the 0.5 s deadline, so the
+            # request fails after the first attempt instead of sleeping.
+            assert client.retried_requests == 0
+            assert client.failed_requests == 1
+        finally:
+            await client.close()
+
+    asyncio.run(scenario())

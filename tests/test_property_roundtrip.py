@@ -1,0 +1,207 @@
+"""Property-based round-trips: seeded random cases, 200+ per property.
+
+Pure stdlib ``random`` (no hypothesis dependency needed at runtime): each
+test prints nothing on success and embeds SEED plus the case index in
+every failure message, so any counterexample reproduces exactly.
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.bloom.compress import compress_filter, decompress_filter
+from repro.bloom.filter import BloomFilter
+from repro.bloom.golomb import GolombDecoder, GolombEncoder
+from repro.gossip.rumor import RumorKind
+from repro.gossip.wire import (
+    AENothing,
+    AERecent,
+    AERequest,
+    AESummary,
+    JoinRequest,
+    JoinSnapshot,
+    PeerRecord,
+    PullRequest,
+    RumorData,
+    RumorPush,
+    RumorReply,
+    SnapshotEntry,
+    WireRumor,
+)
+from repro.net.codec import (
+    ErrorReply,
+    ExhaustiveQuery,
+    ExhaustiveResponse,
+    RankedQuery,
+    RankedResponse,
+    SnippetFetch,
+    SnippetResponse,
+    decode,
+    encode,
+)
+
+SEED = 20260806
+CASES = 200
+
+
+# ---------------------------------------------------------------------------
+# Golomb coding
+# ---------------------------------------------------------------------------
+
+
+def _random_values(rng: random.Random) -> list[int]:
+    dist = rng.randrange(4)
+    n = rng.randrange(0, 200)
+    if dist == 0:  # small gaps, the common Bloom case
+        return [rng.randrange(0, 16) for _ in range(n)]
+    if dist == 1:  # geometric-ish: what Golomb is optimal for
+        return [min(int(rng.expovariate(0.1)), 10_000) for _ in range(n)]
+    if dist == 2:  # wide uniform
+        return [rng.randrange(0, 1 << 20) for _ in range(n)]
+    return [0] * n  # degenerate all-zero run
+
+
+def test_golomb_roundtrip_random_streams():
+    rng = random.Random(f"{SEED}-golomb")
+    for case in range(CASES + 50):
+        m = rng.randrange(1, 513)
+        values = _random_values(rng)
+        encoder = GolombEncoder(m)
+        encoder.encode_many(values)
+        decoded = GolombDecoder(m, encoder.getvalue()).decode_many(len(values))
+        assert decoded == values, f"seed={SEED} case={case} m={m}"
+
+
+# ---------------------------------------------------------------------------
+# Bloom filter compression
+# ---------------------------------------------------------------------------
+
+
+def _random_term(rng: random.Random) -> str:
+    return "".join(rng.choices(string.ascii_lowercase, k=rng.randrange(1, 12)))
+
+
+def test_bloom_compress_roundtrip_random_filters():
+    rng = random.Random(f"{SEED}-bloom")
+    for case in range(CASES):
+        num_bits = rng.choice([64, 256, 1024, 8192, 65536])
+        num_hashes = rng.randrange(1, 5)
+        bf = BloomFilter(num_bits, num_hashes)
+        bf.add_many(_random_term(rng) for _ in range(rng.randrange(0, 300)))
+        blob = compress_filter(bf)
+        back = decompress_filter(blob, num_hashes, bf.num_inserted)
+        assert back == bf, f"seed={SEED} case={case} bits={num_bits}"
+        assert back.bit_count() == bf.bit_count()
+        # The method pair is the same codec.
+        assert BloomFilter.from_compressed(bf.to_compressed(), num_hashes) == bf
+
+
+def test_bloom_compress_roundtrip_extremes():
+    empty = BloomFilter(512, 2)
+    assert decompress_filter(compress_filter(empty)) == empty
+    full = BloomFilter(512, 2)
+    full.add_many(f"t{i}" for i in range(5000))  # near-saturated
+    assert decompress_filter(compress_filter(full)) == full
+
+
+# ---------------------------------------------------------------------------
+# wire codec
+# ---------------------------------------------------------------------------
+
+
+def _rid(rng: random.Random) -> int:
+    return (rng.randrange(0, 1 << 16) << 32) | rng.randrange(0, 1 << 32)
+
+
+def _rids(rng: random.Random) -> tuple:
+    return tuple(_rid(rng) for _ in range(rng.randrange(0, 20)))
+
+
+def _text(rng: random.Random) -> str:
+    alphabet = string.printable + "éèüßλ中文"
+    return "".join(rng.choices(alphabet, k=rng.randrange(0, 40)))
+
+
+def _record(rng: random.Random) -> PeerRecord:
+    return PeerRecord(
+        rng.randrange(0, 1 << 16),
+        _text(rng),
+        rng.random() < 0.5,
+        rng.randrange(0, 1 << 32),
+    )
+
+
+def _rumor(rng: random.Random) -> WireRumor:
+    return WireRumor(
+        _rid(rng),
+        rng.choice(list(RumorKind)),
+        rng.randrange(0, 1 << 16),
+        round(rng.uniform(0.0, 1e9), 6),
+        rng.randbytes(rng.randrange(0, 64)),
+    )
+
+
+def _score(rng: random.Random) -> float:
+    # Exactly representable in f32, since RankedResponse carries f32 scores.
+    return float(rng.randrange(0, 1 << 16)) / 256.0
+
+
+def _random_message(rng: random.Random):
+    builders = [
+        lambda: RumorPush(_rids(rng)),
+        lambda: RumorReply(_rids(rng), _rids(rng)),
+        lambda: RumorData(tuple(_rumor(rng) for _ in range(rng.randrange(0, 8)))),
+        lambda: AERequest(rng.randrange(0, 1 << 64)),
+        lambda: AENothing(),
+        lambda: AERecent(_rids(rng), rng.randrange(0, 1 << 32)),
+        lambda: AESummary(
+            tuple(_record(rng) for _ in range(rng.randrange(0, 8))), _rids(rng)
+        ),
+        lambda: PullRequest(_rids(rng)),
+        lambda: JoinRequest(
+            _record(rng),
+            rng.randbytes(rng.randrange(0, 64)),
+            _rid(rng),
+            round(rng.uniform(0.0, 1e9), 6),
+        ),
+        lambda: JoinSnapshot(
+            tuple(
+                SnapshotEntry(_record(rng), rng.randbytes(rng.randrange(0, 32)))
+                for _ in range(rng.randrange(0, 6))
+            ),
+            _rids(rng),
+        ),
+        lambda: RankedQuery(
+            tuple(_text(rng) for _ in range(rng.randrange(0, 6))),
+            tuple((_text(rng), _score(rng)) for _ in range(rng.randrange(0, 6))),
+            rng.randrange(0, 1 << 16),
+        ),
+        lambda: RankedResponse(
+            tuple((_text(rng), _score(rng)) for _ in range(rng.randrange(0, 10)))
+        ),
+        lambda: ExhaustiveQuery(tuple(_text(rng) for _ in range(rng.randrange(0, 8)))),
+        lambda: ExhaustiveResponse(
+            tuple(_text(rng) for _ in range(rng.randrange(0, 10)))
+        ),
+        lambda: SnippetFetch(_text(rng)),
+        lambda: SnippetResponse(rng.random() < 0.5, _text(rng), _text(rng)),
+        lambda: ErrorReply(_text(rng)),
+    ]
+    return rng.choice(builders)()
+
+
+def test_codec_roundtrip_random_messages():
+    rng = random.Random(f"{SEED}-codec")
+    for case in range(CASES + 100):
+        msg = _random_message(rng)
+        back = decode(encode(msg))
+        assert back == msg, f"seed={SEED} case={case} type={type(msg).__name__}"
+
+
+def test_ranked_query_ipf_precision_survives_f64():
+    # IPF weights ride the wire as f64: arbitrary doubles must round-trip.
+    rng = random.Random(f"{SEED}-ipf")
+    for case in range(CASES):
+        q = RankedQuery(("t",), (("t", rng.uniform(0.0, 50.0)),), 5)
+        assert decode(encode(q)) == q, f"seed={SEED} case={case}"
