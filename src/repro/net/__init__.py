@@ -16,7 +16,12 @@ objects over real transports:
                the Section 3 gossip state machine on wall-clock time
 ``client``     :class:`NetworkSearchClient` — ranked TF×IPF and
                exhaustive search issued over the wire
-``cli``        ``python -m repro.net`` to launch a node
+``cli``        ``python -m repro.net`` to launch a node, and
+               ``python -m repro.net stats <addr>`` to poll a live one
+
+The whole stack records into a :mod:`repro.obs` registry (transport
+bytes/latency, gossip rounds, injected faults, Bloom compression), and
+any peer answers a :class:`StatsRequest` with its flattened samples.
 
 Quick start (async context)::
 
@@ -48,6 +53,8 @@ from repro.net.codec import (
     RankedResponse,
     SnippetFetch,
     SnippetResponse,
+    StatsRequest,
+    StatsResponse,
     decode,
     encode,
 )
@@ -83,5 +90,7 @@ __all__ = [
     "ExhaustiveResponse",
     "SnippetFetch",
     "SnippetResponse",
+    "StatsRequest",
+    "StatsResponse",
     "ErrorReply",
 ]

@@ -22,6 +22,12 @@ Faults are injected *above* the wrapped transport, so a fault-injected
 drop is seen by the caller even when the inner transport retries: the
 plan models the network the retries are fighting, not the retries
 themselves.
+
+When a :class:`~repro.obs.Registry` is bound (:meth:`FaultyTransport.
+bind_registry`), every injected drop/reset/block/delay is also recorded
+as a ``chaos.injected_*`` counter and a ``fault_injected`` trace event —
+so tests can assert "the protocol survived exactly N injected faults"
+instead of inferring it from end-state convergence.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ import numpy as np
 
 from repro.constants import MIX_DISTRIBUTION
 from repro.net.transport import Handler, Transport, TransportError
+from repro.obs import Registry
 
 __all__ = [
     "EdgeFaults",
@@ -296,6 +303,20 @@ class FaultyTransport(Transport):
         self.name = name
         self._sleep = sleep or asyncio.sleep
 
+    def bind_registry(self, registry: Registry) -> None:
+        """Bind this decorator *and* the wrapped transport, so injected
+        faults and real traffic land in one registry."""
+        super().bind_registry(registry)
+        self.inner.bind_registry(registry)
+
+    def _count_fault(self, kind: str, dst: str, **fields) -> None:
+        reg = self.registry
+        if reg is not None:
+            reg.counter(
+                "chaos", f"injected_{kind}_total", f"injected {kind} faults"
+            ).inc()
+            reg.emit("fault_injected", fault=kind, src=self.name, dst=dst, **fields)
+
     async def serve(self, address: str, handler: Handler) -> str:
         """Serve through the inner transport; the bound address becomes
         this endpoint's edge-source name (unless one was given)."""
@@ -311,18 +332,27 @@ class FaultyTransport(Transport):
         decision = plan.decide(src, address, len(body))
         if decision.blocked is not None:
             plan.blocked += 1
+            self._count_fault("blocked", address, reason=decision.blocked)
             raise TransportError(f"chaos: {decision.blocked}")
         if decision.delay_s > 0.0:
             plan.delay_total_s += decision.delay_s
+            if self.registry is not None:
+                self.registry.counter(
+                    "chaos",
+                    "injected_delay_seconds_total",
+                    "cumulative injected latency",
+                ).inc(decision.delay_s)
             await self._sleep(decision.delay_s)
         if decision.drop:
             plan.dropped += 1
+            self._count_fault("drops", address)
             raise TransportError(
                 f"chaos: request {src} -> {address} dropped"
             )
         reply = await self.inner.request(address, body)
         if decision.reset:
             plan.resets += 1
+            self._count_fault("resets", address)
             raise TransportError(
                 f"chaos: connection {src} -> {address} reset mid-stream"
             )

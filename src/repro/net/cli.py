@@ -13,22 +13,31 @@ directory of text files, and gossip until stopped::
     # one-shot: join, converge briefly, run a ranked query, exit
     python -m repro.net --peer-id 2 --bootstrap 127.0.0.1:9301 \\
         --query "gossip protocols" --max-runtime 10
+
+Poll any live member's runtime metrics (gossip rounds, bytes on the
+wire, Bloom compression, injected faults) without joining::
+
+    python -m repro.net stats 127.0.0.1:9301
+    python -m repro.net stats 127.0.0.1:9301 --grep bytes
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import sys
 from pathlib import Path
 
 from repro.constants import GossipConfig, NET_DEFAULT_PORT, NetConfig
+from repro.net import codec
 from repro.net.chaos import EdgeFaults, FaultPlan, FaultyTransport
 from repro.net.client import NetworkSearchClient
+from repro.net.codec import StatsRequest, StatsResponse
 from repro.net.node import NetworkPeer
 from repro.net.transport import TcpTransport, Transport, TransportError
 from repro.text.document import Document
 
-__all__ = ["build_parser", "run", "main"]
+__all__ = ["build_parser", "build_stats_parser", "run", "run_stats", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +92,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="max added latency per request under --chaos-seed (default 0)",
     )
     return parser
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.net stats`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net stats",
+        description="Poll a live peer's runtime metrics (its repro.obs registry).",
+    )
+    parser.add_argument("address", metavar="HOST:PORT", help="peer to poll")
+    parser.add_argument(
+        "--grep", default=None, metavar="SUBSTR",
+        help="only print samples whose name contains SUBSTR",
+    )
+    return parser
+
+
+async def run_stats(args: argparse.Namespace) -> None:
+    """Send one StatsRequest to ``args.address`` and print the samples."""
+    transport = TcpTransport(NetConfig())
+    try:
+        body = await transport.request(args.address, codec.encode(StatsRequest()))
+    finally:
+        await transport.close()
+    reply = codec.decode(body)
+    if not isinstance(reply, StatsResponse):
+        raise TransportError(
+            f"{args.address} answered with {type(reply).__name__}, not stats"
+        )
+    print(f"peer {reply.peer_id} at {args.address}: uptime {reply.uptime_s:.1f}s")
+    for name, value in reply.samples:
+        if args.grep is not None and args.grep not in name:
+            continue
+        rendered = f"{value:.6f}".rstrip("0").rstrip(".") if value != int(value) else str(int(value))
+        print(f"  {name} {rendered}")
 
 
 def _load_corpus(node: NetworkPeer, corpus: Path) -> int:
@@ -158,10 +201,13 @@ async def run(args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> None:
-    """Console entry point."""
-    args = build_parser().parse_args(argv)
+    """Console entry point: node daemon, or the ``stats`` subcommand."""
+    argv = sys.argv[1:] if argv is None else argv
     try:
-        asyncio.run(run(args))
+        if argv and argv[0] == "stats":
+            asyncio.run(run_stats(build_stats_parser().parse_args(argv[1:])))
+        else:
+            asyncio.run(run(build_parser().parse_args(argv)))
     except KeyboardInterrupt:
         pass
     except (ValueError, TransportError, OSError) as exc:

@@ -37,6 +37,7 @@ from repro.net.codec import (
 )
 from repro.net.node import NetworkPeer
 from repro.net.transport import TransportError
+from repro.obs import DEFAULT_COUNT_BOUNDS
 from repro.ranking.stopping import AdaptiveStopping, StoppingPolicy
 from repro.ranking.tfidf import RankedDoc
 from repro.ranking.tfipf import DistributedSearchResult, TFIPFSearch, rank_peers
@@ -92,6 +93,8 @@ class NetworkSearchClient:
         if self.group_size < 1:
             raise ValueError("group_size must be >= 1")
         self._backend = _ReplicaBackend(node)
+        #: searches record into the node's registry (component ``client``).
+        self.obs = node.obs
 
     # -- ranked search -------------------------------------------------------
 
@@ -105,20 +108,49 @@ class NetworkSearchClient:
             raise ValueError("query analyzed to zero terms")
         ranking, ipf = rank_peers(terms, self._backend)
         self.stopping.reset(len(self._backend.online_peer_ids()), k)
+        self.obs.counter("client", "queries_total", "ranked searches issued").inc()
+        wave_latency = self.obs.histogram(
+            "client", "wave_latency_seconds", "per-contact-wave round-trip time"
+        )
 
         top: dict[str, float] = {}
         contacted: list[int] = []
-        for start in range(0, len(ranking), self.group_size):
+        stopped_early = False
+        for wave, start in enumerate(range(0, len(ranking), self.group_size)):
             group = ranking[start : start + self.group_size]
+            self.obs.emit(
+                "search_wave",
+                peer=self.node.peer_id,
+                wave=wave,
+                targets=[pid for pid, _r in group],
+            )
+            wave_started = self.node.clock()
             responses = await asyncio.gather(
                 *(self._query_peer(pid, terms, ipf, k) for pid, _r in group)
             )
+            wave_latency.observe(max(0.0, self.node.clock() - wave_started))
             for (pid, _r), returned in zip(group, responses):
                 contacted.append(pid)
                 contributed = TFIPFSearch._merge(top, returned, k)
                 self.stopping.observe(contributed, len(top))
             if self.stopping.should_stop():
+                stopped_early = start + self.group_size < len(ranking)
                 break
+
+        self.obs.counter(
+            "client", "peers_contacted_total", "peers contacted across queries"
+        ).inc(len(contacted))
+        self.obs.histogram(
+            "client",
+            "peers_per_query",
+            "contact fan-out per ranked search",
+            bounds=DEFAULT_COUNT_BOUNDS,
+        ).observe(len(contacted))
+        self.obs.counter(
+            "client",
+            "stopped_early_total" if stopped_early else "ranking_exhausted_total",
+            "adaptive-stopping decisions",
+        ).inc()
 
         ordered = sorted(top.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
         return DistributedSearchResult(
@@ -152,6 +184,12 @@ class NetworkSearchClient:
         if self.node.peer_id in candidates:
             results.update(exhaustive_local_match(self.node.peer.store.index, terms))
         remote = [pid for pid in candidates if pid != self.node.peer_id]
+        self.obs.counter(
+            "client", "exhaustive_queries_total", "exhaustive searches issued"
+        ).inc()
+        self.obs.counter(
+            "client", "peers_contacted_total", "peers contacted across queries"
+        ).inc(len(remote))
         replies = await asyncio.gather(
             *(self._rpc(pid, ExhaustiveQuery(tuple(terms))) for pid in remote)
         )

@@ -49,6 +49,8 @@ __all__ = [
     "ExhaustiveResponse",
     "SnippetFetch",
     "SnippetResponse",
+    "StatsRequest",
+    "StatsResponse",
     "ErrorReply",
     "encode",
     "decode",
@@ -117,6 +119,27 @@ class SnippetResponse:
     found: bool
     doc_id: str
     text: str
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Poll a peer's runtime metrics (the :mod:`repro.obs` registry)."""
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """A peer's flattened metric samples.
+
+    ``samples`` is the registry's :meth:`~repro.obs.Registry.samples`
+    output — Prometheus-style ``(name, value)`` pairs, with histograms
+    flattened into their cumulative ``_bucket{le=...}``/``_sum``/
+    ``_count`` series — plus the responder's id and uptime so a remote
+    poller can rate-normalise counters.
+    """
+
+    peer_id: int
+    uptime_s: float
+    samples: tuple[tuple[str, float], ...]
 
 
 @dataclass(frozen=True)
@@ -307,6 +330,8 @@ _T_EXHAUSTIVE_QUERY = 18
 _T_EXHAUSTIVE_RESPONSE = 19
 _T_SNIPPET_FETCH = 20
 _T_SNIPPET_RESPONSE = 21
+_T_STATS_REQUEST = 22
+_T_STATS_RESPONSE = 23
 _T_ERROR = 31
 
 _TYPE_OF = {
@@ -326,6 +351,8 @@ _TYPE_OF = {
     ExhaustiveResponse: _T_EXHAUSTIVE_RESPONSE,
     SnippetFetch: _T_SNIPPET_FETCH,
     SnippetResponse: _T_SNIPPET_RESPONSE,
+    StatsRequest: _T_STATS_REQUEST,
+    StatsResponse: _T_STATS_RESPONSE,
     ErrorReply: _T_ERROR,
 }
 
@@ -400,6 +427,15 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
         w.u8(1 if msg.found else 0)
         w.text(msg.doc_id)
         w.blob(msg.text.encode("utf-8"))
+    elif isinstance(msg, StatsRequest):
+        pass
+    elif isinstance(msg, StatsResponse):
+        w.u32(msg.peer_id)
+        w.f64(msg.uptime_s)
+        w.u32(len(msg.samples))
+        for name, value in msg.samples:
+            w.text(name)
+            w.f64(value)
     elif isinstance(msg, ErrorReply):
         w.text(msg.message)
     return bytes(w.buf)
@@ -461,6 +497,13 @@ def decode(body: bytes) -> object:
         except UnicodeDecodeError as exc:
             raise CodecError(f"invalid UTF-8 in document text: {exc}") from exc
         msg = SnippetResponse(found, doc_id, text)
+    elif mtype == _T_STATS_REQUEST:
+        msg = StatsRequest()
+    elif mtype == _T_STATS_RESPONSE:
+        peer_id = r.u32()
+        uptime_s = r.f64()
+        samples = tuple((r.text(), r.f64()) for _ in range(r.count(10)))
+        msg = StatsResponse(peer_id, uptime_s, samples)
     elif mtype == _T_ERROR:
         msg = ErrorReply(r.text())
     else:

@@ -20,6 +20,16 @@ regeneration, which this layer does not re-gossip yet.)
 Liveness follows the paper: departures are never announced; a failed
 contact marks the target offline locally, and a member continuously
 offline for ``t_dead_s`` (T_Dead) is dropped from the directory.
+
+Every node is observable through a :class:`~repro.obs.Registry`
+(defaulting to the process-global one): gossip rounds by mode, rumors
+minted/learned, hot-queue depth, directory size, contact failures and
+T_Dead expiries, plus running totals of real encoded gossip bytes next
+to the Table-2 model's prediction for the same messages — so the
+paper's bandwidth claims are checkable against live sockets.  A
+``StatsRequest`` frame polls the registry remotely; protocol moments
+land in the registry's trace ring (``round_started``, ``rumor_pushed``,
+``ae_triggered``, ``peer_offline`` ...).
 """
 
 from __future__ import annotations
@@ -40,8 +50,10 @@ from repro.core.peer import PeerEntry, PlanetPPeer
 from repro.core.search import exhaustive_local_match, score_local_documents
 from repro.gossip.directory import mix_rumor_id
 from repro.gossip.intervals import IntervalPolicy
+from repro.gossip.messages import MessageSizer
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
+    GOSSIP_MESSAGES,
     AENothing,
     AERecent,
     AERequest,
@@ -66,8 +78,11 @@ from repro.net.codec import (
     RankedResponse,
     SnippetFetch,
     SnippetResponse,
+    StatsRequest,
+    StatsResponse,
 )
 from repro.net.transport import TcpTransport, Transport, TransportError
+from repro.obs import Counter, Registry, global_registry
 from repro.text.analyzer import Analyzer
 from repro.text.document import Document
 from repro.text.xmlsnippets import XMLSnippet
@@ -91,6 +106,7 @@ class NetworkPeer:
         net_config: NetConfig | None = None,
         seed: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Registry | None = None,
     ) -> None:
         if not 0 <= peer_id < 1 << 16:
             raise ValueError("peer_id must fit in 16 bits for rumor-id minting")
@@ -138,6 +154,62 @@ class NetworkPeer:
         self._last_gossiped = BloomFilter(
             self.bloom_config.num_bits, self.bloom_config.num_hashes
         )
+        #: observability home (metrics + trace); shared process-wide by
+        #: default so transport/bloom/chaos instruments land beside ours.
+        self.obs = registry if registry is not None else global_registry()
+        self.transport.bind_registry(self.obs)
+        self._sizer = MessageSizer(self.config)
+        self._started_at: float | None = None
+        #: cached node-component instruments; gossip rounds are the hot
+        #: path and must not pay a registry lookup per increment.
+        self._node_counters: dict[str, Counter] = {}
+        self._g_hot = self.obs.gauge(
+            "node", "hot_rumors", "actively-spread rumor count"
+        )
+        self._g_directory = self.obs.gauge(
+            "node", "directory_size", "known community members"
+        )
+        self._g_known = self.obs.gauge(
+            "node", "known_rumors", "distinct rumor ids seen"
+        )
+        self._c_real_bytes = self.obs.counter(
+            "node",
+            "gossip_real_bytes_total",
+            "encoded gossip bytes (requests sent + replies served)",
+        )
+        self._c_model_bytes = self.obs.counter(
+            "node",
+            "gossip_model_bytes_total",
+            "Table-2 model prediction for the same gossip messages",
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0, help: str = "") -> None:
+        counter = self._node_counters.get(name)
+        if counter is None:
+            counter = self._node_counters[name] = self.obs.counter("node", name, help)
+        counter.inc(amount)
+
+    def _account_gossip(self, msg: object, body: bytes) -> None:
+        """Track one encoded gossip message: real bytes vs Table-2 model.
+
+        The same two totals the simulator reasons with, now measured on
+        a live node — their ratio is the model-agreement envelope the
+        validation suite pins to [0.5, 2.0].
+        """
+        if isinstance(msg, GOSSIP_MESSAGES):
+            self._c_real_bytes.inc(len(body))
+            self._c_model_bytes.inc(self._sizer.model_size(msg))
+
+    def stats_response(self) -> StatsResponse:
+        """The node's registry flattened into a wire-ready reply."""
+        uptime = 0.0
+        if self._started_at is not None:
+            uptime = max(0.0, self.clock() - self._started_at)
+        return StatsResponse(self.peer_id, uptime, tuple(self.obs.samples()))
 
     # ------------------------------------------------------------------
     # identity & lifecycle
@@ -172,6 +244,8 @@ class NetworkPeer:
         self.peer.address = self.address
         self.peer.directory[self.peer_id].address = self.address
         self.running = True
+        if self._started_at is None:
+            self._started_at = self.clock()
         return self.address
 
     def run(self) -> asyncio.Task:
@@ -226,9 +300,10 @@ class NetworkPeer:
             codec.encode_member_payload(record, bloom),
         )
         self._learn_rumor(rumor, make_hot=True)
-        body = await self.transport.request(
-            bootstrap_address, codec.encode(JoinRequest(record, bloom, rid, now))
-        )
+        request = JoinRequest(record, bloom, rid, now)
+        frame = codec.encode(request)
+        self._account_gossip(request, frame)
+        body = await self.transport.request(bootstrap_address, frame)
         reply = codec.decode(body)
         if not isinstance(reply, JoinSnapshot):
             raise TransportError(f"bootstrap sent {type(reply).__name__}, not a snapshot")
@@ -312,6 +387,10 @@ class NetworkPeer:
         if make_hot:
             self.hot[rumor.rid] = 0
         self.intervals.reset()
+        if rumor.origin == self.peer_id:
+            self._count("rumors_minted_total", 1, "rumors this node originated")
+        else:
+            self._count("rumors_learned_total", 1, "rumors learned from peers")
         return True
 
     def _apply_rumor(self, rumor: WireRumor) -> None:
@@ -385,9 +464,24 @@ class NetworkPeer:
         self.round_counter += 1
         self._expire_dead()
         hot_ids = list(self.hot)
-        if hot_ids and self.round_counter % self.config.anti_entropy_period != 0:
+        rumor_mode = bool(hot_ids) and (
+            self.round_counter % self.config.anti_entropy_period != 0
+        )
+        self._count("gossip_rounds_total", 1, "gossip rounds initiated")
+        self._g_hot.set(len(self.hot))
+        self._g_directory.set(len(self.peer.directory))
+        self._g_known.set(len(self.known))
+        self.obs.emit(
+            "round_started",
+            peer=self.peer_id,
+            round=self.round_counter,
+            mode="rumor" if rumor_mode else "anti-entropy",
+        )
+        if rumor_mode:
+            self._count("rumor_rounds_total", 1, "rounds spent pushing rumors")
             await self._rumor_round(hot_ids)
         else:
+            self._count("ae_rounds_total", 1, "rounds spent on anti-entropy")
             await self._ae_round(had_hot=bool(hot_ids))
 
     def _pick_target(self, include_offline: bool = False) -> int | None:
@@ -418,6 +512,7 @@ class NetworkPeer:
         target = self._pick_target()
         if target is None:
             return
+        self.obs.emit("rumor_pushed", peer=self.peer_id, target=target, count=len(hot_ids))
         reply = await self._request_peer(target, RumorPush(tuple(hot_ids)))
         if not isinstance(reply, RumorReply):
             return
@@ -441,12 +536,16 @@ class NetworkPeer:
                 await self._request_peer(target, RumorData(have))
         missing_piggy = [rid for rid in reply.piggyback if rid not in self.known]
         if missing_piggy:
+            self._count(
+                "partial_ae_pulls_total", 1, "pulls triggered by AE piggybacks"
+            )
             await self._pull_from(target, missing_piggy)
 
     async def _ae_round(self, had_hot: bool) -> None:
         target = self._pick_target(include_offline=True)
         if target is None:
             return
+        self.obs.emit("ae_triggered", peer=self.peer_id, target=target)
         reply = await self._request_peer(target, AERequest(self.digest))
         if isinstance(reply, AENothing):
             if not had_hot:
@@ -459,6 +558,9 @@ class NetworkPeer:
                     await self._pull_from(target, missing)
                 return
             # Diverged beyond the recent window: fetch the full summary.
+            self._count(
+                "ae_full_summaries_total", 1, "AE escalations to a full summary"
+            )
             summary = await self._request_peer(target, PullRequest(()))
             if isinstance(summary, AESummary):
                 for record in summary.entries:
@@ -479,7 +581,9 @@ class NetworkPeer:
         if entry is None or not entry.address:
             return None
         try:
-            body = await self.transport.request(entry.address, codec.encode(msg))
+            frame = codec.encode(msg)
+            self._account_gossip(msg, frame)
+            body = await self.transport.request(entry.address, frame)
             reply = codec.decode(body)
         except (TransportError, CodecError):
             self._contact_failed(pid)
@@ -488,6 +592,8 @@ class NetworkPeer:
         return reply
 
     def _contact_succeeded(self, pid: int, entry: PeerEntry) -> None:
+        if not entry.online:
+            self.obs.emit("peer_rejoined", peer=self.peer_id, target=pid)
         entry.online = True
         self.offline_since.pop(pid, None)
         self.contact_failures.pop(pid, None)
@@ -497,6 +603,7 @@ class NetworkPeer:
         entry = self.peer.directory.get(pid)
         if entry is None:
             return
+        self._count("contact_failures_total", 1, "failed peer contacts")
         failures = self.contact_failures.get(pid, 0) + 1
         self.contact_failures[pid] = failures
         backoff = min(
@@ -507,6 +614,9 @@ class NetworkPeer:
         if entry.online:
             entry.online = False
             self.offline_since.setdefault(pid, self.clock())
+            self.obs.emit(
+                "peer_offline", peer=self.peer_id, target=pid, failures=failures
+            )
 
     def _expire_dead(self) -> None:
         now = self.clock()
@@ -520,6 +630,8 @@ class NetworkPeer:
             self.contact_failures.pop(pid, None)
             self.contact_backoff_until.pop(pid, None)
             self.peer.drop_peer(pid)
+            self._count("peers_expired_total", 1, "members dropped at T_Dead")
+            self.obs.emit("peer_expired", peer=self.peer_id, target=pid)
 
     # ------------------------------------------------------------------
     # server side
@@ -534,7 +646,9 @@ class NetworkPeer:
             reply = await self._dispatch(msg)
         except Exception as exc:  # noqa: BLE001 - never kill the server loop
             reply = ErrorReply(f"{type(exc).__name__}: {exc}")
-        return codec.encode(reply)
+        frame = codec.encode(reply)
+        self._account_gossip(reply, frame)
+        return frame
 
     async def _dispatch(self, msg: object) -> object:
         if isinstance(msg, RumorPush):
@@ -566,6 +680,8 @@ class NetworkPeer:
             except KeyError:
                 return SnippetResponse(False, msg.doc_id, "")
             return SnippetResponse(True, doc.doc_id, doc.text)
+        if isinstance(msg, StatsRequest):
+            return self.stats_response()
         return ErrorReply(f"unexpected message {type(msg).__name__}")
 
     def _on_rumor_push(self, msg: RumorPush) -> RumorReply:

@@ -22,6 +22,12 @@ Two implementations:
 
 For fault injection on top of either transport (partitions, crash
 windows, per-edge loss and jitter) see :mod:`repro.net.chaos`.
+
+Every transport is observable: after :meth:`Transport.bind_registry`, an
+endpoint records bytes in/out, request counts, retries/failures, backoff
+delay, and a per-request latency histogram into a
+:class:`~repro.obs.Registry` (component ``transport``), so a live node's
+traffic is measurable against the Table 2 byte model.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from typing import Awaitable, Callable
 import numpy as np
 
 from repro.constants import NetConfig
+from repro.obs import Registry
 
 __all__ = [
     "TransportError",
@@ -62,6 +69,56 @@ class RetryableTransportError(TransportError):
 
 class Transport(ABC):
     """Abstract request/response frame carrier."""
+
+    #: observability home; set by :meth:`bind_registry`, else silent.
+    registry: Registry | None = None
+
+    def bind_registry(self, registry: Registry) -> None:
+        """Record this endpoint's traffic into ``registry``.
+
+        Idempotent and safe to call before or after :meth:`serve`;
+        decorating transports (see :class:`~repro.net.chaos.
+        FaultyTransport`) override this to bind their inner transport
+        too, so one call instruments the whole stack.
+        """
+        self.registry = registry
+        # Resolve the hot-path instruments once; per-request accounting
+        # must not pay a registry lookup per increment.
+        self._c_requests = registry.counter(
+            "transport", "requests_total", "client RPCs issued"
+        )
+        self._c_served = registry.counter(
+            "transport", "served_requests_total", "inbound RPCs handled"
+        )
+        self._c_bytes_sent = registry.counter(
+            "transport", "bytes_sent_total", "frame-body bytes written"
+        )
+        self._c_bytes_recv = registry.counter(
+            "transport", "bytes_recv_total", "frame-body bytes read"
+        )
+        self._h_latency = registry.histogram(
+            "transport",
+            "request_latency_seconds",
+            "client-observed per-request latency",
+        )
+
+    # -- shared accounting helpers (no-ops until a registry is bound) -------
+
+    def _count_sent(self, nbytes: int) -> None:
+        if self.registry is not None:
+            self._c_requests.inc()
+            self._c_bytes_sent.inc(nbytes)
+
+    def _count_reply(self, nbytes: int, latency_s: float) -> None:
+        if self.registry is not None:
+            self._c_bytes_recv.inc(nbytes)
+            self._h_latency.observe(latency_s)
+
+    def _count_served(self, in_bytes: int, out_bytes: int) -> None:
+        if self.registry is not None:
+            self._c_served.inc()
+            self._c_bytes_recv.inc(in_bytes)
+            self._c_bytes_sent.inc(out_bytes)
 
     @abstractmethod
     async def serve(self, address: str, handler: Handler) -> str:
@@ -153,6 +210,7 @@ class TcpTransport(Transport):
                 reply = await self._handler(body)
                 _write_frame(writer, reply)
                 await writer.drain()
+                self._count_served(len(body), len(reply))
         except (
             asyncio.IncompleteReadError,
             asyncio.CancelledError,
@@ -196,15 +254,20 @@ class TcpTransport(Transport):
         message of Section 3 already is.
         """
         cfg = self.config
-        deadline = time.monotonic() + cfg.request_deadline_s
+        reg = self.registry
+        started = time.monotonic()
+        deadline = started + cfg.request_deadline_s
         attempt = 0
+        self._count_sent(0)  # the request itself; bytes counted per attempt
         while True:
             try:
-                return await self._attempt(address, body)
+                reply = await self._attempt(address, body)
+                self._count_reply(len(reply), time.monotonic() - started)
+                return reply
             except RetryableTransportError:
                 attempt += 1
                 if attempt > cfg.request_retries:
-                    self.failed_requests += 1
+                    self._count_failed(reg)
                     raise
                 delay = min(
                     cfg.retry_backoff_s * 2.0 ** (attempt - 1),
@@ -212,10 +275,32 @@ class TcpTransport(Transport):
                 )
                 delay *= 1.0 + cfg.retry_jitter_frac * float(self._rng.random())
                 if time.monotonic() + delay > deadline:
-                    self.failed_requests += 1
+                    self._count_failed(reg)
                     raise
                 self.retried_requests += 1
+                if reg is not None:
+                    reg.counter(
+                        "transport", "retries_total", "RPC attempts retried"
+                    ).inc()
+                    reg.counter(
+                        "transport",
+                        "backoff_seconds_total",
+                        "cumulative retry backoff delay",
+                    ).inc(delay)
+                    reg.emit(
+                        "retry_scheduled",
+                        address=address,
+                        attempt=attempt,
+                        delay_s=round(delay, 6),
+                    )
                 await asyncio.sleep(delay)
+
+    def _count_failed(self, reg: Registry | None) -> None:
+        self.failed_requests += 1
+        if reg is not None:
+            reg.counter(
+                "transport", "failed_requests_total", "RPCs that exhausted retries"
+            ).inc()
 
     async def _attempt(self, address: str, body: bytes) -> bytes:
         """One try of one RPC over the cached connection to ``address``."""
@@ -224,6 +309,10 @@ class TcpTransport(Transport):
             try:
                 _write_frame(writer, body)
                 await writer.drain()
+                if self.registry is not None:
+                    self.registry.counter(
+                        "transport", "bytes_sent_total", "frame-body bytes written"
+                    ).inc(len(body))
                 return await asyncio.wait_for(
                     _read_frame(reader, self.config.max_frame_bytes),
                     self.config.request_timeout_s,
@@ -321,13 +410,23 @@ class LoopbackTransport(Transport):
         """Register ``handler`` at ``address`` on the shared fabric."""
         if address in self.network.handlers:
             raise TransportError(f"address {address} already in use")
-        self.network.handlers[address] = handler
+
+        async def accounted(body: bytes) -> bytes:
+            reply = await handler(body)
+            self._count_served(len(body), len(reply))
+            return reply
+
+        self.network.handlers[address] = accounted
         self._addresses.append(address)
         return address
 
     async def request(self, address: str, body: bytes) -> bytes:
         """Route the request through the fabric (latency/drops applied)."""
-        return await self.network.deliver(address, body)
+        self._count_sent(len(body))
+        started = time.monotonic()
+        reply = await self.network.deliver(address, body)
+        self._count_reply(len(reply), time.monotonic() - started)
+        return reply
 
     async def close(self) -> None:
         """Deregister this endpoint's addresses."""

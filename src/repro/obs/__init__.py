@@ -1,0 +1,68 @@
+"""repro.obs — runtime observability for live PlanetP nodes.
+
+A dependency-free metrics + trace subsystem (stdlib only, importable
+from anywhere in the tree without cycles):
+
+``metrics``  :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+             with mergeable snapshots and quantile estimation, gathered
+             in a :class:`Registry` keyed by component, rendered as
+             Prometheus text exposition
+``trace``    :class:`TraceLog` — a ring buffer of structured protocol
+             events with JSON-lines export
+
+Most call sites want the **process-global registry**: a live node, its
+transport, the search client, and the Bloom compressor all record into
+:func:`global_registry` by default, so one ``StatsRequest`` poll (or one
+``registry.render_text()`` scrape) observes the whole process.  Tests
+that need isolation construct private :class:`Registry` instances and
+pass them down explicitly.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS,
+    DEFAULT_SIZE_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    Registry,
+)
+from repro.obs.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "Registry",
+    "TraceEvent",
+    "TraceLog",
+    "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_SIZE_BOUNDS",
+    "DEFAULT_COUNT_BOUNDS",
+    "global_registry",
+    "set_global_registry",
+]
+
+_GLOBAL: Registry | None = None
+
+
+def global_registry() -> Registry:
+    """The process-wide default :class:`Registry` (created lazily)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = Registry()
+    return _GLOBAL
+
+
+def set_global_registry(registry: Registry) -> Registry:
+    """Replace the process-wide registry; returns the previous one.
+
+    Used by tests that want a clean slate, and by embedders that manage
+    their own registry lifetimes.
+    """
+    global _GLOBAL
+    previous = global_registry()
+    _GLOBAL = registry
+    return previous

@@ -3,35 +3,66 @@
 :class:`BandwidthSeries` feeds Figure 4(c) (aggregate gossiping bandwidth
 over time); :class:`ConvergenceTracker` produces the per-event convergence
 times behind Figures 2(a), 3, 4(a,b) and 5.
+
+The simulator and the real network stack share one metrics vocabulary:
+pass a :class:`~repro.obs.Registry` to :class:`BandwidthSeries` and every
+recorded transfer is mirrored into the same ``sim_bytes_total`` /
+``sim_transfers_total`` counters a live node's transport reports, so
+simulated and measured bandwidth plot from identical instruments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # import-light: repro.obs is only needed when used
+    from repro.obs import Registry
 
 __all__ = ["BandwidthSeries", "ConvergenceTracker"]
 
 
 class BandwidthSeries:
-    """Bytes transferred per time bucket."""
+    """Bytes transferred per time bucket.
 
-    __slots__ = ("bucket_s", "_buckets")
+    ``registry`` (optional) mirrors each record into :mod:`repro.obs`
+    counters under the given component, unifying sim and net metrics.
+    """
 
-    def __init__(self, bucket_s: float = 10.0) -> None:
+    __slots__ = ("bucket_s", "_buckets", "_bytes_counter", "_transfers_counter")
+
+    def __init__(
+        self,
+        bucket_s: float = 10.0,
+        registry: "Registry | None" = None,
+        component: str = "sim",
+    ) -> None:
         if bucket_s <= 0:
             raise ValueError("bucket_s must be positive")
         self.bucket_s = bucket_s
         self._buckets: dict[int, int] = {}
+        self._bytes_counter = self._transfers_counter = None
+        if registry is not None:
+            self._bytes_counter = registry.counter(
+                component, "bytes_total", "bytes moved by the simulated network"
+            )
+            self._transfers_counter = registry.counter(
+                component, "transfers_total", "simulated message transfers"
+            )
 
     def record(self, time: float, nbytes: int) -> None:
         """Attribute ``nbytes`` to the bucket containing ``time``."""
         if time < 0:
             raise ValueError("time must be non-negative")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
         bucket = int(time / self.bucket_s)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + nbytes
+        if self._bytes_counter is not None:
+            self._bytes_counter.inc(nbytes)
+            self._transfers_counter.inc()
 
     def series(self) -> tuple[np.ndarray, np.ndarray]:
         """``(times, bytes_per_second)`` arrays, one point per bucket.

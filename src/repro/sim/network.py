@@ -59,6 +59,9 @@ class Network:
         How long a sender waits before concluding the target is offline.
     bucket_s:
         Width of the aggregate-bandwidth time-series buckets.
+    registry:
+        Optional :class:`~repro.obs.Registry`; simulated traffic then
+        mirrors into the same metric vocabulary the live stack uses.
     """
 
     __slots__ = (
@@ -79,6 +82,7 @@ class Network:
         latency_s: float = 0.01,
         failure_timeout_s: float = 5.0,
         bucket_s: float = 10.0,
+        registry=None,
     ) -> None:
         speeds = np.asarray(link_speeds, dtype=float)
         if speeds.ndim != 1 or speeds.size == 0:
@@ -92,7 +96,7 @@ class Network:
         #: per-peer reachability; offline peers fail incoming transfers.
         self.online = np.ones(speeds.size, dtype=bool)
         self.stats = TransferStats()
-        self.bandwidth = BandwidthSeries(bucket_s)
+        self.bandwidth = BandwidthSeries(bucket_s, registry=registry)
         self._link_free = np.zeros(speeds.size, dtype=float)
 
     @property

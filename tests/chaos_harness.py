@@ -24,6 +24,7 @@ from repro.net.chaos import FaultPlan, FaultyTransport, VirtualClock
 from repro.net.client import NetworkSearchClient
 from repro.net.node import NetworkPeer
 from repro.net.transport import LoopbackNetwork, TransportError
+from repro.obs import Registry
 from repro.text.document import Document
 
 
@@ -46,6 +47,11 @@ class ChaosCommunity:
         self.alive: set[int] = set()
         #: everything published, mirrored into the oracle on demand.
         self.published: list[tuple[int, Document]] = []
+        #: per-peer metric registries, isolated from the process-global
+        #: one so concurrent tests never share counters.
+        self.registries: dict[int, Registry] = {
+            pid: Registry(clock=self.clock) for pid in range(num_peers)
+        }
         self.nodes: dict[int, NetworkPeer] = {
             pid: NetworkPeer(
                 pid,
@@ -58,6 +64,7 @@ class ChaosCommunity:
                 bloom_config=self.bloom_config,
                 seed=(seed << 16) | pid,
                 clock=self.clock,
+                registry=self.registries[pid],
             )
             for pid in range(num_peers)
         }
@@ -65,6 +72,10 @@ class ChaosCommunity:
     def address(self, pid: int) -> str:
         """The loopback address peer ``pid`` serves at."""
         return f"peer:{pid}"
+
+    def metric_sum(self, component: str, name: str) -> float:
+        """Sum one counter/gauge across every peer's registry."""
+        return sum(reg.value(component, name) for reg in self.registries.values())
 
     # -- lifecycle -----------------------------------------------------------
 

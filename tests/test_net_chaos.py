@@ -219,6 +219,88 @@ def test_chaos_acceptance_is_deterministic():
 
 
 # ---------------------------------------------------------------------------
+# fault accounting: registry counters equal the plan's audit, exactly
+# ---------------------------------------------------------------------------
+
+
+async def _accounting_run(seed: int, faulty: bool) -> ChaosCommunity:
+    """6 peers, moderate drops/resets/jitter (or a clean control run)."""
+    community = ChaosCommunity(6, seed=seed)
+    fault_end = 40 * community.config.base_interval_s
+    if faulty:
+        community.plan.set_default(
+            EdgeFaults(
+                drop_rate=0.15,
+                reset_rate=0.05,
+                latency_min_s=0.01,
+                latency_max_s=0.2,
+            ),
+            start=0.0,
+            end=fault_end,  # quiet tail afterwards so convergence can stick
+        )
+    await community.boot()
+    for pid in range(6):
+        community.publish(
+            pid, Document(f"doc-{pid}", f"fault accounting shard {pid}")
+        )
+    await community.run_rounds(40)
+    await community.converge(max_rounds=200)
+    for pid in community.nodes:
+        await community.nodes[pid].stop()
+    return community
+
+
+@pytest.mark.parametrize("seed", [1337, 20260806])
+def test_chaos_registry_accounting_matches_plan_exactly(seed):
+    """Per-node ``chaos.injected_*`` counters, summed over the community,
+    must equal the FaultPlan's own audit — the same faults, counted at
+    both ends of the injection."""
+
+    async def scenario():
+        community = await _accounting_run(seed, faulty=True)
+        plan = community.plan
+        assert plan.dropped > 0, f"seed {seed}: plan injected no drops"
+        assert plan.resets > 0, f"seed {seed}: plan injected no resets"
+        assert community.metric_sum("chaos", "injected_drops_total") == plan.dropped
+        assert community.metric_sum("chaos", "injected_resets_total") == plan.resets
+        assert community.metric_sum("chaos", "injected_blocked_total") == plan.blocked
+        assert community.metric_sum(
+            "chaos", "injected_delay_seconds_total"
+        ) == pytest.approx(plan.delay_total_s)
+        # The retry machinery engaged: injected failures surfaced as
+        # contact failures the gossip layer had to ride out.
+        assert community.metric_sum("node", "contact_failures_total") > 0
+        # Every node's trace saw at least one fault_injected event.
+        fault_events = [
+            e
+            for reg in community.registries.values()
+            for e in reg.trace.events("fault_injected")
+        ]
+        assert fault_events, f"seed {seed}: no fault_injected trace events"
+        assert {e.fields["fault"] for e in fault_events} >= {"drops", "resets"}
+
+    asyncio.run(scenario())
+
+
+def test_chaos_registry_zero_fault_control():
+    """With no faults scripted, every injected-fault counter is zero and
+    no retries fire — the counters measure the plan, not noise."""
+
+    async def scenario():
+        community = await _accounting_run(SEED, faulty=False)
+        plan = community.plan
+        assert plan.dropped == 0 and plan.resets == 0 and plan.blocked == 0
+        assert community.metric_sum("chaos", "injected_drops_total") == 0.0
+        assert community.metric_sum("chaos", "injected_resets_total") == 0.0
+        assert community.metric_sum("chaos", "injected_blocked_total") == 0.0
+        assert community.metric_sum("node", "contact_failures_total") == 0.0
+        for reg in community.registries.values():
+            assert reg.trace.events("fault_injected") == []
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
 # churn soak: scripted crash + rejoin, T_Dead expiry, rejoin healing
 # ---------------------------------------------------------------------------
 

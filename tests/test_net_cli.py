@@ -5,8 +5,9 @@ import asyncio
 import pytest
 
 from repro.constants import NET_DEFAULT_PORT
-from repro.net.cli import build_parser, run
+from repro.net.cli import build_parser, build_stats_parser, run, run_stats
 from repro.net.node import NetworkPeer
+from repro.obs import Registry
 from repro.text.document import Document
 
 
@@ -68,6 +69,57 @@ def test_cli_run_bootstraps_publishes_and_queries(tmp_path, capsys):
     assert "ranked 'gossip rumors'" in out
     assert "gossip" in out.split("ranked")[1]  # the matching doc is listed
     assert "peer 1 stopped" in out
+
+
+def test_stats_parser_defaults():
+    args = build_stats_parser().parse_args(["127.0.0.1:9301"])
+    assert args.address == "127.0.0.1:9301"
+    assert args.grep is None
+    with pytest.raises(SystemExit):
+        build_stats_parser().parse_args([])  # the address is mandatory
+
+
+def test_stats_cli_polls_live_node(capsys):
+    """``python -m repro.net stats`` against a real TCP node prints its
+    uptime and nonzero gossip/traffic counters; --grep filters names."""
+
+    async def scenario():
+        a = NetworkPeer(0, "127.0.0.1", 0, registry=Registry())
+        await a.start()
+        a.publish(Document("bloom", "bloom filters summarize membership"))
+        b = NetworkPeer(1, "127.0.0.1", 0, registry=Registry())
+        await b.start()
+        b.publish(Document("gossip", "gossip protocols spread rumors"))
+        try:
+            await b.join(a.address)
+            for _ in range(3):
+                await a.gossip_round()
+                await b.gossip_round()
+            await run_stats(build_stats_parser().parse_args([a.address]))
+            await run_stats(
+                build_stats_parser().parse_args([a.address, "--grep", "bytes"])
+            )
+        finally:
+            await a.stop()
+            await b.stop()
+
+    asyncio.run(scenario())
+    out = capsys.readouterr().out
+    full, grepped = out.split("peer 0 at")[1:]
+    assert "uptime" in full
+
+    def value_of(section: str, name: str) -> float:
+        for line in section.splitlines():
+            parts = line.split()
+            if parts and parts[0] == name:
+                return float(parts[1])
+        raise AssertionError(f"{name} not in output:\n{section}")
+
+    assert value_of(full, "planetp_node_gossip_rounds_total") > 0
+    assert value_of(full, "planetp_transport_bytes_sent_total") > 0
+    # The grep view keeps only matching sample names.
+    samples = [line.split()[0] for line in grepped.splitlines()[1:] if line.strip()]
+    assert samples and all("bytes" in name for name in samples)
 
 
 def test_chaos_transport_built_only_when_seeded():

@@ -29,6 +29,8 @@ from repro.net.codec import (
     RankedResponse,
     SnippetFetch,
     SnippetResponse,
+    StatsRequest,
+    StatsResponse,
     decode,
     decode_member_payload,
     decode_update_payload,
@@ -62,6 +64,16 @@ MESSAGES = [
     SnippetFetch("doc-a"),
     SnippetResponse(True, "doc-a", "the full text éè"),
     SnippetResponse(False, "missing", ""),
+    StatsRequest(),
+    StatsResponse(
+        7,
+        120.5,
+        (
+            ("planetp_node_gossip_rounds_total", 42.0),
+            ("planetp_transport_bytes_sent_total", 18231.0),
+        ),
+    ),
+    StatsResponse(0, 0.0, ()),
     ErrorReply("bad frame: truncated"),
 ]
 

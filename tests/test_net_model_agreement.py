@@ -2,10 +2,15 @@
 
 The simulator prices gossip messages with ``MessageSizer`` while the
 network layer actually encodes them.  Both work from the shared inventory
-in :mod:`repro.gossip.wire`, and this suite holds them honest: for every
-inventory type, a realistically-populated instance's real encoded length
-must stay within a factor of two of the model's prediction.
+in :mod:`repro.gossip.wire`, and this suite holds them honest twice over:
+for every inventory type, a realistically-populated instance's real
+encoded length must stay within a factor of two of the model's
+prediction; and a live loopback community's *measured* transport traffic
+must stay within the same envelope of the model's aggregate prediction
+for the messages it actually exchanged.
 """
+
+import asyncio
 
 import pytest
 
@@ -30,6 +35,8 @@ from repro.gossip.wire import (
     WireRumor,
 )
 from repro.net.codec import RankedQuery, encode, encode_member_payload
+from repro.text.document import Document
+from tests.chaos_harness import ChaosCommunity
 
 
 def _bloom_bytes(terms) -> bytes:
@@ -101,3 +108,43 @@ def test_inventory_fully_covered(sizer):
 def test_model_rejects_non_gossip_messages(sizer):
     with pytest.raises(TypeError, match="not a gossip wire message"):
         sizer.model_size(RankedQuery(("a",), (("a", 1.0),), 5))
+
+
+# ---------------------------------------------------------------------------
+# live traffic: measured transport bytes vs the model, same 2x envelope
+# ---------------------------------------------------------------------------
+
+
+def test_live_community_traffic_within_2x_of_model():
+    """Boot 6 loopback peers, gossip to convergence, and compare what the
+    transports *measured* (``transport.bytes_sent_total``) against what
+    the Table-2 model *predicted* for the exact messages exchanged
+    (``node.gossip_model_bytes_total``)."""
+
+    async def scenario() -> ChaosCommunity:
+        community = ChaosCommunity(6, seed=99)  # no faults scripted
+        await community.boot()
+        for pid in range(6):
+            community.publish(
+                pid,
+                Document(f"doc-{pid}", f"peer {pid} shares gossip corpus shard {pid}"),
+            )
+        await community.run_rounds(30)
+        await community.converge()
+        for pid in community.nodes:
+            await community.nodes[pid].stop()
+        return community
+
+    community = asyncio.run(scenario())
+    measured = community.metric_sum("transport", "bytes_sent_total")
+    accounted = community.metric_sum("node", "gossip_real_bytes_total")
+    model = community.metric_sum("node", "gossip_model_bytes_total")
+    assert measured > 0 and model > 0
+    # This run was pure gossip, so every byte the transports sent must
+    # have been accounted as a gossip frame by some node.
+    assert accounted == measured
+    ratio = measured / model
+    assert 0.5 <= ratio <= 2.0, (
+        f"live traffic {measured:.0f}B vs model {model:.0f}B "
+        f"(ratio {ratio:.2f}) escaped the 2x envelope"
+    )

@@ -1,0 +1,260 @@
+"""Property sweep for repro.obs histograms and instrument thread-safety.
+
+Same pattern as tests/test_property_roundtrip.py: pure stdlib ``random``,
+200+ seeded cases per property, SEED plus case index embedded in every
+failure message so any counterexample reproduces exactly.
+"""
+
+import asyncio
+import concurrent.futures
+import random
+import threading
+
+from repro.obs import Counter, Gauge, Histogram, HistogramSnapshot, Registry
+
+SEED = 20260806
+CASES = 200
+
+
+def _random_bounds(rng: random.Random) -> tuple[float, ...]:
+    n = rng.randrange(1, 12)
+    cuts = sorted(rng.sample(range(1, 10_000), n))
+    scale = rng.choice([0.001, 0.1, 1.0, 64.0])
+    return tuple(c * scale for c in cuts)
+
+
+def _random_snapshot(
+    rng: random.Random, bounds: tuple[float, ...], max_obs: int = 60
+) -> HistogramSnapshot:
+    h = Histogram("p", "h", bounds=bounds)
+    hi = bounds[-1] * 2
+    # Integer-valued observations keep float sums exact under reordering.
+    for _ in range(rng.randrange(max_obs)):
+        h.observe(float(rng.randrange(0, max(2, int(hi)))))
+    return h.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Merge: associative, commutative, identity
+# ---------------------------------------------------------------------------
+
+
+def test_merge_associative_and_commutative():
+    rng = random.Random(SEED)
+    for case in range(CASES):
+        bounds = _random_bounds(rng)
+        a = _random_snapshot(rng, bounds)
+        b = _random_snapshot(rng, bounds)
+        c = _random_snapshot(rng, bounds)
+        ctx = f"seed={SEED} case={case} bounds={bounds}"
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left == right, f"merge not associative: {ctx}"
+        assert a.merge(b) == b.merge(a), f"merge not commutative: {ctx}"
+        empty = Histogram("p", "e", bounds=bounds).snapshot()
+        assert a.merge(empty) == a, f"empty not an identity: {ctx}"
+
+
+def test_merge_totals_match_componentwise_sums():
+    rng = random.Random(SEED + 1)
+    for case in range(CASES):
+        bounds = _random_bounds(rng)
+        parts = [_random_snapshot(rng, bounds) for _ in range(rng.randrange(2, 6))]
+        merged = parts[0]
+        for p in parts[1:]:
+            merged = merged.merge(p)
+        ctx = f"seed={SEED + 1} case={case}"
+        assert merged.total == sum(p.total for p in parts), ctx
+        assert merged.sum == sum(p.sum for p in parts), ctx
+        for i in range(len(bounds) + 1):
+            assert merged.counts[i] == sum(p.counts[i] for p in parts), f"{ctx} bucket={i}"
+
+
+# ---------------------------------------------------------------------------
+# Snapshot immutability: later observations never leak into older snapshots
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_immutable_under_later_observations():
+    rng = random.Random(SEED + 2)
+    for case in range(CASES):
+        bounds = _random_bounds(rng)
+        h = Histogram("p", "h", bounds=bounds)
+        for _ in range(rng.randrange(30)):
+            h.observe(rng.uniform(0, bounds[-1] * 2))
+        before = h.snapshot()
+        frozen = (before.bounds, before.counts, before.total, before.sum)
+        for _ in range(rng.randrange(1, 30)):
+            h.observe(rng.uniform(0, bounds[-1] * 2))
+        ctx = f"seed={SEED + 2} case={case}"
+        assert (before.bounds, before.counts, before.total, before.sum) == frozen, ctx
+        after = h.snapshot()
+        assert after.total > before.total or after == before, ctx
+
+
+# ---------------------------------------------------------------------------
+# Quantiles: monotone in q, bounded by the bucket range
+# ---------------------------------------------------------------------------
+
+
+def test_quantile_monotone_and_bounded():
+    rng = random.Random(SEED + 3)
+    for case in range(CASES):
+        bounds = _random_bounds(rng)
+        snap = _random_snapshot(rng, bounds)
+        ctx = f"seed={SEED + 3} case={case} bounds={bounds}"
+        qs = sorted(rng.uniform(0, 1) for _ in range(8))
+        values = [snap.quantile(q) for q in qs]
+        for (q1, v1), (q2, v2) in zip(zip(qs, values), zip(qs[1:], values[1:])):
+            assert v1 <= v2, f"quantile not monotone ({q1}->{v1}, {q2}->{v2}): {ctx}"
+        for q, v in zip(qs, values):
+            assert 0.0 <= v <= bounds[-1], f"quantile {q}->{v} out of range: {ctx}"
+
+
+def test_quantile_of_merge_between_part_extremes():
+    # Merging can't push a quantile outside the min/max of the parts'
+    # same-q quantiles (the merged distribution is a mixture).
+    rng = random.Random(SEED + 4)
+    for case in range(CASES):
+        bounds = _random_bounds(rng)
+        a = _random_snapshot(rng, bounds)
+        b = _random_snapshot(rng, bounds)
+        if a.total == 0 or b.total == 0:
+            continue
+        merged = a.merge(b)
+        q = rng.uniform(0, 1)
+        qa, qb, qm = a.quantile(q), b.quantile(q), merged.quantile(q)
+        ctx = f"seed={SEED + 4} case={case} q={q}"
+        lo, hi = min(qa, qb), max(qa, qb)
+        # Allow one bucket of slack: interpolation is per-bucket linear.
+        widths = [bounds[0]] + [b2 - b1 for b1, b2 in zip(bounds, bounds[1:])]
+        slack = max(widths)
+        assert lo - slack <= qm <= hi + slack, f"{ctx}: {qa}, {qb} -> {qm}"
+
+
+# ---------------------------------------------------------------------------
+# Thread-safety: counters and gauges hammered from threads and coroutines
+# ---------------------------------------------------------------------------
+
+
+def test_counter_thread_safety_under_threads():
+    c = Counter("p", "hammered_total")
+    threads = 8
+    per_thread = 5_000
+    barrier = threading.Barrier(threads)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(per_thread):
+            c.inc()
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert c.value == threads * per_thread
+
+
+def test_gauge_thread_safety_under_threads():
+    g = Gauge("p", "depth")
+    threads = 8
+    per_thread = 5_000
+    barrier = threading.Barrier(threads)
+
+    def hammer(sign: int):
+        barrier.wait()
+        for _ in range(per_thread):
+            g.inc(sign)
+
+    workers = [
+        threading.Thread(target=hammer, args=(1 if i % 2 == 0 else -1,))
+        for i in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert g.value == 0.0  # equal +1/-1 populations cancel exactly
+
+
+def test_histogram_thread_safety_under_threads():
+    h = Histogram("p", "lat", bounds=(1.0, 2.0, 4.0))
+    threads = 6
+    per_thread = 3_000
+    barrier = threading.Barrier(threads)
+
+    def hammer(value: float):
+        barrier.wait()
+        for _ in range(per_thread):
+            h.observe(value)
+
+    values = [0.5, 1.5, 3.0, 8.0, 0.5, 1.5]
+    workers = [threading.Thread(target=hammer, args=(v,)) for v in values]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    snap = h.snapshot()
+    assert snap.total == threads * per_thread
+    assert snap.counts == (2 * per_thread, 2 * per_thread, per_thread, per_thread)
+    assert snap.sum == sum(v * per_thread for v in values)
+
+
+def test_instruments_under_asyncio_gather():
+    # Coroutines interleave on one loop while a thread pool pokes the
+    # same instruments from real OS threads — the mixed regime a live
+    # node actually runs in.
+    reg = Registry()
+    c = reg.counter("p", "ops_total")
+    g = reg.gauge("p", "inflight")
+    h = reg.histogram("p", "lat", bounds=(1.0, 4.0))
+
+    async def coro_worker(n: int):
+        for i in range(n):
+            g.inc()
+            c.inc()
+            h.observe(float(i % 6))
+            g.dec()
+            if i % 64 == 0:
+                await asyncio.sleep(0)
+
+    def thread_worker(n: int):
+        for i in range(n):
+            c.inc()
+            h.observe(float(i % 6))
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            thread_jobs = [
+                loop.run_in_executor(pool, thread_worker, 2_000) for _ in range(4)
+            ]
+            await asyncio.gather(*(coro_worker(2_000) for _ in range(8)), *thread_jobs)
+
+    asyncio.run(main())
+    total = 8 * 2_000 + 4 * 2_000
+    assert c.value == total
+    assert g.value == 0.0
+    assert h.snapshot().total == total
+
+
+def test_registry_registration_race():
+    # Concurrent get-or-create for the same key must yield one instrument.
+    reg = Registry()
+    winners = []
+    barrier = threading.Barrier(8)
+
+    def register():
+        barrier.wait()
+        winners.append(reg.counter("race", "c_total"))
+
+    workers = [threading.Thread(target=register) for _ in range(8)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert all(w is winners[0] for w in winners)
+    for w in winners:
+        w.inc()
+    assert reg.value("race", "c_total") == 8.0

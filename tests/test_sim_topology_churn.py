@@ -124,6 +124,37 @@ class TestBandwidthSeries:
         with pytest.raises(ValueError):
             BandwidthSeries(1.0).record(-1.0, 5)
 
+    def test_negative_bytes_rejected(self):
+        series = BandwidthSeries(1.0)
+        with pytest.raises(ValueError, match="nbytes"):
+            series.record(1.0, -5)
+        assert series.total_bytes() == 0  # the bad record left no trace
+
+    def test_registry_mirroring(self):
+        from repro.obs import Registry
+
+        registry = Registry()
+        series = BandwidthSeries(1.0, registry=registry)
+        series.record(0.5, 100)
+        series.record(1.5, 50)
+        assert registry.value("sim", "bytes_total") == 150.0
+        assert registry.value("sim", "transfers_total") == 2.0
+        # The in-series bucketing is unchanged by the mirroring.
+        assert series.total_bytes() == 150
+
+    def test_network_passes_registry_through(self):
+        from repro.obs import Registry
+        from repro.sim.engine import Simulator
+        from repro.sim.network import Network
+
+        registry = Registry()
+        sim = Simulator()
+        net = Network(sim, np.array([1000.0, 1000.0]), registry=registry)
+        net.send(0, 1, 500)
+        sim.run(until=10.0)
+        assert registry.value("sim", "bytes_total") == 500.0
+        assert registry.value("sim", "transfers_total") == 1.0
+
 
 class TestConvergenceTracker:
     def test_simple_convergence(self):
