@@ -1,0 +1,315 @@
+#!/usr/bin/env python
+"""Hot-path performance sweep: codec, filter caching, batched matching.
+
+Measures the three fast paths this repo layers on top of the paper's
+algorithms, each against its straightforward "before" implementation
+(which is still in the tree as the reference/oracle path):
+
+* **codec** — vectorized :func:`repro.bloom.golomb.encode_gaps` /
+  ``decode_gaps`` vs the streaming :class:`GolombEncoder` /
+  :class:`GolombDecoder` bit loops, at several gap-stream sizes.  Both
+  produce byte-identical streams, so only throughput differs.
+* **compress cache** — :func:`repro.bloom.compress.compress_filter` with
+  the version-keyed memo warm vs ``use_cache=False`` (every call
+  re-encodes), the gossip-round re-send case.
+* **matching** — "which peers may hold all query terms" over a 100/500/
+  2000-member directory: per-peer ``contains_each`` loop vs one
+  :class:`repro.bloom.matcher.FilterMatrix` gather.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --write BENCH_hotpaths.json
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick --check BENCH_hotpaths.json
+
+``--check`` compares **speedups** (after/before ratios measured in the
+same process), not raw ops/sec, so a committed baseline from one machine
+is meaningful on CI hardware with different absolute speed.  A run fails
+the check when any speedup falls more than ``--threshold`` (default 30%)
+below the baseline's, or when a hard floor is missed (codec >= 5x
+combined, 2000-peer matching >= 10x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.bloom.compress import compress_filter
+from repro.bloom.filter import BloomFilter
+from repro.bloom.golomb import (
+    GolombDecoder,
+    GolombEncoder,
+    decode_gaps,
+    encode_gaps,
+    optimal_golomb_m,
+)
+from repro.bloom.matcher import FilterMatrix
+
+#: Hard floors from the sweep's acceptance criteria (speedup, not ops/sec).
+FLOORS = {
+    ("codec", "combined"): 5.0,
+    ("matching", "2000"): 10.0,
+}
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    """Best-of-N wall time of one call (min filters out scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _rate_pair(before_fn, after_fn, repeats: int) -> dict:
+    before_s = _best_seconds(before_fn, repeats)
+    after_s = _best_seconds(after_fn, repeats)
+    return {
+        "before_ops": 1.0 / before_s,
+        "after_ops": 1.0 / after_s,
+        "speedup": before_s / after_s,
+    }
+
+
+# -- codec -------------------------------------------------------------------
+
+
+def _streaming_encode(gaps: np.ndarray, m: int) -> bytes:
+    enc = GolombEncoder(m)
+    enc.encode_many(gaps.tolist())
+    return enc.getvalue()
+
+
+def _streaming_decode(blob: bytes, count: int, m: int) -> list[int]:
+    return GolombDecoder(m, blob).decode_many(count)
+
+
+def bench_codec(sizes: list[int], repeats: int, rng: np.random.Generator) -> dict:
+    """Golomb gap-stream encode/decode at densities a real filter produces."""
+    out: dict[str, dict] = {}
+    speedups = []
+    for n in sizes:
+        # Gaps of ~1% density in paper-geometry filters: near-geometric.
+        positions = np.sort(rng.choice(n * 100, size=n, replace=False))
+        gaps = np.empty(n, dtype=np.int64)
+        gaps[0] = positions[0]
+        gaps[1:] = np.diff(positions) - 1
+        m = optimal_golomb_m(0.01)
+        blob = encode_gaps(gaps, m)
+        assert blob == _streaming_encode(gaps, m), "codec streams must be identical"
+
+        enc = _rate_pair(
+            lambda: _streaming_encode(gaps, m),
+            lambda: encode_gaps(gaps, m),
+            repeats,
+        )
+        dec = _rate_pair(
+            lambda: _streaming_decode(blob, n, m),
+            lambda: decode_gaps(blob, n, m),
+            repeats,
+        )
+        out[f"n={n}"] = {"encode": enc, "decode": dec, "bytes": len(blob), "m": m}
+        speedups.append(enc["speedup"])
+        speedups.append(dec["speedup"])
+    # Combined = geometric mean across sizes and directions; the >=5x floor
+    # applies to this, so neither direction can hide behind the other.
+    out["combined_speedup"] = float(np.exp(np.mean(np.log(speedups))))
+    return out
+
+
+# -- compression cache -------------------------------------------------------
+
+
+def bench_compress_cache(num_keys: int, repeats: int) -> dict:
+    bf = BloomFilter.paper_prototype()
+    bf.add_many([f"cache-key-{i}" for i in range(num_keys)])
+    compress_filter(bf)  # warm the memo
+    cold_s = _best_seconds(lambda: compress_filter(bf, use_cache=False), repeats)
+    # One cache hit is ~a dict lookup; time a batch so the per-op figure
+    # is not dominated by perf_counter resolution.
+    inner = 1000
+
+    def warm_batch() -> None:
+        for _ in range(inner):
+            compress_filter(bf)
+
+    warm_s = _best_seconds(warm_batch, repeats) / inner
+    return {
+        "before_ops": 1.0 / cold_s,
+        "after_ops": 1.0 / warm_s,
+        "speedup": cold_s / warm_s,
+        "compressed_bytes": len(compress_filter(bf)),
+    }
+
+
+# -- batched directory matching ----------------------------------------------
+
+
+def _build_directory(
+    num_peers: int, rng: np.random.Generator
+) -> list[tuple[int, BloomFilter]]:
+    """Small-geometry filters: matching cost scales with peers, not bits."""
+    shared = [f"shared-{i}" for i in range(8)]
+    directory = []
+    for pid in range(num_peers):
+        bf = BloomFilter(8192, 2)
+        bf.add_many([f"peer{pid}-term-{i}" for i in range(50)])
+        if pid % 3 == 0:
+            bf.add_many(shared)
+        directory.append((pid, bf))
+    return directory
+
+
+def bench_matching(peer_counts: list[int], repeats: int, rng: np.random.Generator) -> dict:
+    out = {}
+    terms = ["shared-0", "shared-1", "shared-2"]
+    for count in peer_counts:
+        directory = _build_directory(count, rng)
+        matrix = FilterMatrix()
+        matrix.sync(directory)
+
+        def loop_match() -> list[int]:
+            return [
+                pid
+                for pid, bf in directory
+                if all(bf.contains_each(terms))
+            ]
+
+        assert sorted(loop_match()) == sorted(matrix.match_all_terms(terms))
+        result = _rate_pair(
+            loop_match, lambda: matrix.match_all_terms(terms), repeats
+        )
+        result["candidates"] = len(matrix.match_all_terms(terms))
+        out[str(count)] = result
+    return out
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_sweep(quick: bool, seed: int = 20030612) -> dict:
+    rng = np.random.default_rng(seed)
+    repeats = 3 if quick else 7
+    codec_sizes = [5_000] if quick else [5_000, 50_000]
+    return {
+        "meta": {
+            "quick": quick,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "codec": bench_codec(codec_sizes, repeats, rng),
+        "compress_cache": bench_compress_cache(20_000, repeats),
+        "matching": bench_matching([100, 500, 2000], repeats, rng),
+    }
+
+
+def _speedups(results: dict) -> dict[tuple[str, str], float]:
+    """Flatten every comparable speedup to a (section, key) -> ratio map."""
+    flat = {("codec", "combined"): results["codec"]["combined_speedup"]}
+    for key, row in results["codec"].items():
+        if isinstance(row, dict):
+            flat[("codec", f"{key}.encode")] = row["encode"]["speedup"]
+            flat[("codec", f"{key}.decode")] = row["decode"]["speedup"]
+    flat[("compress_cache", "cached")] = results["compress_cache"]["speedup"]
+    for count, row in results["matching"].items():
+        flat[("matching", count)] = row["speedup"]
+    return flat
+
+
+#: Speedups above this are compared as "at least 50x": past that point the
+#: ratio is dominated by timer noise and hardware detail, not the code.
+SPEEDUP_CAP = 50.0
+
+
+def check_regression(results: dict, baseline: dict, threshold: float) -> list[str]:
+    """Failures vs the committed baseline; empty list means pass."""
+    failures = []
+    current = _speedups(results)
+    reference = _speedups(baseline)
+    for key, floor in FLOORS.items():
+        if key in current and current[key] < floor:
+            failures.append(
+                f"{key[0]}/{key[1]}: speedup {current[key]:.1f}x "
+                f"below hard floor {floor:.0f}x"
+            )
+    for key, base in reference.items():
+        got = current.get(key)
+        if got is None:
+            continue  # baseline has sizes this (quick) run skipped
+        if min(got, SPEEDUP_CAP) < min(base, SPEEDUP_CAP) * (1.0 - threshold):
+            failures.append(
+                f"{key[0]}/{key[1]}: speedup {got:.1f}x regressed >"
+                f"{threshold:.0%} from baseline {base:.1f}x"
+            )
+    return failures
+
+
+def _report(results: dict) -> str:
+    lines = ["hot-path sweep (ops/sec, best-of-N):"]
+    for key, row in results["codec"].items():
+        if not isinstance(row, dict):
+            continue
+        for direction in ("encode", "decode"):
+            r = row[direction]
+            lines.append(
+                f"  codec {key} {direction}: {r['before_ops']:>8.1f} -> "
+                f"{r['after_ops']:>10.1f}  ({r['speedup']:.1f}x), "
+                f"{row['bytes']} bytes"
+            )
+    lines.append(f"  codec combined speedup: {results['codec']['combined_speedup']:.1f}x")
+    cc = results["compress_cache"]
+    lines.append(
+        f"  compress cold {cc['before_ops']:.1f} -> cached "
+        f"{cc['after_ops']:.1f} ops/s ({cc['speedup']:.0f}x)"
+    )
+    for count, row in results["matching"].items():
+        lines.append(
+            f"  matching {count:>4} peers: {row['before_ops']:>8.1f} -> "
+            f"{row['after_ops']:>10.1f}  ({row['speedup']:.1f}x)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--write", metavar="PATH", help="write results JSON")
+    parser.add_argument(
+        "--check", metavar="PATH", help="compare speedups against a baseline JSON"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup regression vs baseline (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_sweep(quick=args.quick)
+    print(_report(results))
+    if args.write:
+        with open(args.write, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.write}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(results, baseline, args.threshold)
+        if failures:
+            print("REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"ok: no speedup regression vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,19 +6,30 @@ Golomb-code scheme (Section 7.1).  This subpackage provides:
 
 * :class:`BloomFilter` — a k-hash filter over a numpy bit array, with
   union/merge (the "combine filters of several peers" trade-off), batch
-  insert/query, and false-positive-rate math.
-* :mod:`repro.bloom.golomb` — a from-scratch Golomb/Rice bitstream codec.
+  insert/query, a monotonic mutation version, and false-positive math.
+* :mod:`repro.bloom.golomb` — a from-scratch Golomb/Rice bitstream codec:
+  streaming reference classes plus the vectorized
+  :func:`~repro.bloom.golomb.encode_gaps` / ``decode_gaps`` hot path.
 * :mod:`repro.bloom.compress` — gap run-length compression of a filter
-  using Golomb codes, as in the prototype.
+  using Golomb codes, as in the prototype, memoized per filter version.
 * :mod:`repro.bloom.diff` — filter diffs, used to gossip only the newly
   set bits when an index grows.
+* :mod:`repro.bloom.matcher` — :class:`FilterMatrix`, stacked peer filters
+  answering whole-directory query matching with one vectorized gather.
 """
 
 from repro.bloom.hashing import HashFamily
 from repro.bloom.filter import BloomFilter
-from repro.bloom.golomb import GolombDecoder, GolombEncoder, optimal_golomb_m
+from repro.bloom.golomb import (
+    GolombDecoder,
+    GolombEncoder,
+    decode_gaps,
+    encode_gaps,
+    optimal_golomb_m,
+)
 from repro.bloom.compress import compress_filter, decompress_filter, compressed_size
 from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
+from repro.bloom.matcher import FilterMatrix
 
 __all__ = [
     "HashFamily",
@@ -26,10 +37,13 @@ __all__ = [
     "GolombEncoder",
     "GolombDecoder",
     "optimal_golomb_m",
+    "encode_gaps",
+    "decode_gaps",
     "compress_filter",
     "decompress_filter",
     "compressed_size",
     "BloomDiff",
     "apply_diff",
     "diff_filters",
+    "FilterMatrix",
 ]

@@ -16,9 +16,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bloom.filter import BloomFilter
-from repro.bloom.golomb import GolombDecoder, GolombEncoder, optimal_golomb_m
+from repro.bloom.golomb import decode_gaps, encode_gaps, optimal_golomb_m
 
 __all__ = ["BloomDiff", "diff_filters", "apply_diff"]
+
+
+def _encode_positions(positions: np.ndarray, num_bits: int) -> tuple[int, bytes]:
+    """``(m, Golomb-coded gap stream)`` for sorted ``positions``."""
+    density = positions.size / num_bits
+    m = optimal_golomb_m(min(density, 0.999999))
+    gaps = np.empty(positions.size, dtype=np.int64)
+    gaps[0] = positions[0]
+    gaps[1:] = np.diff(positions) - 1
+    return m, encode_gaps(gaps, m)
 
 
 @dataclass(frozen=True)
@@ -43,14 +53,8 @@ class BloomDiff:
         """Golomb-coded size of this diff in bytes (what gossip would send)."""
         if self.positions.size == 0:
             return 12
-        density = self.positions.size / self.num_bits
-        m = optimal_golomb_m(min(density, 0.999999))
-        gaps = np.empty(self.positions.size, dtype=np.int64)
-        gaps[0] = self.positions[0]
-        gaps[1:] = np.diff(self.positions) - 1
-        enc = GolombEncoder(m)
-        enc.encode_many(gaps.tolist())
-        return 12 + len(enc.getvalue())
+        _m, stream = _encode_positions(self.positions, self.num_bits)
+        return 12 + len(stream)
 
     def to_bytes(self) -> bytes:
         """Serialize: uint32 count, uint32 m, uint32 num_bits, gap stream."""
@@ -58,14 +62,8 @@ class BloomDiff:
 
         if self.positions.size == 0:
             return struct.pack(">III", 0, 1, self.num_bits)
-        density = self.positions.size / self.num_bits
-        m = optimal_golomb_m(min(density, 0.999999))
-        gaps = np.empty(self.positions.size, dtype=np.int64)
-        gaps[0] = self.positions[0]
-        gaps[1:] = np.diff(self.positions) - 1
-        enc = GolombEncoder(m)
-        enc.encode_many(gaps.tolist())
-        return struct.pack(">III", self.positions.size, m, self.num_bits) + enc.getvalue()
+        m, stream = _encode_positions(self.positions, self.num_bits)
+        return struct.pack(">III", self.positions.size, m, self.num_bits) + stream
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BloomDiff":
@@ -75,8 +73,7 @@ class BloomDiff:
         count, m, num_bits = struct.unpack_from(">III", data, 0)
         if count == 0:
             return cls(num_bits, np.zeros(0, dtype=np.int64))
-        dec = GolombDecoder(m, data[12:])
-        gaps = np.asarray(dec.decode_many(count), dtype=np.int64)
+        gaps = decode_gaps(data[12:], count, m)
         return cls(num_bits, np.cumsum(gaps + 1) - 1)
 
 
@@ -101,5 +98,5 @@ def apply_diff(base: BloomFilter, diff: BloomDiff) -> BloomFilter:
     if base.num_bits != diff.num_bits:
         raise ValueError("diff width does not match filter width")
     result = base.copy()
-    result.bits.set_many(diff.positions)
+    result.set_positions(diff.positions)
     return result

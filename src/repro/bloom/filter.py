@@ -35,13 +35,19 @@ class BloomFilter:
         Number of hash functions (bit positions per term).
     """
 
-    __slots__ = ("hashes", "bits", "num_inserted")
+    __slots__ = ("hashes", "bits", "num_inserted", "version", "_compressed_cache")
 
     def __init__(self, num_bits: int, num_hashes: int = 2) -> None:
         self.hashes = HashFamily(num_bits, num_hashes)
         self.bits = BitArray(num_bits)
         #: count of insert calls (not distinct terms); used for FP estimates.
         self.num_inserted = 0
+        #: monotonic mutation counter.  Every operation that may change the
+        #: bit contents bumps it; caches (compressed bytes, directory
+        #: matrices) key on ``(id(filter), version)`` to skip stale work.
+        self.version = 0
+        #: ``(version, blob)`` memo used by :mod:`repro.bloom.compress`.
+        self._compressed_cache: tuple[int, bytes] | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -87,6 +93,8 @@ class BloomFilter:
         bf.hashes = HashFamily(num_bits, num_hashes)
         bf.bits = BitArray(num_bits, words)
         bf.num_inserted = num_inserted
+        bf.version = 0
+        bf._compressed_cache = None
         return bf
 
     # -- core operations -------------------------------------------------------
@@ -101,10 +109,20 @@ class BloomFilter:
         """Number of hash functions."""
         return self.hashes.num_hashes
 
+    def touch(self) -> None:
+        """Record a mutation: bump :attr:`version`, drop cached encodings.
+
+        Called by every mutator here; callers that write :attr:`bits`
+        directly must call it themselves to keep caches honest.
+        """
+        self.version += 1
+        self._compressed_cache = None
+
     def add(self, term: str) -> None:
         """Insert one term."""
         self.bits.set_many(self.hashes.positions(term))
         self.num_inserted += 1
+        self.touch()
 
     def add_many(self, terms: Iterable[str]) -> None:
         """Insert many terms (batched hashing + one vectorized bit-set)."""
@@ -114,6 +132,12 @@ class BloomFilter:
         positions = self.hashes.positions_many(term_list)
         self.bits.set_many(positions.ravel())
         self.num_inserted += len(term_list)
+        self.touch()
+
+    def set_positions(self, positions: np.ndarray) -> None:
+        """Set raw bit positions directly (diff application path)."""
+        self.bits.set_many(positions)
+        self.touch()
 
     def __contains__(self, term: str) -> bool:
         return bool(self.bits.get_many(self.hashes.positions(term)).all())
@@ -155,6 +179,7 @@ class BloomFilter:
         self._check_compatible(other)
         self.bits.union_inplace(other.bits)
         self.num_inserted += other.num_inserted
+        self.touch()
 
     def is_superset_of(self, other: "BloomFilter") -> bool:
         """Whether every bit set in ``other`` is set here."""
@@ -224,8 +249,9 @@ class BloomFilter:
             return NotImplemented
         return self.hashes == other.hashes and self.bits == other.bits
 
-    def __hash__(self) -> int:  # pragma: no cover - mutable
-        raise TypeError("BloomFilter is mutable and unhashable")
+    # Mutable with value equality: explicitly unhashable, so equal-but-
+    # mutable filters can never land in sets or dict keys.
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         return (

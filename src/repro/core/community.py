@@ -17,7 +17,10 @@ from __future__ import annotations
 import time
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.bloom.filter import BloomFilter
+from repro.bloom.matcher import FilterMatrix
 from repro.brokerage.service import BrokerageService
 from repro.constants import BloomConfig, RankingConfig
 from repro.core.peer import PlanetPPeer
@@ -57,6 +60,9 @@ class InProcessCommunity:
         self.persistent = PersistentQueryManager()
         self._doc_owner: dict[str, int] = {}
         self._dirty = False
+        #: stacked online-peer filters for batched ranking (eq. 3); synced
+        #: lazily per query, re-copying only rows whose filter changed.
+        self._matrix = FilterMatrix()
 
     # -- publishing -----------------------------------------------------------
 
@@ -123,6 +129,15 @@ class InProcessCommunity:
     def peer_filter(self, peer_id: int) -> BloomFilter:
         """The peer's Bloom filter (as replicated in the directory)."""
         return self._peer(peer_id).store.bloom_filter
+
+    def filter_hit_matrix(self, terms: Sequence[str]) -> tuple[list[int], np.ndarray]:
+        """Batched per-peer, per-term filter membership for the online
+        community (the :func:`~repro.ranking.tfipf.compute_ipf` fast path:
+        hash the query once, test all peers in one vectorized gather)."""
+        self._matrix.sync(
+            (p.peer_id, p.store.bloom_filter) for p in self.peers if p.online
+        )
+        return self._matrix.hit_matrix(terms)
 
     def query_peer(
         self, peer_id: int, terms: Sequence[str], ipf: dict[str, float], k: int

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.bloom.filter import BloomFilter
+from repro.bloom.matcher import FilterMatrix
 from repro.constants import BloomConfig
 from repro.core.datastore import LocalDataStore
 from repro.text.analyzer import Analyzer
@@ -55,6 +56,10 @@ class PlanetPPeer:
             peer_id: PeerEntry(peer_id, self.address, True, None, -1)
         }
         self.online = True
+        #: stacked directory filters for batched query matching; lazily
+        #: reconciled against the directory before each match, so in-place
+        #: filter mutations (version bumps) and replacements are picked up.
+        self._matrix = FilterMatrix()
 
     # -- publishing -----------------------------------------------------------
 
@@ -121,20 +126,27 @@ class PlanetPPeer:
             if entry.online and pid != self.peer_id
         )
 
+    def directory_matrix(self) -> FilterMatrix:
+        """The batched view of every replicated filter (self included,
+        backed by the live store filter), reconciled with the directory."""
+        self._matrix.sync(self._directory_filters())
+        return self._matrix
+
+    def _directory_filters(self):
+        for pid, entry in self.directory.items():
+            if pid == self.peer_id:
+                yield pid, self.store.bloom_filter
+            elif entry.bloom_filter is not None:
+                yield pid, entry.bloom_filter
+
     def candidate_peers(self, terms: list[str]) -> list[int]:
         """Peers whose replicated filter may match *all* ``terms``
-        (the exhaustive-search candidate set, Section 5.1)."""
-        out = []
-        for pid, entry in sorted(self.directory.items()):
-            if pid == self.peer_id:
-                if self.store.bloom_filter.contains_all(terms):
-                    out.append(pid)
-                continue
-            if entry.bloom_filter is not None and entry.bloom_filter.contains_all(
-                terms
-            ):
-                out.append(pid)
-        return out
+        (the exhaustive-search candidate set, Section 5.1).
+
+        The query is hashed once and tested against every directory filter
+        in a single vectorized pass, instead of per-peer probing.
+        """
+        return sorted(self.directory_matrix().match_all_terms(terms))
 
     def __repr__(self) -> str:
         return (

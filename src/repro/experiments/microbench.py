@@ -94,8 +94,11 @@ def run_microbench(
     for n in key_counts:
         bf = BloomFilter.paper_prototype()
         bf.add_many(_keys(n, "cmp"))
-        comp_times.append(_best_of(lambda b=bf: compress_filter(b), repeats))
-        blob = compress_filter(bf)
+        # Bypass the version-keyed memo: this row measures the codec itself.
+        comp_times.append(
+            _best_of(lambda b=bf: compress_filter(b, use_cache=False), repeats)
+        )
+        blob = compress_filter(bf, use_cache=False)
         decomp_times.append(
             _best_of(lambda d=blob: decompress_filter(d, bf.num_hashes), repeats)
         )

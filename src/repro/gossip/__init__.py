@@ -9,7 +9,7 @@ reproduce the paper's gossip experiments (:mod:`simulation`).
 """
 
 from repro.gossip.rumor import Rumor, RumorKind
-from repro.gossip.directory import DirectoryView, mix_rumor_id
+from repro.gossip.directory import DirectoryView, mix_rumor_id, mix_rumor_ids
 from repro.gossip.intervals import IntervalPolicy
 from repro.gossip.messages import MessageSizer
 from repro.gossip.wire import GOSSIP_MESSAGES, PeerRecord, WireRumor
@@ -36,6 +36,7 @@ __all__ = [
     "RumorKind",
     "DirectoryView",
     "mix_rumor_id",
+    "mix_rumor_ids",
     "IntervalPolicy",
     "MessageSizer",
     "GOSSIP_MESSAGES",

@@ -20,9 +20,11 @@ drives protocol behaviour:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-__all__ = ["DirectoryView", "mix_rumor_id"]
+__all__ = ["DirectoryView", "mix_rumor_id", "mix_rumor_ids"]
 
 _MIX = 0x9E3779B97F4A7C15
 _MASK = 0xFFFFFFFFFFFFFFFF
@@ -38,6 +40,19 @@ def mix_rumor_id(rid: int) -> int:
     x ^= x >> 31
     x = x * 0xBF58476D1CE4E5B9 & _MASK
     x ^= x >> 29
+    return x
+
+
+def mix_rumor_ids(rids: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mix_rumor_id`: scramble a batch of rumor ids.
+
+    uint64 arithmetic wraps modulo 2**64, matching the scalar masks, so
+    ``mix_rumor_ids(rids)[i] == mix_rumor_id(rids[i])`` exactly.
+    """
+    x = (np.asarray(rids, dtype=np.uint64) + np.uint64(1)) * np.uint64(_MIX)
+    x ^= x >> np.uint64(31)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(29)
     return x
 
 
@@ -76,6 +91,20 @@ class DirectoryView:
         self.known.add(rid)
         self.digest ^= _mix(rid)
         return True
+
+    def learn_many(self, rids: Sequence[int]) -> list[int]:
+        """Batch :meth:`learn`; returns the newly-learned ids in order.
+
+        Anti-entropy pushes deliver whole missing sets at once, so the
+        digest is updated with one vectorized scramble + XOR-reduce
+        instead of one :func:`mix_rumor_id` call per rumor.
+        """
+        fresh = list(dict.fromkeys(r for r in rids if r not in self.known))
+        if not fresh:
+            return []
+        self.known.update(fresh)
+        self.digest ^= int(np.bitwise_xor.reduce(mix_rumor_ids(fresh)))
+        return fresh
 
     def knows(self, rid: int) -> bool:
         """Whether this peer knows rumor ``rid``."""

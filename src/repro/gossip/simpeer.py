@@ -398,16 +398,14 @@ class GossipPeer:
     def _handle_rumor_data(self, rids: list[int], make_hot: bool) -> None:
         if not self.online:
             return
-        learned_any = False
-        for rid in rids:
-            if self.directory.learn(rid):
-                learned_any = True
-                self._apply_rumor_effects(rid)
-                self.recent_learned.append(rid)
-                if make_hot:
-                    self.hot[rid] = 0
-                self.world.notify_learned(rid, self.pid)
-        if learned_any and self.intervals.reset():
+        fresh = self.directory.learn_many(rids)
+        for rid in fresh:
+            self._apply_rumor_effects(rid)
+            self.recent_learned.append(rid)
+            if make_hot:
+                self.hot[rid] = 0
+            self.world.notify_learned(rid, self.pid)
+        if fresh and self.intervals.reset():
             self._reschedule_sooner()
 
     def _apply_rumor_effects(self, rid: int) -> None:

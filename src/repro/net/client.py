@@ -75,6 +75,14 @@ class _ReplicaBackend:
         assert bf is not None  # online_peer_ids filtered for this
         return bf
 
+    def filter_hit_matrix(self, terms: Sequence[str]):
+        """Batched peer × term membership over the replicated directory
+        (hash the query once, one vectorized gather for all members)."""
+        ids = self.online_peer_ids()
+        peers, hits = self.node.peer.directory_matrix().hit_matrix(terms)
+        row_of = {pid: i for i, pid in enumerate(peers)}
+        return ids, hits[[row_of[pid] for pid in ids]]
+
 
 class NetworkSearchClient:
     """Issues distributed searches from one :class:`NetworkPeer`."""

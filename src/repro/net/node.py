@@ -154,6 +154,10 @@ class NetworkPeer:
         self._last_gossiped = BloomFilter(
             self.bloom_config.num_bits, self.bloom_config.num_hashes
         )
+        #: (store filter object, its version) at the last flush — lets
+        #: no-change flushes skip the full bit-array comparison.  The
+        #: strong object reference keeps the identity check sound.
+        self._last_flushed: tuple[BloomFilter, int] | None = None
         #: observability home (metrics + trace); shared process-wide by
         #: default so transport/bloom/chaos instruments land beside ours.
         self.obs = registry if registry is not None else global_registry()
@@ -347,7 +351,12 @@ class NetworkPeer:
         Returns the minted rumor, or None if the filter is unchanged.
         """
         current = self.peer.store.bloom_filter
+        if self._last_flushed is not None:
+            held, version = self._last_flushed
+            if held is current and version == current.version:
+                return None  # not mutated since the last flush
         if current == self._last_gossiped:
+            self._last_flushed = (current, current.version)
             return None
         diff = diff_filters(self._last_gossiped, current)
         payload = codec.encode_update_payload(
@@ -357,6 +366,7 @@ class NetworkPeer:
             self._mint_rid(), RumorKind.BF_UPDATE, self.peer_id, self.clock(), payload
         )
         self._last_gossiped = current.copy()
+        self._last_flushed = (current, current.version)
         self._learn_rumor(rumor, make_hot=True)
         return rumor
 

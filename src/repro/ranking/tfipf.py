@@ -56,12 +56,30 @@ def compute_ipf(
     """IPF per query term, plus each peer's hit list.
 
     One pass over the replicated filters yields both N_t (for IPF) and the
-    per-peer term hits needed for eq. 3.
+    per-peer term hits needed for eq. 3.  Backends exposing
+    ``filter_hit_matrix`` (the in-process community, the network replica
+    backend) answer that pass with one vectorized peer × term gather —
+    the query is hashed once instead of once per peer.
     """
+    term_list = list(dict.fromkeys(terms))
+    matrix_fn = getattr(backend, "filter_hit_matrix", None)
+    if matrix_fn is not None:
+        peer_ids, hits = matrix_fn(term_list)
+        n = len(peer_ids)
+        n_t_arr = hits.sum(axis=0)
+        hits_per_peer = {
+            pid: [t for t, h in zip(term_list, hits[i]) if h]
+            for i, pid in enumerate(peer_ids)
+            if hits[i].any()
+        }
+        ipf = {
+            t: inverse_peer_frequency(n, int(n_t_arr[i]))
+            for i, t in enumerate(term_list)
+        }
+        return ipf, hits_per_peer
     peer_ids = backend.online_peer_ids()
     n = len(peer_ids)
-    term_list = list(dict.fromkeys(terms))
-    hits_per_peer: dict[int, list[str]] = {}
+    hits_per_peer = {}
     n_t = {t: 0 for t in term_list}
     for pid in peer_ids:
         hits = backend.peer_filter(pid).contains_each(term_list)

@@ -15,6 +15,9 @@ __all__ = ["BitArray"]
 
 _WORD_BITS = 64
 
+# Hardware popcount (numpy >= 2.0); fall back to bit-unpacking without it.
+_popcount = getattr(np, "bitwise_count", None)
+
 
 class BitArray:
     """Fixed-size array of bits packed into 64-bit words.
@@ -97,6 +100,8 @@ class BitArray:
 
     def count(self) -> int:
         """Population count (number of set bits)."""
+        if _popcount is not None:
+            return int(_popcount(self.words).sum())
         return int(np.unpackbits(self.words.view(np.uint8)).sum())
 
     def union_inplace(self, other: "BitArray") -> None:
@@ -153,8 +158,9 @@ class BitArray:
             np.array_equal(self.words, other.words)
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - mutable, not hashable
-        raise TypeError("BitArray is mutable and unhashable")
+    # Mutable with value equality: explicitly unhashable (same rationale as
+    # BloomFilter — equal-but-mutable arrays must not land in sets/dicts).
+    __hash__ = None  # type: ignore[assignment]
 
     def __len__(self) -> int:
         return self.num_bits

@@ -1,5 +1,7 @@
 """Tests for run-length + Golomb Bloom filter compression (Section 7.1)."""
 
+import hashlib
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -60,6 +62,74 @@ class TestEffectiveness:
         dense = BloomFilter(2**16, 2)
         dense.add_many([f"d{i}" for i in range(5000)])
         assert compressed_size(sparse) < compressed_size(dense)
+
+
+class TestGoldenPayload:
+    def test_full_filter_blob_unchanged(self):
+        """Whole-filter wire bytes captured before the vectorized codec
+        landed; the format (and therefore this digest) must not move."""
+        bf = BloomFilter(8192, 2)
+        bf.add_many([f"term-{i}" for i in range(600)])
+        blob = compress_filter(bf)
+        assert len(blob) == 604
+        assert (
+            hashlib.sha256(blob).hexdigest()
+            == "14b59b1013a8a84af1e3638804f30d27ad4276340d83b1a7c705e1de642d6e8f"
+        )
+
+
+class TestVersionCache:
+    def test_repeat_compression_is_cached(self):
+        bf = BloomFilter(4096, 2)
+        bf.add_many(["a", "b", "c"])
+        first = compress_filter(bf)
+        assert compress_filter(bf) is first  # memo returns the same object
+
+    def test_add_invalidates(self):
+        bf = BloomFilter(4096, 2)
+        bf.add("a")
+        before = compress_filter(bf)
+        version = bf.version
+        bf.add("b")
+        assert bf.version > version
+        after = compress_filter(bf)
+        assert after != before
+        assert decompress_filter(after, 2) == bf
+
+    def test_add_many_and_union_invalidate(self):
+        bf = BloomFilter(4096, 2)
+        bf.add_many(["a", "b"])
+        stale = compress_filter(bf)
+        other = BloomFilter(4096, 2)
+        other.add_many(["x", "y"])
+        bf.union_inplace(other)
+        assert compress_filter(bf) != stale
+        assert decompress_filter(compress_filter(bf), 2) == bf
+
+    def test_no_op_add_still_invalidates(self):
+        """Version tracks mutation *calls*, not bit changes: re-adding an
+        existing key conservatively drops the memo (and re-encodes to the
+        identical bytes)."""
+        bf = BloomFilter(4096, 2)
+        bf.add("a")
+        first = compress_filter(bf)
+        bf.add("a")
+        second = compress_filter(bf)
+        assert second is not first
+        assert second == first
+
+    def test_use_cache_false_bypasses(self):
+        bf = BloomFilter(4096, 2)
+        bf.add("a")
+        cached = compress_filter(bf)
+        cold = compress_filter(bf, use_cache=False)
+        assert cold == cached
+        assert cold is not cached
+
+    def test_compressed_size_uses_cache_flag(self):
+        bf = BloomFilter(4096, 2)
+        bf.add_many(["a", "b"])
+        assert compressed_size(bf) == compressed_size(bf, use_cache=False)
 
 
 @given(st.sets(st.text(min_size=1, max_size=10), max_size=150))

@@ -78,6 +78,23 @@ class TestWire:
         assert diff.wire_size() == len(diff.to_bytes())
 
 
+class TestGoldenPayload:
+    def test_diff_wire_bytes_unchanged(self):
+        """Diff wire bytes captured before the vectorized codec landed;
+        old peers must keep decoding new payloads and vice versa."""
+        import hashlib
+
+        rng = np.random.default_rng(20030612)
+        positions = np.sort(rng.choice(8192, 120, replace=False))
+        blob = BloomDiff(8192, tuple(int(p) for p in positions)).to_bytes()
+        assert len(blob) == 126
+        assert (
+            hashlib.sha256(blob).hexdigest()
+            == "8841f930177c446f5f09b2ef264b95bbd1c379b4a93af9396f3c15a2bab32d17"
+        )
+        assert BloomDiff.from_bytes(blob).positions.tolist() == positions.tolist()
+
+
 @given(
     st.sets(st.text(min_size=1, max_size=8), max_size=40),
     st.sets(st.text(min_size=1, max_size=8), max_size=40),

@@ -1,0 +1,151 @@
+"""Tests for the stacked-filter directory matcher (FilterMatrix)."""
+
+import numpy as np
+import pytest
+
+from repro.bloom.filter import BloomFilter
+from repro.bloom.matcher import FilterMatrix
+
+
+def make_filter(terms, num_bits=4096, num_hashes=2):
+    bf = BloomFilter(num_bits, num_hashes)
+    bf.add_many(terms)
+    return bf
+
+
+def loop_match(directory, terms):
+    """The pre-matrix per-peer reference path."""
+    return sorted(pid for pid, bf in directory.items() if bf.contains_all(terms))
+
+
+class TestMatching:
+    def test_agrees_with_per_peer_loop(self):
+        rng = np.random.default_rng(7)
+        directory = {}
+        for pid in range(60):
+            terms = [f"t{int(x)}" for x in rng.integers(0, 40, size=12)]
+            directory[pid] = make_filter(terms)
+        matrix = FilterMatrix()
+        matrix.sync_mapping(directory)
+        for query in (["t1"], ["t1", "t2"], ["t5", "t17", "t33"], ["absent"]):
+            assert sorted(matrix.match_all_terms(query)) == loop_match(directory, query)
+
+    def test_hit_matrix_shape_and_values(self):
+        directory = {1: make_filter(["a", "b"]), 2: make_filter(["b", "c"])}
+        matrix = FilterMatrix()
+        matrix.sync_mapping(directory)
+        terms = ["a", "b", "zzz-absent"]
+        peers, hits = matrix.hit_matrix(terms)
+        assert hits.shape == (2, 3)
+        by_peer = dict(zip(peers, hits))
+        # Inserted terms are guaranteed hits; everything else must agree
+        # with the scalar path (false positives included).
+        assert by_peer[1][0] and by_peer[1][1] and by_peer[2][1]
+        for pid, bf in directory.items():
+            assert by_peer[pid].tolist() == bf.contains_each(terms).tolist()
+
+    def test_empty_query_matches_everyone(self):
+        directory = {1: make_filter(["a"]), 2: make_filter(["b"])}
+        matrix = FilterMatrix()
+        matrix.sync_mapping(directory)
+        assert sorted(matrix.match_all_terms([])) == [1, 2]
+
+    def test_empty_matrix(self):
+        matrix = FilterMatrix()
+        assert matrix.match_all_terms(["a"]) == []
+        peers, hits = matrix.hit_matrix(["a"])
+        assert peers == [] and hits.shape == (0, 1)
+
+
+class TestChurn:
+    def test_join_leave_update_stays_consistent(self):
+        """Matrix answers must track the directory through arbitrary churn."""
+        rng = np.random.default_rng(42)
+        directory: dict[int, BloomFilter] = {}
+        matrix = FilterMatrix()
+        next_pid = 0
+        for _ in range(200):
+            op = rng.integers(0, 3)
+            if op == 0 or not directory:  # join
+                directory[next_pid] = make_filter([f"k{next_pid % 13}"])
+                next_pid += 1
+            elif op == 1:  # leave
+                departing = int(rng.choice(list(directory)))
+                del directory[departing]
+            else:  # in-place filter growth (gossip applied a diff)
+                pid = int(rng.choice(list(directory)))
+                directory[pid].add(f"extra-{int(rng.integers(0, 13))}")
+            matrix.sync_mapping(directory)
+            query = [f"k{int(rng.integers(0, 13))}"]
+            assert sorted(matrix.match_all_terms(query)) == loop_match(directory, query)
+            assert sorted(matrix.peer_ids) == sorted(directory)
+
+    def test_mutation_without_sync_then_sync(self):
+        """A filter mutated after sync is stale until the next sync —
+        then the version bump forces a row refresh."""
+        bf = make_filter(["old"])
+        matrix = FilterMatrix()
+        matrix.sync_mapping({1: bf})
+        bf.add("new")
+        matrix.sync_mapping({1: bf})
+        assert matrix.match_all_terms(["new"]) == [1]
+
+    def test_replaced_filter_object_detected(self):
+        """decompress/apply_diff install a *new* object for a peer; the
+        identity check must catch it even at the same version number."""
+        matrix = FilterMatrix()
+        matrix.sync_mapping({1: make_filter(["alpha"])})
+        matrix.sync_mapping({1: make_filter(["beta"])})
+        assert matrix.match_all_terms(["beta"]) == [1]
+        assert matrix.match_all_terms(["alpha"]) == []
+
+    def test_unchanged_filter_row_not_recopied(self):
+        bf = make_filter(["a"])
+        matrix = FilterMatrix()
+        matrix.sync_mapping({1: bf})
+        words_before = matrix._words.copy()
+        state_before = matrix._state[0]
+        matrix.sync_mapping({1: bf})  # steady-state: nothing changed
+        assert matrix._state[0] is state_before
+        assert (matrix._words == words_before).all()
+
+
+class TestIrregularGeometry:
+    def test_mismatched_filter_falls_back(self):
+        matrix = FilterMatrix()
+        matrix.sync_mapping({1: make_filter(["a"]), 2: make_filter(["a", "b"])})
+        odd = make_filter(["a", "odd"], num_bits=1 << 14)
+        matrix.update(3, odd)
+        assert sorted(matrix.match_all_terms(["a"])) == [1, 2, 3]
+        assert matrix.match_all_terms(["odd"]) == [3]
+        peers, hits = matrix.hit_matrix(["a", "odd"])
+        assert set(peers) == {1, 2, 3}
+        assert hits.shape == (3, 2)
+        matrix.remove(3)
+        assert sorted(matrix.peer_ids) == [1, 2]
+
+    def test_irregular_peer_dropped_by_sync(self):
+        matrix = FilterMatrix()
+        matrix.update(1, make_filter(["a"]))
+        matrix.update(9, make_filter(["a"], num_bits=1 << 14))
+        matrix.sync_mapping({1: make_filter(["a"])})
+        assert matrix.peer_ids == [1]
+
+
+class TestCapacity:
+    def test_growth_beyond_initial_capacity(self):
+        directory = {pid: make_filter([f"p{pid}"]) for pid in range(40)}
+        matrix = FilterMatrix()
+        matrix.sync_mapping(directory)
+        assert len(matrix) == 40
+        for pid in range(40):
+            assert pid in matrix.match_all_terms([f"p{pid}"])
+
+    def test_swap_with_last_removal(self):
+        directory = {pid: make_filter([f"p{pid}"]) for pid in range(5)}
+        matrix = FilterMatrix()
+        matrix.sync_mapping(directory)
+        matrix.remove(0)  # forces the last row to move into row 0
+        assert sorted(matrix.peer_ids) == [1, 2, 3, 4]
+        for pid in (1, 2, 3, 4):
+            assert pid in matrix.match_all_terms([f"p{pid}"])

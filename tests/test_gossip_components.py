@@ -106,6 +106,25 @@ class TestDirectoryView:
         assert dup.member_count == donor.member_count
         assert dup.same_directory(donor)
 
+    def test_learn_many_matches_sequential_learn(self):
+        batch = DirectoryView(0, 10)
+        scalar = DirectoryView(1, 10)
+        rids = [3, 1, 7, 1, 3, 99, 2**40]
+        fresh = batch.learn_many(rids)
+        assert fresh == [3, 1, 7, 99, 2**40]  # dedup, input order
+        for rid in rids:
+            scalar.learn(rid)
+        assert batch.same_directory(scalar)
+        assert batch.known == scalar.known
+        assert batch.learn_many([3, 7]) == []  # all already known
+
+    def test_mix_rumor_ids_matches_scalar(self):
+        from repro.gossip.directory import mix_rumor_id, mix_rumor_ids
+
+        rids = [0, 1, 2, 41, 2**31, 2**63 - 1]
+        mixed = mix_rumor_ids(rids)
+        assert mixed.tolist() == [mix_rumor_id(r) for r in rids]
+
 
 class TestIntervalPolicy:
     def test_slowdown_after_threshold(self):
