@@ -134,6 +134,24 @@ class BloomFilter:
         self.num_inserted += len(term_list)
         self.touch()
 
+    def add_missing(self, terms: list[str]) -> list[str]:
+        """Insert only the terms not already present; returns them.
+
+        One hashing pass serves both the membership test and the insert,
+        so publish/replay paths that need to know *whether* the filter
+        grew (to bump its gossiped version) don't hash everything twice.
+        """
+        if not terms:
+            return []
+        positions = self.hashes.positions_many(terms)
+        hits = self.bits.get_many(positions.ravel()).reshape(positions.shape)
+        missing = np.flatnonzero(~hits.all(axis=1))
+        if missing.size:
+            self.bits.set_many(positions[missing].ravel())
+            self.num_inserted += int(missing.size)
+            self.touch()
+        return [terms[i] for i in missing]
+
     def set_positions(self, positions: np.ndarray) -> None:
         """Set raw bit positions directly (diff application path)."""
         self.bits.set_many(positions)

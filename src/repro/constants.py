@@ -178,6 +178,19 @@ NET_CONTACT_BACKOFF_BASE_S: float = 30.0
 NET_CONTACT_BACKOFF_MAX_S: float = 480.0
 
 # --------------------------------------------------------------------------
+# repro.store defaults (durable persistence; not from the paper)
+# --------------------------------------------------------------------------
+
+#: WAL records appended between automatic snapshots of the data store.
+STORE_SNAPSHOT_EVERY: int = 256
+
+#: Snapshot generations retained on disk (newest first; older pruned).
+STORE_SNAPSHOT_KEEP: int = 2
+
+#: Gossip rounds between directory checkpoint writes on a live node.
+STORE_CHECKPOINT_EVERY_ROUNDS: int = 10
+
+# --------------------------------------------------------------------------
 # Section 6 PFS parameters
 # --------------------------------------------------------------------------
 
@@ -296,6 +309,26 @@ class NetConfig:
             raise ValueError("retry_jitter_frac must be in [0, 1]")
         if self.request_deadline_s <= 0:
             raise ValueError("request_deadline_s must be positive")
+
+
+@dataclass
+class StoreConfig:
+    """Tunables of the persistence subsystem (:mod:`repro.store`)."""
+
+    snapshot_every: int = STORE_SNAPSHOT_EVERY
+    snapshot_keep: int = STORE_SNAPSHOT_KEEP
+    checkpoint_every_rounds: int = STORE_CHECKPOINT_EVERY_ROUNDS
+    #: fsync the WAL on every append.  Turning this off trades crash
+    #: durability of the most recent records for publish throughput.
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        if self.snapshot_keep < 1:
+            raise ValueError("snapshot_keep must be >= 1")
+        if self.checkpoint_every_rounds < 1:
+            raise ValueError("checkpoint_every_rounds must be >= 1")
 
 
 @dataclass

@@ -24,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["DirectoryView", "mix_rumor_id", "mix_rumor_ids"]
+__all__ = ["DirectoryView", "digest_of_rids", "mix_rumor_id", "mix_rumor_ids"]
 
 _MIX = 0x9E3779B97F4A7C15
 _MASK = 0xFFFFFFFFFFFFFFFF
@@ -54,6 +54,23 @@ def mix_rumor_ids(rids: Sequence[int] | np.ndarray) -> np.ndarray:
     x *= np.uint64(0xBF58476D1CE4E5B9)
     x ^= x >> np.uint64(29)
     return x
+
+
+def digest_of_rids(rids: Sequence[int]) -> int:
+    """The XOR digest of a whole rumor-id set, computed from scratch.
+
+    Equivalent to folding :func:`mix_rumor_id` over ``rids`` one at a
+    time, but vectorized.  Used when a directory replica is rebuilt
+    wholesale — a simulation bootstrap, or a restarting node reloading
+    its persisted rumor knowledge from a :mod:`repro.store` checkpoint —
+    so the recomputed digest is bit-identical to the incrementally
+    maintained one and anti-entropy digest comparisons stay meaningful
+    across a restart.
+    """
+    rid_list = list(rids)
+    if not rid_list:
+        return 0
+    return int(np.bitwise_xor.reduce(mix_rumor_ids(rid_list)))
 
 
 _mix = mix_rumor_id
@@ -103,7 +120,7 @@ class DirectoryView:
         if not fresh:
             return []
         self.known.update(fresh)
-        self.digest ^= int(np.bitwise_xor.reduce(mix_rumor_ids(fresh)))
+        self.digest ^= digest_of_rids(fresh)
         return fresh
 
     def knows(self, rid: int) -> bool:

@@ -14,6 +14,12 @@ directory of text files, and gossip until stopped::
     python -m repro.net --peer-id 2 --bootstrap 127.0.0.1:9301 \\
         --query "gossip protocols" --max-runtime 10
 
+    # durable node: WAL + snapshots + directory checkpoint under ./state;
+    # a crash or restart recovers documents and directory without
+    # re-analyzing the corpus or re-fetching every Bloom filter
+    python -m repro.net --peer-id 3 --port 9303 \\
+        --bootstrap 127.0.0.1:9301 --corpus ./docs --data-dir ./state
+
 Poll any live member's runtime metrics (gossip rounds, bytes on the
 wire, Bloom compression, injected faults) without joining::
 
@@ -28,7 +34,7 @@ import asyncio
 import sys
 from pathlib import Path
 
-from repro.constants import GossipConfig, NET_DEFAULT_PORT, NetConfig
+from repro.constants import GossipConfig, NET_DEFAULT_PORT, NetConfig, StoreConfig
 from repro.net import codec
 from repro.net.chaos import EdgeFaults, FaultPlan, FaultyTransport
 from repro.net.client import NetworkSearchClient
@@ -58,7 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--corpus", type=Path, default=None, metavar="DIR",
-        help="publish every *.txt file in DIR (doc id = file stem)",
+        help="publish every *.txt file under DIR, recursively "
+             "(doc id = relative path without the suffix)",
+    )
+    parser.add_argument(
+        "--data-dir", type=Path, default=None, metavar="DIR",
+        help="persist the data store (WAL + snapshots) and directory "
+             "checkpoint under DIR, and restart warm from it",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=StoreConfig().snapshot_every,
+        metavar="N",
+        help="WAL records between automatic snapshots under --data-dir "
+             f"(default {StoreConfig().snapshot_every})",
     )
     parser.add_argument(
         "--gossip-interval", type=float, default=GossipConfig().base_interval_s,
@@ -129,9 +147,25 @@ async def run_stats(args: argparse.Namespace) -> None:
 
 
 def _load_corpus(node: NetworkPeer, corpus: Path) -> int:
+    """Publish every ``*.txt`` under ``corpus`` (recursively).
+
+    Doc ids are relative paths without the suffix, so nested corpora
+    can't collide on file stems.  Files already in the store (a warm
+    ``--data-dir`` restart) are skipped, as are unreadable paths — one
+    bad file must not take down the node.  Undecodable bytes are
+    replaced rather than fatal.
+    """
     count = 0
-    for path in sorted(corpus.glob("*.txt")):
-        node.publish(Document(path.stem, path.read_text(encoding="utf-8")))
+    for path in sorted(corpus.rglob("*.txt")):
+        doc_id = path.relative_to(corpus).with_suffix("").as_posix()
+        if doc_id in node.peer.store:
+            continue  # recovered from the data dir; don't re-publish
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as exc:
+            print(f"warning: skipping unreadable {path}: {exc}", file=sys.stderr)
+            continue
+        node.publish(Document(doc_id, text))
         count += 1
     return count
 
@@ -163,9 +197,21 @@ async def run(args: argparse.Namespace) -> None:
         args.port,
         gossip_config=config,
         transport=_chaos_transport(args),
+        data_dir=args.data_dir,
+        store_config=StoreConfig(snapshot_every=args.snapshot_every)
+        if args.data_dir is not None
+        else None,
     )
     address = await node.start()
     print(f"peer {args.peer_id} serving at {address}")
+    if node.persistence is not None:
+        recovery = node.persistence.last_recovery
+        if recovery.documents or node.restored_members:
+            print(
+                f"warm start: {recovery.documents} documents recovered "
+                f"({recovery.replayed_records} WAL records replayed), "
+                f"{node.restored_members} members from checkpoint"
+            )
     if args.chaos_seed is not None:
         print(
             f"chaos enabled: seed={args.chaos_seed} drop={args.chaos_drop} "
@@ -177,8 +223,17 @@ async def run(args: argparse.Namespace) -> None:
         print(f"published {published} documents from {args.corpus}")
 
     if args.bootstrap:
-        await node.join(args.bootstrap)
-        print(f"joined via {args.bootstrap}: {len(node.members())} members known")
+        if node.restored_members > 0:
+            # The checkpoint already seeded the directory; the REJOIN
+            # rumor minted at start re-introduces us, so a full join
+            # snapshot transfer would be wasted bytes.
+            print(
+                f"warm rejoin: {node.restored_members} members from the "
+                f"checkpoint; skipping bootstrap snapshot"
+            )
+        else:
+            await node.join(args.bootstrap)
+            print(f"joined via {args.bootstrap}: {len(node.members())} members known")
 
     node.run()
     try:

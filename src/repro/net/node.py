@@ -36,19 +36,19 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-import itertools
 import time
 from collections import deque
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
 from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
 from repro.bloom.filter import BloomFilter
-from repro.constants import BloomConfig, GossipConfig, NetConfig
+from repro.constants import BloomConfig, GossipConfig, NetConfig, StoreConfig
 from repro.core.peer import PeerEntry, PlanetPPeer
 from repro.core.search import exhaustive_local_match, score_local_documents
-from repro.gossip.directory import mix_rumor_id
+from repro.gossip.directory import digest_of_rids, mix_rumor_id
 from repro.gossip.intervals import IntervalPolicy
 from repro.gossip.messages import MessageSizer
 from repro.gossip.rumor import RumorKind
@@ -83,11 +83,25 @@ from repro.net.codec import (
 )
 from repro.net.transport import TcpTransport, Transport, TransportError
 from repro.obs import Counter, Registry, global_registry
+from repro.store import (
+    CheckpointEntry,
+    DirectoryCheckpoint,
+    PersistentDataStore,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.text.analyzer import Analyzer
 from repro.text.document import Document
 from repro.text.xmlsnippets import XMLSnippet
 
-__all__ = ["NetworkPeer"]
+__all__ = ["NetworkPeer", "RID_RESTART_GAP"]
+
+#: How far past the checkpointed rumor sequence a warm restart resumes
+#: minting.  Rumors minted between the last checkpoint write and a crash
+#: are unrecorded locally but already known to other members; jumping the
+#: sequence far beyond anything a checkpoint interval could mint keeps
+#: post-restart rids from colliding with them.
+RID_RESTART_GAP = 1 << 16
 
 
 class NetworkPeer:
@@ -107,6 +121,8 @@ class NetworkPeer:
         seed: int | None = None,
         clock: Callable[[], float] = time.monotonic,
         registry: Registry | None = None,
+        data_dir: str | Path | None = None,
+        store_config: StoreConfig | None = None,
     ) -> None:
         if not 0 <= peer_id < 1 << 16:
             raise ValueError("peer_id must fit in 16 bits for rumor-id minting")
@@ -149,7 +165,11 @@ class NetworkPeer:
         self.address: str | None = None
         self.running = False
         self._gossip_task: asyncio.Task | None = None
-        self._rid_counter = itertools.count()
+        #: next rumor sequence number (the low half of minted rids).  An
+        #: int rather than an iterator so a directory checkpoint can
+        #: persist it — reusing a previous life's rid would make a warm
+        #: restart's REJOIN rumor "already known" everywhere and unspreadable.
+        self._rid_seq = 0
         #: the filter state as of the last minted update rumor.
         self._last_gossiped = BloomFilter(
             self.bloom_config.num_bits, self.bloom_config.num_hashes
@@ -186,6 +206,34 @@ class NetworkPeer:
             "gossip_model_bytes_total",
             "Table-2 model prediction for the same gossip messages",
         )
+        #: durable persistence (repro.store); None = pure-RAM node.
+        self.store_config = store_config or StoreConfig()
+        self.persistence: PersistentDataStore | None = None
+        self._checkpoint_path: Path | None = None
+        #: directory entries restored from the checkpoint at construction.
+        self.restored_members = 0
+        if data_dir is not None:
+            data_dir = Path(data_dir)
+            self.persistence = PersistentDataStore(
+                data_dir,
+                analyzer=self.analyzer,
+                bloom_config=self.bloom_config,
+                config=self.store_config,
+                registry=self.obs,
+            )
+            # Duck-typed drop-in for the peer's LocalDataStore: every
+            # publish/remove now goes through the WAL before it is acked.
+            self.peer.store = self.persistence
+            self._checkpoint_path = data_dir / "directory.ckpt"
+            # Give every incarnation of this data dir a disjoint rumor-id
+            # band: a life that crashed before its first checkpoint still
+            # must not re-mint its predecessors' rids (a reused rid is
+            # "already known" community-wide and the JOIN/REJOIN rumor
+            # carrying it could never spread).
+            self._rid_seq = (
+                self.persistence.incarnation * RID_RESTART_GAP
+            ) & 0xFFFFFFFF
+            self._restore_checkpoint()
 
     # ------------------------------------------------------------------
     # observability
@@ -216,6 +264,122 @@ class NetworkPeer:
         return StatsResponse(self.peer_id, uptime, tuple(self.obs.samples()))
 
     # ------------------------------------------------------------------
+    # persistence (repro.store)
+    # ------------------------------------------------------------------
+
+    def _restore_checkpoint(self) -> None:
+        """Seed the directory and rumor knowledge from the last checkpoint.
+
+        A missing/corrupt checkpoint, or one written by a different peer
+        id (a reused data dir), is silently a cold start.  Restored
+        believed-offline members get their T_Dead clocks restarted now —
+        the persisted timestamps are from a previous life.
+        """
+        ckpt = load_checkpoint(self._checkpoint_path)
+        if ckpt is None or ckpt.peer_id != self.peer_id:
+            return
+        now = self.clock()
+        for e in ckpt.entries:
+            if e.peer_id == self.peer_id:
+                continue
+            bf: BloomFilter | None = None
+            if e.bloom:
+                try:
+                    bf = BloomFilter.from_compressed(
+                        e.bloom, num_hashes=self.bloom_config.num_hashes
+                    )
+                except ValueError:
+                    bf = None  # damaged replica: re-learned over gossip
+            self.peer.directory[e.peer_id] = PeerEntry(
+                e.peer_id, e.address, e.online, bf, e.filter_version
+            )
+            if not e.online:
+                self.offline_since[e.peer_id] = now
+            self.restored_members += 1
+        self.known.update(ckpt.known_rids)
+        # Resume minting rumor ids strictly after every id of the previous
+        # life.  The gap covers rumors minted between the last checkpoint
+        # write and the crash (unrecorded, but known to other members) —
+        # reusing one of those would make our REJOIN rumor "already known"
+        # everywhere and therefore unspreadable.
+        own_seqs = [
+            rid & 0xFFFFFFFF
+            for rid in self.known
+            if (rid >> 32) == self.peer_id
+        ]
+        resume_at = max([ckpt.next_rid_seq, *(s + 1 for s in own_seqs)])
+        self._rid_seq = max(self._rid_seq, resume_at + RID_RESTART_GAP)
+        # Recompute the anti-entropy digest from the restored id set; it
+        # is bit-identical to the incrementally maintained one, so the
+        # first AE digest comparison with an unchanged community answers
+        # "nothing new" instead of triggering a full summary transfer.
+        self.digest = digest_of_rids(list(self.known))
+        staleness = max(0.0, time.time() - ckpt.written_at)
+        self.obs.gauge(
+            "store",
+            "checkpoint_staleness_seconds",
+            "age of the directory checkpoint when it was restored",
+        ).set(staleness)
+        self.obs.gauge(
+            "store",
+            "checkpoint_members_restored",
+            "directory entries seeded from the checkpoint",
+        ).set(self.restored_members)
+        self.obs.emit(
+            "checkpoint_restored",
+            peer=self.peer_id,
+            members=self.restored_members,
+            rumors=len(ckpt.known_rids),
+            staleness_s=staleness,
+        )
+
+    def write_checkpoint(self) -> int:
+        """Persist the replicated directory; returns bytes written.
+
+        A no-op (returns 0) without a data dir; write failures are
+        counted, not raised — a full disk must not stop gossip.
+        """
+        if self._checkpoint_path is None:
+            return 0
+        entries = tuple(
+            CheckpointEntry(
+                pid,
+                entry.address,
+                entry.online,
+                entry.filter_version,
+                entry.bloom_filter.to_compressed()
+                if entry.bloom_filter is not None
+                else b"",
+            )
+            for pid, entry in sorted(self.peer.directory.items())
+            if pid != self.peer_id
+        )
+        checkpoint = DirectoryCheckpoint(
+            self.peer_id,
+            time.time(),
+            entries,
+            tuple(sorted(self.known)),
+            self._rid_seq,
+        )
+        try:
+            nbytes = save_checkpoint(self._checkpoint_path, checkpoint)
+        except OSError:
+            self.obs.counter(
+                "store", "checkpoint_errors_total", "failed checkpoint writes"
+            ).inc()
+            return 0
+        self.obs.counter(
+            "store", "checkpoint_writes_total", "directory checkpoints written"
+        ).inc()
+        self.obs.counter(
+            "store", "checkpoint_bytes_total", "bytes written across checkpoints"
+        ).inc(nbytes)
+        self.obs.emit(
+            "checkpoint_written", peer=self.peer_id, members=len(entries), bytes=nbytes
+        )
+        return nbytes
+
+    # ------------------------------------------------------------------
     # identity & lifecycle
     # ------------------------------------------------------------------
 
@@ -226,7 +390,9 @@ class NetworkPeer:
 
     def _mint_rid(self) -> int:
         """Globally-unique 48-bit rumor id: 16-bit peer id + 32-bit seq."""
-        return (self.peer_id << 32) | (next(self._rid_counter) & 0xFFFFFFFF)
+        seq = self._rid_seq
+        self._rid_seq += 1
+        return (self.peer_id << 32) | (seq & 0xFFFFFFFF)
 
     def _own_record(self) -> PeerRecord:
         return PeerRecord(
@@ -250,6 +416,13 @@ class NetworkPeer:
         self.running = True
         if self._started_at is None:
             self._started_at = self.clock()
+        if self.persistence is not None and (
+            self.restored_members > 0 or self.persistence.last_recovery.documents > 0
+        ):
+            # Warm restart: announce ourselves (record + full filter) so
+            # the community relearns our address without a re-join, and
+            # replicas recover any updates lost to checkpoint staleness.
+            self.announce_rejoin()
         return self.address
 
     def run(self) -> asyncio.Task:
@@ -284,6 +457,11 @@ class NetworkPeer:
             with contextlib.suppress(asyncio.CancelledError):
                 await task
         await self.transport.close()
+        if self._checkpoint_path is not None:
+            self.write_checkpoint()
+        if self.persistence is not None:
+            # Final snapshot: the next start recovers without WAL replay.
+            self.persistence.close()
 
     # ------------------------------------------------------------------
     # joining
@@ -373,13 +551,18 @@ class NetworkPeer:
     def announce_rejoin(self) -> WireRumor:
         """Mint a REJOIN rumor carrying our record and full filter
         (used after coming back online at a possibly new address)."""
+        current = self.peer.store.bloom_filter
         payload = codec.encode_member_payload(
-            self._own_record(), self.peer.store.bloom_filter.to_compressed()
+            self._own_record(), current.to_compressed()
         )
         rumor = WireRumor(
             self._mint_rid(), RumorKind.REJOIN, self.peer_id, self.clock(), payload
         )
         self._learn_rumor(rumor, make_hot=True)
+        # The rumor carries the whole filter, so future BF_UPDATE diffs
+        # only need to cover growth from here.
+        self._last_gossiped = current.copy()
+        self._last_flushed = (current, current.version)
         return rumor
 
     # ------------------------------------------------------------------
@@ -493,6 +676,11 @@ class NetworkPeer:
         else:
             self._count("ae_rounds_total", 1, "rounds spent on anti-entropy")
             await self._ae_round(had_hot=bool(hot_ids))
+        if (
+            self._checkpoint_path is not None
+            and self.round_counter % self.store_config.checkpoint_every_rounds == 0
+        ):
+            self.write_checkpoint()
 
     def _pick_target(self, include_offline: bool = False) -> int | None:
         """A random gossip target.

@@ -1,0 +1,110 @@
+"""Directory checkpoints: persist a node's replicated global directory.
+
+The paper's directory is soft state — a restarting peer re-learns every
+member record and Bloom filter over gossip, which for an N-member
+community means re-transferring N compressed filters (the dominant term
+of a cold join, Section 3.2).  A checkpoint makes that state warm:
+membership records, filter versions, the Golomb-compressed filters
+(straight from the :mod:`repro.bloom.compress` version-keyed memo, so an
+unchanged filter is never re-encoded), and the set of rumor ids the node
+had learned.  On restart the node seeds its directory and anti-entropy
+digest from the checkpoint, so a digest comparison with any live peer
+resolves to "nothing new" (or a small recent-window pull) instead of a
+full snapshot transfer.
+
+Checkpoints are written with the same atomic CRC container as snapshots
+(:mod:`repro.store.snapshot`); a corrupt or missing file simply means a
+cold join — never an error.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.snapshot import atomic_write_bytes, decode_container, encode_container
+
+__all__ = ["CHECKPOINT_MAGIC", "CheckpointEntry", "DirectoryCheckpoint",
+           "load_checkpoint", "save_checkpoint"]
+
+CHECKPOINT_MAGIC = b"PPDIR001"
+
+
+@dataclass(frozen=True)
+class CheckpointEntry:
+    """One persisted directory row (another member, never ourselves)."""
+
+    peer_id: int
+    address: str
+    online: bool
+    filter_version: int
+    #: Golomb-compressed Bloom filter bytes (empty = no replica held).
+    bloom: bytes
+
+
+@dataclass(frozen=True)
+class DirectoryCheckpoint:
+    """A node's directory state at one instant."""
+
+    peer_id: int
+    #: wall-clock write time (``time.time()``), for staleness accounting.
+    written_at: float
+    entries: tuple[CheckpointEntry, ...]
+    #: rumor ids known at checkpoint time; restoring them (and their XOR
+    #: digest) is what lets anti-entropy short-circuit after a restart.
+    known_rids: tuple[int, ...]
+    #: the node's next rumor sequence number.  Restored (plus a safety
+    #: gap) so rumors minted after a restart never reuse a previous
+    #: life's rids — a reused rid is "already known" community-wide and
+    #: the rumor carrying it can never spread.
+    next_rid_seq: int = 0
+
+
+def save_checkpoint(path: str | Path, checkpoint: DirectoryCheckpoint) -> int:
+    """Durably write ``checkpoint`` to ``path``; returns bytes written."""
+    payload = {
+        "peer_id": checkpoint.peer_id,
+        "written_at": checkpoint.written_at,
+        "entries": [
+            {
+                "id": e.peer_id,
+                "addr": e.address,
+                "online": e.online,
+                "fv": e.filter_version,
+                "bloom": base64.b64encode(e.bloom).decode("ascii"),
+            }
+            for e in checkpoint.entries
+        ],
+        "rids": list(checkpoint.known_rids),
+        "next_seq": checkpoint.next_rid_seq,
+    }
+    blob = encode_container(CHECKPOINT_MAGIC, payload)
+    atomic_write_bytes(Path(path), blob)
+    return len(blob)
+
+
+def load_checkpoint(path: str | Path) -> DirectoryCheckpoint | None:
+    """Read a checkpoint back; ``None`` if missing, torn, or corrupt."""
+    path = Path(path)
+    try:
+        payload = decode_container(CHECKPOINT_MAGIC, path.read_bytes())
+        entries = tuple(
+            CheckpointEntry(
+                int(e["id"]),
+                str(e["addr"]),
+                bool(e["online"]),
+                int(e["fv"]),
+                base64.b64decode(e["bloom"]),
+            )
+            for e in payload["entries"]
+        )
+        return DirectoryCheckpoint(
+            int(payload["peer_id"]),
+            float(payload["written_at"]),
+            entries,
+            tuple(int(r) for r in payload["rids"]),
+            int(payload.get("next_seq", 0)),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None

@@ -1,0 +1,204 @@
+"""The document write-ahead log: append-only, CRC-guarded, torn-tail safe.
+
+Every acknowledged mutation of a :class:`~repro.core.datastore.LocalDataStore`
+(publish with its analyzed term frequencies, remove) is appended here and
+fsynced *before* the caller's ``publish()`` returns, so a crash at any
+instant loses at most operations that were never acknowledged.  Recovery
+is a single forward scan: records are applied on top of the newest
+snapshot until the first frame that fails validation, and the file is
+truncated back to that last durable prefix — a torn tail from a crash
+mid-append can never poison a restart.
+
+File layout::
+
+    bytes 0-7   magic  b"PPWAL001"
+    then, per record:
+      uint32    payload length (big-endian)
+      uint32    CRC32 of the payload
+      payload   UTF-8 JSON object (op, seq, doc id, term freqs, ...)
+
+A record is durable iff its full frame is on disk and the CRC matches.
+Anything else — short header, short payload, CRC mismatch, absurd
+length, undecodable JSON — ends the durable prefix.  The scan is
+deliberately forgiving: a WAL is never "corrupt", it just ends early.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, BinaryIO
+
+from repro.obs import Registry, global_registry
+
+__all__ = ["WriteAheadLog", "WAL_MAGIC"]
+
+WAL_MAGIC = b"PPWAL001"
+_FRAME = struct.Struct(">II")  # payload length, CRC32(payload)
+
+#: Upper bound on one record; a length field beyond this is treated as
+#: corruption (it would otherwise make the scanner swallow gigabytes).
+_MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+class WriteAheadLog:
+    """An append-only record log backing one data store.
+
+    Usage: construct, :meth:`open` (which scans, truncates any torn
+    tail, and returns the replayable records), then :meth:`append` for
+    each new operation.  :meth:`reset` empties the log after a snapshot
+    has made its contents redundant.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        registry: Registry | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        obs = registry if registry is not None else global_registry()
+        self._c_appends = obs.counter(
+            "store", "wal_records_total", "records appended to the WAL"
+        )
+        self._c_bytes = obs.counter(
+            "store", "wal_bytes_total", "bytes appended to the WAL"
+        )
+        self._c_fsyncs = obs.counter(
+            "store", "wal_fsyncs_total", "fsync calls made durable by the WAL"
+        )
+        self._c_torn = obs.counter(
+            "store",
+            "wal_torn_tails_total",
+            "recoveries that truncated an invalid WAL tail",
+        )
+        self._file: BinaryIO | None = None
+
+    # -- recovery ------------------------------------------------------------
+
+    def open(self) -> list[dict[str, Any]]:
+        """Scan the log, drop any invalid tail, and open for appending.
+
+        Returns the decoded records of the durable prefix, oldest first.
+        A missing file is created; a file with a bad magic header is
+        treated as wholly invalid (equivalent to an empty log).
+        """
+        if self._file is not None:
+            raise RuntimeError("WAL is already open")
+        records: list[dict[str, Any]] = []
+        if self.path.exists():
+            data = self.path.read_bytes()
+            records, durable_end = self._scan(data)
+            if durable_end < len(data):
+                self._c_torn.inc()
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(durable_end)
+                    self._sync(fh)
+        else:
+            self._write_header()
+        if not self.path.exists() or self.path.stat().st_size < len(WAL_MAGIC):
+            # Bad-magic scan truncated to zero (or creation raced): lay
+            # down a fresh header before appends resume.
+            self._write_header()
+        self._file = open(self.path, "ab")
+        return records
+
+    @staticmethod
+    def _scan(data: bytes) -> tuple[list[dict[str, Any]], int]:
+        """Decode the durable prefix of raw log bytes.
+
+        Returns ``(records, end_offset)`` where ``end_offset`` is the
+        byte offset just past the last valid record (0 for a bad magic).
+        """
+        if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+            return [], 0
+        records: list[dict[str, Any]] = []
+        offset = len(WAL_MAGIC)
+        while True:
+            header = data[offset : offset + _FRAME.size]
+            if len(header) < _FRAME.size:
+                break  # clean end of log, or a torn frame header
+            length, crc = _FRAME.unpack(header)
+            if length > _MAX_RECORD_BYTES:
+                break
+            payload = data[offset + _FRAME.size : offset + _FRAME.size + length]
+            if len(payload) < length:
+                break  # torn payload
+            if zlib.crc32(payload) != crc:
+                break  # bit rot or an interrupted overwrite
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            if not isinstance(record, dict):
+                break
+            records.append(record)
+            offset += _FRAME.size + length
+        return records, offset
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Append one record and (by default) fsync it durable.
+
+        Returns the number of bytes written.  The record must be
+        JSON-serializable; when :meth:`append` returns, the record
+        survives any crash.
+        """
+        if self._file is None:
+            raise RuntimeError("WAL is not open")
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        self._file.write(frame)
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+            self._c_fsyncs.inc()
+        self._c_appends.inc()
+        self._c_bytes.inc(len(frame))
+        return len(frame)
+
+    def reset(self) -> None:
+        """Empty the log (its contents are covered by a durable snapshot).
+
+        A crash mid-reset leaves a short or headerless file, which the
+        next :meth:`open` treats as an empty log — safe either way,
+        because a reset only ever follows a completed snapshot.
+        """
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._write_header()
+        self._file = open(self.path, "ab")
+
+    def _write_header(self) -> None:
+        with open(self.path, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            self._sync(fh)
+
+    def _sync(self, fh: BinaryIO) -> None:
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+            self._c_fsyncs.inc()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log file."""
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog(path={str(self.path)!r}, bytes={self.size_bytes})"

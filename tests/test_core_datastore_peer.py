@@ -63,6 +63,61 @@ class TestDataStore:
         store = LocalDataStore(bloom_config=BloomConfig(num_bits=1024, num_hashes=3))
         assert store.bloom_filter.num_bits == 1024
 
+    def test_publish_after_remove_reindexes(self):
+        # Regression: a remove followed by a publish of the same id must
+        # behave exactly like a first publish (index, filter, content).
+        store = LocalDataStore()
+        store.publish(Document("d1", "original wording"))
+        store.remove("d1")
+        store.publish(Document("d1", "replacement vocabulary"))
+        assert store.get("d1").text == "replacement vocabulary"
+        assert store.index.document_frequency("replac") == 1
+        assert store.index.document_frequency("origin") == 0
+        assert "replac" in store.bloom_filter
+
+    def test_on_operation_fires_after_apply_with_analyzed_terms(self):
+        store = LocalDataStore()
+        seen = []
+
+        def hook(op, doc, term_freqs):
+            # Fired after the mutation applied: the store already holds
+            # (or no longer holds) the document when the hook runs.
+            seen.append((op, doc.doc_id, term_freqs, doc.doc_id in store))
+
+        store.on_operation = hook
+        store.publish(Document("d1", "gossip gossip protocols"))
+        store.remove("d1")
+        assert seen[0][0:2] == ("publish", "d1") and seen[0][3] is True
+        assert seen[0][2]["gossip"] == 2  # analyzed term frequencies
+        assert seen[1] == ("remove", "d1", None, False)
+
+    def test_on_operation_skipped_on_rejected_mutations(self):
+        store = LocalDataStore()
+        calls = []
+        store.on_operation = lambda op, doc, tf: calls.append(op)
+        store.publish(Document("d1", "text"))
+        with pytest.raises(ValueError):
+            store.publish(Document("d1", "duplicate"))
+        with pytest.raises(KeyError):
+            store.remove("ghost")
+        assert calls == ["publish"]
+
+    def test_apply_paths_bypass_the_hook(self):
+        # Replay (apply_publish/apply_remove) must never re-log.
+        store = LocalDataStore()
+        calls = []
+        store.on_operation = lambda op, doc, tf: calls.append(op)
+        store.apply_publish(Document("d1", "replayed"), {"replay": 1})
+        store.apply_remove("d1")
+        assert calls == []
+        assert store.index.num_documents() == 0
+
+    def test_restore_requires_empty_store(self):
+        store = LocalDataStore()
+        store.publish(Document("d1", "occupied"))
+        with pytest.raises(ValueError, match="empty"):
+            store.restore([], None, 0)
+
 
 class TestPeer:
     def test_publish_via_peer(self):

@@ -4,8 +4,8 @@ import asyncio
 
 import pytest
 
-from repro.constants import NET_DEFAULT_PORT
-from repro.net.cli import build_parser, build_stats_parser, run, run_stats
+from repro.constants import NET_DEFAULT_PORT, StoreConfig
+from repro.net.cli import _load_corpus, build_parser, build_stats_parser, run, run_stats
 from repro.net.node import NetworkPeer
 from repro.obs import Registry
 from repro.text.document import Document
@@ -24,11 +24,55 @@ def test_parser_defaults():
     assert args.chaos_drop == 0.1
     assert args.chaos_reset == 0.0
     assert args.chaos_jitter == 0.0
+    assert args.data_dir is None  # persistence is opt-in
+    assert args.snapshot_every == StoreConfig().snapshot_every
+
+
+def test_parser_persistence_flags(tmp_path):
+    args = build_parser().parse_args(
+        ["--peer-id", "3", "--data-dir", str(tmp_path), "--snapshot-every", "16"]
+    )
+    assert args.data_dir == tmp_path
+    assert args.snapshot_every == 16
 
 
 def test_parser_requires_peer_id():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_load_corpus_recurses_with_collision_free_ids(tmp_path):
+    (tmp_path / "top.txt").write_text("top level document")
+    nested = tmp_path / "nested" / "deeper"
+    nested.mkdir(parents=True)
+    (nested / "leaf.txt").write_text("deeply nested document")
+    # Same stem in two directories must yield two distinct doc ids.
+    (tmp_path / "nested" / "top.txt").write_text("shadowing stem")
+    (tmp_path / "ignored.md").write_text("not a txt file")
+
+    node = NetworkPeer(0, "127.0.0.1", 0, registry=Registry())
+    assert _load_corpus(node, tmp_path) == 3
+    assert sorted(node.peer.store.document_ids()) == [
+        "nested/deeper/leaf", "nested/top", "top",
+    ]
+
+
+def test_load_corpus_skips_unreadable_and_already_published(tmp_path, capsys):
+    (tmp_path / "good.txt").write_text("a perfectly readable file")
+    # A directory matching the glob: read_text raises IsADirectoryError,
+    # which must be a warning, not a crash (works even when the suite
+    # runs as root, unlike permission bits).
+    (tmp_path / "trap.txt").mkdir()
+    # Undecodable bytes are replaced, not fatal.
+    (tmp_path / "binary.txt").write_bytes(b"\xff\xfe broken utf8 \x80")
+
+    node = NetworkPeer(0, "127.0.0.1", 0, registry=Registry())
+    assert _load_corpus(node, tmp_path) == 2
+    err = capsys.readouterr().err
+    assert "warning: skipping unreadable" in err and "trap.txt" in err
+    # A second pass (a warm restart re-walking the corpus) publishes nothing.
+    assert _load_corpus(node, tmp_path) == 0
+    assert len(node.peer.store) == 2
 
 
 def test_cli_run_bootstraps_publishes_and_queries(tmp_path, capsys):

@@ -1,0 +1,73 @@
+"""Directory checkpoint serialization and damage tolerance."""
+
+from __future__ import annotations
+
+from repro.store import (
+    CheckpointEntry,
+    DirectoryCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.store.checkpoint import CHECKPOINT_MAGIC
+from repro.store.snapshot import encode_container
+
+
+def _checkpoint() -> DirectoryCheckpoint:
+    return DirectoryCheckpoint(
+        peer_id=7,
+        written_at=1700000000.5,
+        entries=(
+            CheckpointEntry(1, "10.0.0.1:9301", True, 4, b"\x01\x02\x03"),
+            CheckpointEntry(2, "10.0.0.2:9301", False, 0, b""),
+        ),
+        known_rids=(1 << 32, (1 << 32) | 1, 2 << 32),
+        next_rid_seq=17,
+    )
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "directory.ckpt"
+    nbytes = save_checkpoint(path, _checkpoint())
+    assert nbytes == path.stat().st_size > 0
+    assert load_checkpoint(path) == _checkpoint()
+
+
+def test_missing_file_is_none(tmp_path):
+    assert load_checkpoint(tmp_path / "nope.ckpt") is None
+
+
+def test_torn_or_corrupt_file_is_none(tmp_path):
+    path = tmp_path / "directory.ckpt"
+    save_checkpoint(path, _checkpoint())
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    assert load_checkpoint(path) is None
+    blob = bytearray(data)
+    blob[-2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    assert load_checkpoint(path) is None
+
+
+def test_pre_rid_seq_checkpoints_still_load(tmp_path):
+    # Files written before next_seq existed must load with the default.
+    payload = {
+        "peer_id": 3,
+        "written_at": 1.0,
+        "entries": [],
+        "rids": [5],
+    }
+    path = tmp_path / "directory.ckpt"
+    path.write_bytes(encode_container(CHECKPOINT_MAGIC, payload))
+    ckpt = load_checkpoint(path)
+    assert ckpt is not None
+    assert ckpt.known_rids == (5,)
+    assert ckpt.next_rid_seq == 0
+
+
+def test_atomic_rewrite_replaces_previous_generation(tmp_path):
+    path = tmp_path / "directory.ckpt"
+    save_checkpoint(path, _checkpoint())
+    newer = DirectoryCheckpoint(7, 1700000555.0, (), (), 99)
+    save_checkpoint(path, newer)
+    assert load_checkpoint(path) == newer
+    assert not path.with_name(path.name + ".tmp").exists()

@@ -1,0 +1,188 @@
+"""WriteAheadLog: framing, durability accounting, and torn-tail recovery.
+
+Crash damage is simulated by editing the log file directly — truncating
+mid-frame, flipping payload bytes, overwriting the magic — and asserting
+the next ``open()`` returns exactly the durable prefix, never raises,
+and physically truncates the file back to that prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.obs import Registry
+from repro.store.wal import WAL_MAGIC, WriteAheadLog
+
+
+def _wal(tmp_path, **kwargs) -> WriteAheadLog:
+    kwargs.setdefault("registry", Registry())
+    kwargs.setdefault("fsync", False)  # keep the suite fast
+    return WriteAheadLog(tmp_path / "wal.log", **kwargs)
+
+
+def _fill(wal: WriteAheadLog, n: int) -> list[dict]:
+    records = [{"seq": i + 1, "op": "publish", "id": f"doc-{i}"} for i in range(n)]
+    for record in records:
+        wal.append(record)
+    return records
+
+
+def test_missing_file_opens_empty_and_creates_header(tmp_path):
+    wal = _wal(tmp_path)
+    assert wal.open() == []
+    wal.close()
+    assert (tmp_path / "wal.log").read_bytes() == WAL_MAGIC
+
+
+def test_append_then_reopen_roundtrips_records(tmp_path):
+    wal = _wal(tmp_path)
+    wal.open()
+    records = _fill(wal, 5)
+    wal.close()
+    again = _wal(tmp_path)
+    assert again.open() == records
+    again.close()
+
+
+def test_reopen_continues_appending_after_existing_records(tmp_path):
+    wal = _wal(tmp_path)
+    wal.open()
+    first = _fill(wal, 2)
+    wal.close()
+    wal = _wal(tmp_path)
+    wal.open()
+    wal.append({"seq": 3, "op": "remove", "id": "doc-0"})
+    wal.close()
+    final = _wal(tmp_path)
+    assert final.open() == first + [{"seq": 3, "op": "remove", "id": "doc-0"}]
+    final.close()
+
+
+@pytest.mark.parametrize("cut", [1, 3, 7])  # inside header and inside payload
+def test_torn_tail_is_truncated_to_durable_prefix(tmp_path, cut):
+    wal = _wal(tmp_path)
+    wal.open()
+    records = _fill(wal, 3)
+    wal.close()
+    path = tmp_path / "wal.log"
+    data = path.read_bytes()
+    path.write_bytes(data[:-cut])  # crash mid-append of the last record
+
+    registry = Registry()
+    again = _wal(tmp_path, registry=registry)
+    assert again.open() == records[:2]
+    again.close()
+    assert registry.counter("store", "wal_torn_tails_total", "").value == 1
+    # The invalid tail is physically gone: a further reopen is clean.
+    clean = _wal(tmp_path, registry=registry)
+    assert clean.open() == records[:2]
+    clean.close()
+    assert registry.counter("store", "wal_torn_tails_total", "").value == 1
+
+
+def test_corrupt_crc_mid_log_keeps_only_earlier_records(tmp_path):
+    wal = _wal(tmp_path)
+    wal.open()
+    records = _fill(wal, 4)
+    wal.close()
+    path = tmp_path / "wal.log"
+    data = bytearray(path.read_bytes())
+    # Flip one payload byte of the second record: everything from there on
+    # (including the still-intact records 3 and 4) is past the durable
+    # prefix — replay order cannot skip a hole.
+    frame = struct.Struct(">II")
+    offset = len(WAL_MAGIC)
+    length, _ = frame.unpack_from(data, offset)  # record 1
+    offset += frame.size + length
+    data[offset + frame.size + 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+    again = _wal(tmp_path)
+    assert again.open() == records[:1]
+    again.close()
+
+
+def test_bad_magic_means_wholly_invalid_log(tmp_path):
+    wal = _wal(tmp_path)
+    wal.open()
+    _fill(wal, 3)
+    wal.close()
+    path = tmp_path / "wal.log"
+    path.write_bytes(b"XXXXXXXX" + path.read_bytes()[8:])
+
+    again = _wal(tmp_path)
+    assert again.open() == []
+    again.append({"seq": 1, "op": "publish", "id": "fresh"})
+    again.close()
+    # A fresh header was laid down before appends resumed.
+    assert path.read_bytes().startswith(WAL_MAGIC)
+
+
+def test_absurd_length_field_ends_the_durable_prefix(tmp_path):
+    wal = _wal(tmp_path)
+    wal.open()
+    records = _fill(wal, 1)
+    # Hand-craft a frame claiming a multi-gigabyte payload.
+    payload = b'{"seq":2}'
+    wal._file.write(struct.pack(">II", 1 << 31, zlib.crc32(payload)) + payload)
+    wal._file.flush()
+    wal.close()
+
+    again = _wal(tmp_path)
+    assert again.open() == records
+    again.close()
+
+
+def test_non_object_json_payload_is_invalid(tmp_path):
+    wal = _wal(tmp_path)
+    wal.open()
+    records = _fill(wal, 1)
+    payload = json.dumps([1, 2, 3]).encode()
+    wal._file.write(struct.pack(">II", len(payload), zlib.crc32(payload)) + payload)
+    wal._file.flush()
+    wal.close()
+
+    again = _wal(tmp_path)
+    assert again.open() == records
+    again.close()
+
+
+def test_reset_empties_the_log(tmp_path):
+    wal = _wal(tmp_path)
+    wal.open()
+    _fill(wal, 3)
+    wal.reset()
+    wal.append({"seq": 9, "op": "publish", "id": "after"})
+    wal.close()
+    again = _wal(tmp_path)
+    assert again.open() == [{"seq": 9, "op": "publish", "id": "after"}]
+    again.close()
+
+
+def test_append_requires_open_and_double_open_rejected(tmp_path):
+    wal = _wal(tmp_path)
+    with pytest.raises(RuntimeError, match="not open"):
+        wal.append({"seq": 1})
+    wal.open()
+    with pytest.raises(RuntimeError, match="already open"):
+        wal.open()
+    wal.close()
+    wal.close()  # idempotent
+
+
+def test_metrics_account_appends_bytes_and_fsyncs(tmp_path):
+    registry = Registry()
+    wal = WriteAheadLog(tmp_path / "wal.log", fsync=True, registry=registry)
+    wal.open()
+    written = wal.append({"seq": 1, "op": "publish", "id": "d"})
+    wal.append({"seq": 2, "op": "remove", "id": "d"})
+    wal.close()
+    assert registry.counter("store", "wal_records_total", "").value == 2
+    assert registry.counter("store", "wal_bytes_total", "").value >= written
+    # header write + two appends each fsync
+    assert registry.counter("store", "wal_fsyncs_total", "").value >= 3
+    assert wal.size_bytes == (tmp_path / "wal.log").stat().st_size
