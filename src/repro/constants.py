@@ -191,6 +191,34 @@ STORE_SNAPSHOT_KEEP: int = 2
 STORE_CHECKPOINT_EVERY_ROUNDS: int = 10
 
 # --------------------------------------------------------------------------
+# repro.serve defaults (query plane; not from the paper)
+# --------------------------------------------------------------------------
+
+#: Searches the scheduler runs concurrently (the global in-flight budget).
+SERVE_MAX_CONCURRENT: int = 8
+
+#: Searches allowed to wait for a slot before new arrivals are rejected.
+SERVE_MAX_QUEUE: int = 64
+
+#: Default per-query deadline: a query still queued after this long is
+#: shed instead of run (its answer would arrive too late to matter).
+SERVE_DEFAULT_DEADLINE_S: float = 10.0
+
+#: Result-cache capacity (distinct (kind, query, k) entries).
+SERVE_CACHE_SIZE: int = 512
+
+#: Concurrent in-flight RPCs allowed per target peer across all queries.
+SERVE_PER_PEER_INFLIGHT: int = 4
+
+#: Concurrent in-flight RPCs allowed per search wave (fan-out bound).
+SERVE_FANOUT_LIMIT: int = 16
+
+#: How long one peer may sit on a search RPC before the wave gives up on
+#: it (shorter than the transport's own retry deadline — a search wave
+#: must not stall on one unresponsive peer).
+SERVE_PEER_DEADLINE_S: float = 5.0
+
+# --------------------------------------------------------------------------
 # Section 6 PFS parameters
 # --------------------------------------------------------------------------
 
@@ -329,6 +357,35 @@ class StoreConfig:
             raise ValueError("snapshot_keep must be >= 1")
         if self.checkpoint_every_rounds < 1:
             raise ValueError("checkpoint_every_rounds must be >= 1")
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of the query plane (:mod:`repro.serve`)."""
+
+    max_concurrent: int = SERVE_MAX_CONCURRENT
+    max_queue: int = SERVE_MAX_QUEUE
+    default_deadline_s: float = SERVE_DEFAULT_DEADLINE_S
+    cache_size: int = SERVE_CACHE_SIZE
+    per_peer_inflight: int = SERVE_PER_PEER_INFLIGHT
+    fanout_limit: int = SERVE_FANOUT_LIMIT
+    peer_deadline_s: float = SERVE_PEER_DEADLINE_S
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.per_peer_inflight < 1:
+            raise ValueError("per_peer_inflight must be >= 1")
+        if self.fanout_limit < 1:
+            raise ValueError("fanout_limit must be >= 1")
+        if self.peer_deadline_s <= 0:
+            raise ValueError("peer_deadline_s must be positive")
 
 
 @dataclass

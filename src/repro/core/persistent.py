@@ -66,7 +66,13 @@ class PersistentQueryManager:
         of upcalls made.
         """
         fired = 0
-        for query in self._queries.values():
+        # Iterate a copy and re-check registration before each upcall: a
+        # callback may post or cancel queries (including the one firing),
+        # which would otherwise mutate the dict mid-iteration or deliver
+        # to a query cancelled moments earlier.
+        for query in list(self._queries.values()):
+            if query.query_id not in self._queries:
+                continue
             if doc.doc_id not in query.delivered and query.matches(term_set):
                 query.delivered.add(doc.doc_id)
                 query.callback(doc)

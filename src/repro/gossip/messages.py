@@ -22,6 +22,17 @@ Message inventory
 ``pull_request``     header + 6 B per requested id
 ``join_request``     header + joiner's own peer record + Bloom filter
 ``join_snapshot``    header + (48 B + Bloom filter) per known member
+
+The serve inventory (persistent queries over the wire,
+:data:`repro.gossip.wire.SERVE_MESSAGES`) is priced here too so the
+2x model-vs-codec envelope covers it, but it stays outside the Table-2
+gossip accounting: ``model_size`` dispatches on it, the per-exchange
+gossip helpers above never see it.
+
+``subscribe_request``  header + id (8 B) + terms + notify address + time
+``subscribe_ack``      header + id + verdict byte + message
+``notify``             header + id + origin (4 B) + doc id + document
+``unsubscribe``        header + id
 """
 
 from __future__ import annotations
@@ -91,6 +102,38 @@ class MessageSizer:
             self.config.peer_summary_bytes + bf_bytes_per_member
         )
 
+    # -- serve inventory (persistent queries; outside Table 2) --------------
+
+    _SUB_ID_BYTES = 8
+
+    def subscribe_request(self, terms_bytes: int, address_bytes: int) -> int:
+        """A client posts a standing query to a serving node."""
+        return (
+            self.config.header_bytes
+            + self._SUB_ID_BYTES
+            + terms_bytes
+            + 2 + address_bytes
+            + 8  # created_at
+        )
+
+    def subscribe_ack(self, message_bytes: int) -> int:
+        """The serving node's verdict on a subscription."""
+        return self.config.header_bytes + self._SUB_ID_BYTES + 1 + 2 + message_bytes
+
+    def notify(self, doc_id_bytes: int, text_bytes: int) -> int:
+        """One upcall: a matching document pushed to the subscriber."""
+        return (
+            self.config.header_bytes
+            + self._SUB_ID_BYTES
+            + 4  # origin peer id
+            + 2 + doc_id_bytes
+            + 4 + text_bytes
+        )
+
+    def unsubscribe(self) -> int:
+        """Deregister a standing query by id."""
+        return self.config.header_bytes + self._SUB_ID_BYTES
+
     # -- shared-inventory dispatch ------------------------------------------
 
     def model_size(self, msg: object) -> int:
@@ -126,4 +169,17 @@ class MessageSizer:
                 self.config.peer_summary_bytes + len(entry.bloom)
                 for entry in msg.entries
             )
+        if isinstance(msg, wire.SubscribeRequest):
+            return self.subscribe_request(
+                sum(2 + len(t.encode("utf-8")) for t in msg.terms) + 2,
+                len(msg.notify_address.encode("utf-8")),
+            )
+        if isinstance(msg, wire.SubscribeAck):
+            return self.subscribe_ack(len(msg.message.encode("utf-8")))
+        if isinstance(msg, wire.Notify):
+            return self.notify(
+                len(msg.doc_id.encode("utf-8")), len(msg.text.encode("utf-8"))
+            )
+        if isinstance(msg, wire.Unsubscribe):
+            return self.unsubscribe()
         raise TypeError(f"not a gossip wire message: {type(msg).__name__}")

@@ -24,6 +24,24 @@ The protocol exchanges (paper Section 3, mirrored from
 ``JoinRequest``    a joiner introduces itself (record + Bloom filter)
 ``JoinSnapshot``   the bootstrap's full directory download
 =================  =====================================================
+
+Beyond the gossip exchanges, the **serve inventory** carries persistent
+queries (paper Section 5.1) over the wire — a standing conjunctive query
+a remote client posts once, then receives upcalls for as matching
+documents are published anywhere in the community:
+
+====================  =================================================
+``SubscribeRequest``  post a standing query, naming the address the
+                      upcalls should be delivered to
+``SubscribeAck``      the serving node's verdict + assigned id
+``Notify``            one upcall: a newly published matching document
+``Unsubscribe``       deregister a standing query by id
+====================  =================================================
+
+Serve messages are priced by ``MessageSizer.model_size`` too (held to
+the same 2x envelope), but they live in :data:`SERVE_MESSAGES`, not
+:data:`GOSSIP_MESSAGES` — the Table-2 gossip cost model stays exactly
+the paper's inventory.
 """
 
 from __future__ import annotations
@@ -47,6 +65,11 @@ __all__ = [
     "JoinRequest",
     "JoinSnapshot",
     "GOSSIP_MESSAGES",
+    "SubscribeRequest",
+    "SubscribeAck",
+    "Notify",
+    "Unsubscribe",
+    "SERVE_MESSAGES",
 ]
 
 
@@ -188,4 +211,68 @@ GOSSIP_MESSAGES: tuple[type, ...] = (
     PullRequest,
     JoinRequest,
     JoinSnapshot,
+)
+
+
+# ---------------------------------------------------------------------------
+# serve inventory: persistent queries over the wire (paper Section 5.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """A client posts a standing conjunctive query to a serving node.
+
+    ``sub_id`` 0 asks the server to assign a fresh id; a nonzero id
+    reattaches to (or updates) an existing subscription — the client's
+    handle after a reconnect, carrying a possibly-new notify address.
+    """
+
+    sub_id: int
+    terms: tuple[str, ...]
+    #: ``host:port`` the client is serving upcalls on.
+    notify_address: str
+    created_at: float
+
+
+@dataclass(frozen=True)
+class SubscribeAck:
+    """The serving node's verdict: the (possibly freshly assigned) id,
+    whether the subscription was accepted, and a reason when not."""
+
+    sub_id: int
+    accepted: bool
+    message: str
+
+
+@dataclass(frozen=True)
+class Notify:
+    """One upcall: a newly published document matching a standing query.
+
+    Sent from the serving node to the subscriber's notify address;
+    acknowledged with a bare ``AENothing`` frame.  ``origin`` is the
+    publishing peer's id; ``text`` travels as a u32 blob so documents
+    larger than 64 KiB survive the trip.
+    """
+
+    sub_id: int
+    origin: int
+    doc_id: str
+    text: str
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    """Deregister a standing query by id (acknowledged with ``SubscribeAck``)."""
+
+    sub_id: int
+
+
+#: The serve inventory — persistent-query RPCs, priced by the sizer but
+#: deliberately NOT part of the Table-2 gossip model.
+SERVE_MESSAGES: tuple[type, ...] = (
+    SubscribeRequest,
+    SubscribeAck,
+    Notify,
+    Unsubscribe,
 )

@@ -25,6 +25,13 @@ wire, Bloom compression, injected faults) without joining::
 
     python -m repro.net stats 127.0.0.1:9301
     python -m repro.net stats 127.0.0.1:9301 --grep bytes
+
+Post a persistent query (paper Section 5.1) at a serving member and
+print each upcall as matching documents are published anywhere in the
+community::
+
+    python -m repro.net subscribe 127.0.0.1:9301 "gossip protocols"
+    python -m repro.net subscribe 127.0.0.1:9301 "bloom" --max-runtime 30
 """
 
 from __future__ import annotations
@@ -43,7 +50,15 @@ from repro.net.node import NetworkPeer
 from repro.net.transport import TcpTransport, Transport, TransportError
 from repro.text.document import Document
 
-__all__ = ["build_parser", "build_stats_parser", "run", "run_stats", "main"]
+__all__ = [
+    "build_parser",
+    "build_stats_parser",
+    "build_subscribe_parser",
+    "run",
+    "run_stats",
+    "run_subscribe",
+    "main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +139,61 @@ def build_stats_parser() -> argparse.ArgumentParser:
         help="only print samples whose name contains SUBSTR",
     )
     return parser
+
+
+def build_subscribe_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.net subscribe`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net subscribe",
+        description="Post a persistent query at a serving peer and print "
+        "each upcall as matching documents are published.",
+    )
+    parser.add_argument("address", metavar="HOST:PORT", help="serving peer")
+    parser.add_argument("query", help="conjunctive query terms")
+    parser.add_argument(
+        "--listen-host", default="127.0.0.1",
+        help="address to receive upcalls on (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--listen-port", type=int, default=0,
+        help="port to receive upcalls on (default: ephemeral)",
+    )
+    parser.add_argument(
+        "--max-runtime", type=float, default=None, metavar="SECONDS",
+        help="unsubscribe and exit after this many seconds "
+        "(default: listen forever)",
+    )
+    return parser
+
+
+async def run_subscribe(args: argparse.Namespace) -> None:
+    """Post a standing query and print upcalls until stopped."""
+    from repro.serve.subscriptions import SubscriptionClient
+
+    client = SubscriptionClient(args.listen_host, args.listen_port)
+
+    def upcall(notify) -> None:
+        preview = " ".join(notify.text.split())[:72]
+        print(f"notify sub={notify.sub_id} origin=peer-{notify.origin} "
+              f"doc={notify.doc_id!r}: {preview}", flush=True)
+
+    await client.start()
+    try:
+        sub_id = await client.subscribe(args.address, args.query, upcall)
+        print(
+            f"subscribed #{sub_id} at {args.address} for {args.query!r}; "
+            f"upcalls to {client.address}",
+            flush=True,
+        )
+        if args.max_runtime is not None:
+            await asyncio.sleep(args.max_runtime)
+            await client.unsubscribe(args.address, sub_id)
+            print(f"unsubscribed #{sub_id}")
+        else:
+            while True:  # listen until interrupted
+                await asyncio.sleep(3600.0)
+    finally:
+        await client.close()
 
 
 async def run_stats(args: argparse.Namespace) -> None:
@@ -261,6 +331,8 @@ def main(argv: list[str] | None = None) -> None:
     try:
         if argv and argv[0] == "stats":
             asyncio.run(run_stats(build_stats_parser().parse_args(argv[1:])))
+        elif argv and argv[0] == "subscribe":
+            asyncio.run(run_subscribe(build_subscribe_parser().parse_args(argv[1:])))
         else:
             asyncio.run(run(build_parser().parse_args(argv)))
     except KeyboardInterrupt:

@@ -20,7 +20,7 @@ Peers that fail to answer are marked offline in the node's directory
 from __future__ import annotations
 
 import asyncio
-from typing import Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 from repro.bloom.filter import BloomFilter
 from repro.constants import RankingConfig
@@ -35,15 +35,25 @@ from repro.net.codec import (
     SnippetFetch,
     SnippetResponse,
 )
-from repro.net.node import NetworkPeer
 from repro.net.transport import TransportError
+
+if TYPE_CHECKING:
+    from repro.net.node import NetworkPeer
 from repro.obs import DEFAULT_COUNT_BOUNDS
 from repro.ranking.stopping import AdaptiveStopping, StoppingPolicy
 from repro.ranking.tfidf import RankedDoc
 from repro.ranking.tfipf import DistributedSearchResult, TFIPFSearch, rank_peers
 from repro.text.document import Document
 
-__all__ = ["NetworkSearchClient"]
+__all__ = ["NetworkSearchClient", "PeerGateLike"]
+
+
+class PeerGateLike(Protocol):
+    """Anything handing out per-peer semaphores (``repro.serve.PeerGate``)."""
+
+    def slot(self, pid: int) -> asyncio.Semaphore:
+        """The in-flight cap for RPCs targeting ``pid``."""
+        ...
 
 
 class _ReplicaBackend:
@@ -93,6 +103,10 @@ class NetworkSearchClient:
         stopping: StoppingPolicy | None = None,
         ranking_config: RankingConfig | None = None,
         group_size: int | None = None,
+        *,
+        fanout_limit: int | None = None,
+        peer_deadline_s: float | None = None,
+        peer_gate: PeerGateLike | None = None,
     ) -> None:
         self.node = node
         self.ranking_config = ranking_config or RankingConfig()
@@ -100,6 +114,22 @@ class NetworkSearchClient:
         self.group_size = group_size or self.ranking_config.group_size
         if self.group_size < 1:
             raise ValueError("group_size must be >= 1")
+        if fanout_limit is not None and fanout_limit < 1:
+            raise ValueError("fanout_limit must be >= 1")
+        if peer_deadline_s is not None and peer_deadline_s <= 0:
+            raise ValueError("peer_deadline_s must be positive")
+        #: cap on this client's concurrent in-flight RPCs (None = follow
+        #: group_size / candidate count, the historical behavior).
+        self.fanout_limit = fanout_limit
+        self._fanout = (
+            asyncio.Semaphore(fanout_limit) if fanout_limit is not None else None
+        )
+        #: per-RPC deadline: a peer slower than this is treated as a
+        #: failed contact instead of holding its whole wave (None = wait
+        #: out the transport's own retry deadline).
+        self.peer_deadline_s = peer_deadline_s
+        #: shared per-peer in-flight caps (``repro.serve.PeerGate``).
+        self.peer_gate = peer_gate
         self._backend = _ReplicaBackend(node)
         #: searches record into the node's registry (component ``client``).
         self.obs = node.obs
@@ -226,9 +256,38 @@ class NetworkSearchClient:
         entry = self.node.peer.directory.get(pid)
         if entry is None or not entry.address:
             return None
+        if self._fanout is None:
+            return await self._gated_request(pid, entry.address, msg)
+        async with self._fanout:
+            return await self._gated_request(pid, entry.address, msg)
+
+    async def _gated_request(
+        self, pid: int, address: str, msg: object
+    ) -> object | None:
+        if self.peer_gate is None:
+            return await self._request(pid, address, msg)
+        async with self.peer_gate.slot(pid):
+            return await self._request(pid, address, msg)
+
+    async def _request(self, pid: int, address: str, msg: object) -> object | None:
+        # The deadline covers only the RPC itself — time spent waiting on
+        # the fan-out semaphore or the peer gate is scheduling, not the
+        # peer being slow.
         try:
-            body = await self.node.transport.request(entry.address, codec.encode(msg))
+            request = self.node.transport.request(address, codec.encode(msg))
+            if self.peer_deadline_s is not None:
+                body = await asyncio.wait_for(request, self.peer_deadline_s)
+            else:
+                body = await request
             return codec.decode(body)
+        except asyncio.TimeoutError:
+            self.obs.counter(
+                "client",
+                "peer_deadline_timeouts_total",
+                "RPCs abandoned at the per-peer deadline",
+            ).inc()
+            self.node._contact_failed(pid)
+            return None
         except (TransportError, CodecError):
             self.node._contact_failed(pid)
             return None

@@ -32,12 +32,16 @@ from repro.gossip.wire import (
     AESummary,
     JoinRequest,
     JoinSnapshot,
+    Notify,
     PeerRecord,
     PullRequest,
     RumorData,
     RumorPush,
     RumorReply,
     SnapshotEntry,
+    SubscribeAck,
+    SubscribeRequest,
+    Unsubscribe,
     WireRumor,
 )
 
@@ -332,6 +336,10 @@ _T_SNIPPET_FETCH = 20
 _T_SNIPPET_RESPONSE = 21
 _T_STATS_REQUEST = 22
 _T_STATS_RESPONSE = 23
+_T_SUBSCRIBE_REQUEST = 24
+_T_SUBSCRIBE_ACK = 25
+_T_NOTIFY = 26
+_T_UNSUBSCRIBE = 27
 _T_ERROR = 31
 
 _TYPE_OF = {
@@ -353,6 +361,10 @@ _TYPE_OF = {
     SnippetResponse: _T_SNIPPET_RESPONSE,
     StatsRequest: _T_STATS_REQUEST,
     StatsResponse: _T_STATS_RESPONSE,
+    SubscribeRequest: _T_SUBSCRIBE_REQUEST,
+    SubscribeAck: _T_SUBSCRIBE_ACK,
+    Notify: _T_NOTIFY,
+    Unsubscribe: _T_UNSUBSCRIBE,
     ErrorReply: _T_ERROR,
 }
 
@@ -436,6 +448,24 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
         for name, value in msg.samples:
             w.text(name)
             w.f64(value)
+    elif isinstance(msg, SubscribeRequest):
+        w.u64(msg.sub_id)
+        w.u16(len(msg.terms))
+        for t in msg.terms:
+            w.text(t)
+        w.text(msg.notify_address)
+        w.f64(msg.created_at)
+    elif isinstance(msg, SubscribeAck):
+        w.u64(msg.sub_id)
+        w.u8(1 if msg.accepted else 0)
+        w.text(msg.message)
+    elif isinstance(msg, Notify):
+        w.u64(msg.sub_id)
+        w.u32(msg.origin)
+        w.text(msg.doc_id)
+        w.blob(msg.text.encode("utf-8"))
+    elif isinstance(msg, Unsubscribe):
+        w.u64(msg.sub_id)
     elif isinstance(msg, ErrorReply):
         w.text(msg.message)
     return bytes(w.buf)
@@ -504,6 +534,25 @@ def decode(body: bytes) -> object:
         uptime_s = r.f64()
         samples = tuple((r.text(), r.f64()) for _ in range(r.count(10)))
         msg = StatsResponse(peer_id, uptime_s, samples)
+    elif mtype == _T_SUBSCRIBE_REQUEST:
+        sub_id = r.u64()
+        terms = tuple(r.text() for _ in range(r.u16()))
+        notify_address = r.text()
+        created_at = r.f64()
+        msg = SubscribeRequest(sub_id, terms, notify_address, created_at)
+    elif mtype == _T_SUBSCRIBE_ACK:
+        msg = SubscribeAck(r.u64(), bool(r.u8()), r.text())
+    elif mtype == _T_NOTIFY:
+        sub_id = r.u64()
+        origin = r.u32()
+        doc_id = r.text()
+        try:
+            text = r.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in document text: {exc}") from exc
+        msg = Notify(sub_id, origin, doc_id, text)
+    elif mtype == _T_UNSUBSCRIBE:
+        msg = Unsubscribe(r.u64())
     elif mtype == _T_ERROR:
         msg = ErrorReply(r.text())
     else:

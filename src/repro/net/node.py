@@ -66,6 +66,8 @@ from repro.gossip.wire import (
     RumorPush,
     RumorReply,
     SnapshotEntry,
+    SubscribeRequest,
+    Unsubscribe,
     WireRumor,
 )
 from repro.net import codec
@@ -83,6 +85,7 @@ from repro.net.codec import (
 )
 from repro.net.transport import TcpTransport, Transport, TransportError
 from repro.obs import Counter, Registry, global_registry
+from repro.serve.subscriptions import SubscriptionManager
 from repro.store import (
     CheckpointEntry,
     DirectoryCheckpoint,
@@ -234,6 +237,14 @@ class NetworkPeer:
                 self.persistence.incarnation * RID_RESTART_GAP
             ) & 0xFFFFFFFF
             self._restore_checkpoint()
+        #: persistent queries posted over the wire (repro.serve); durable
+        #: alongside the directory checkpoint when a data dir is set.
+        self.subscriptions = SubscriptionManager(
+            self,
+            checkpoint_path=(
+                data_dir / "subscriptions.ckpt" if data_dir is not None else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     # observability
@@ -423,6 +434,12 @@ class NetworkPeer:
             # the community relearns our address without a re-join, and
             # replicas recover any updates lost to checkpoint staleness.
             self.announce_rejoin()
+        if self.subscriptions.restored_subscriptions:
+            # Rumors that arrived and were checkpointed before the crash
+            # never re-apply on restore, so their publishes would never
+            # mark anyone dirty — probe the whole directory once instead
+            # (the delivered sets keep already-seen documents silent).
+            self.subscriptions.mark_all_dirty()
         return self.address
 
     def run(self) -> asyncio.Task:
@@ -456,6 +473,7 @@ class NetworkPeer:
             task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await task
+        await self.subscriptions.stop()
         await self.transport.close()
         if self._checkpoint_path is not None:
             self.write_checkpoint()
@@ -521,6 +539,7 @@ class NetworkPeer:
         """Publish a document locally and gossip the filter growth."""
         doc = self.peer.publish(item)
         self.flush_updates()
+        self.subscriptions.mark_dirty(self.peer_id)
         return doc
 
     def flush_updates(self) -> WireRumor | None:
@@ -610,6 +629,9 @@ class NetworkPeer:
             entry.bloom_filter = apply_diff(entry.bloom_filter, diff)
             entry.filter_version = max(entry.filter_version, version)
             entry.online = True
+        # Gossip is the change feed for standing queries: the origin's
+        # content may now match one, so schedule a probe.
+        self.subscriptions.mark_dirty(rumor.origin)
 
     def _ensure_entry(self, peer_id: int) -> PeerEntry:
         entry = self.peer.directory.get(peer_id)
@@ -880,6 +902,10 @@ class NetworkPeer:
             return SnippetResponse(True, doc.doc_id, doc.text)
         if isinstance(msg, StatsRequest):
             return self.stats_response()
+        if isinstance(msg, SubscribeRequest):
+            return await self.subscriptions.handle_subscribe(msg)
+        if isinstance(msg, Unsubscribe):
+            return self.subscriptions.handle_unsubscribe(msg)
         return ErrorReply(f"unexpected message {type(msg).__name__}")
 
     def _on_rumor_push(self, msg: RumorPush) -> RumorReply:
@@ -894,8 +920,12 @@ class NetworkPeer:
 
     def _on_pull(self, msg: PullRequest) -> object:
         if not msg.rids:  # empty pull = full directory summary request
+            # Placeholder entries (seen via a rumor id only) carry the
+            # filter_version=-1 sentinel, which does not fit the u32 wire
+            # field; clamp to 0 — receivers merge with max(), so this
+            # never regresses a version they already know.
             records = tuple(
-                PeerRecord(pid, e.address, e.online, e.filter_version)
+                PeerRecord(pid, e.address, e.online, max(0, e.filter_version))
                 for pid, e in sorted(self.peer.directory.items())
             )
             return AESummary(records, tuple(sorted(self.known)))
@@ -919,7 +949,9 @@ class NetworkPeer:
                 record = self._own_record()
                 bloom = self.peer.store.bloom_filter.to_compressed()
             else:
-                record = PeerRecord(pid, entry.address, entry.online, entry.filter_version)
+                record = PeerRecord(
+                    pid, entry.address, entry.online, max(0, entry.filter_version)
+                )
                 bloom = (
                     entry.bloom_filter.to_compressed()
                     if entry.bloom_filter is not None

@@ -335,6 +335,14 @@ class Registry:
             raise TypeError(f"{component}.{name} is a histogram; use samples()")
         return instrument.value
 
+    def snapshot(self, component: str, name: str) -> HistogramSnapshot | None:
+        """Snapshot of the histogram ``component.name`` (None if absent
+        or not a histogram) — the quantile source for latency reporting."""
+        instrument = self._instruments.get((component, name))
+        if not isinstance(instrument, Histogram):
+            return None
+        return instrument.snapshot()
+
     def samples(self) -> list[tuple[str, float]]:
         """Every sample as flat ``(prometheus_name, value)`` pairs.
 

@@ -1,0 +1,140 @@
+"""Version-keyed result cache for the query plane.
+
+A search answer is a pure function of (query, k, the replicated
+directory the searcher ranked against).  The directory already tracks
+its own mutations precisely: every :class:`~repro.bloom.filter.
+BloomFilter` bumps a ``version`` counter on mutation (the same counters
+the compression memo keys on), and every publish bumps the owner's
+``filter_version``.  :func:`directory_generation` folds those counters —
+plus each member's online flag — into one 64-bit fingerprint, so a cache
+entry is keyed on *exactly* the state that determined its answer:
+
+* a matching document published anywhere bumps a filter version, the
+  generation moves, and the stale entry is evicted on next lookup —
+  stale results are never served;
+* an unrelated directory change also moves the generation (the
+  fingerprint is deliberately coarse: correctness over hit rate).
+
+The generation is computed *before* a search runs; a directory change
+racing the search leaves the entry keyed to the pre-search generation,
+which the next lookup rejects.  Lookups cost O(members) integer reads —
+no hashing of filter contents.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.obs import Registry, global_registry
+
+if TYPE_CHECKING:
+    from repro.net.node import NetworkPeer
+
+__all__ = ["ResultCache", "directory_generation"]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(*parts: int) -> int:
+    """Avalanche a small integer tuple into one 64-bit hash
+    (splitmix64 finalizer, applied per part)."""
+    h = 0x9E3779B97F4A7C15
+    for p in parts:
+        h = (h ^ (p & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _MASK
+        h ^= h >> 31
+    return h
+
+
+def directory_generation(node: NetworkPeer) -> int:
+    """Fingerprint of the directory state a search would rank against.
+
+    XOR of per-member mixes, so it is order-insensitive and O(members)
+    to compute.  Every input is a counter the existing layers already
+    maintain: the store's publish counter and live filter version for
+    ourselves; the replicated ``filter_version``, the replica filter's
+    mutation ``version``, and the online flag for everyone else.
+    """
+    store = node.peer.store
+    gen = _mix64(node.peer_id, store.filter_version, store.bloom_filter.version, 1)
+    for pid, entry in node.peer.directory.items():
+        if pid == node.peer_id:
+            continue
+        bf = entry.bloom_filter
+        gen ^= _mix64(
+            pid,
+            entry.filter_version,
+            bf.version if bf is not None else -1,
+            1 if entry.online else 0,
+        )
+    return gen
+
+
+class ResultCache:
+    """LRU cache of search results keyed on (query key, generation).
+
+    ``get`` misses on an absent key and *evicts* on a generation
+    mismatch (counted separately as stale — the invalidation the bench
+    asserts on).  Counters and the size gauge land in the registry's
+    ``serve`` component.
+    """
+
+    def __init__(self, capacity: int, registry: Registry | None = None) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
+        obs = registry if registry is not None else global_registry()
+        self._c_hits = obs.counter(
+            "serve", "result_cache_hits_total", "cache lookups answered"
+        )
+        self._c_misses = obs.counter(
+            "serve", "result_cache_misses_total", "cache lookups not answered"
+        )
+        self._c_stale = obs.counter(
+            "serve",
+            "result_cache_stale_total",
+            "entries evicted because the directory generation moved",
+        )
+        self._c_evictions = obs.counter(
+            "serve", "result_cache_evictions_total", "LRU capacity evictions"
+        )
+        self._g_size = obs.gauge("serve", "result_cache_size", "entries held")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, generation: int) -> Any | None:
+        """The cached result for ``key`` at ``generation``, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._c_misses.inc()
+            return None
+        gen, result = entry
+        if gen != generation:
+            del self._entries[key]
+            self._g_size.set(len(self._entries))
+            self._c_stale.inc()
+            self._c_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._c_hits.inc()
+        return result
+
+    def put(self, key: Hashable, generation: int, result: Any) -> None:
+        """Install ``result`` for ``key`` as of ``generation``."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (generation, result)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._c_evictions.inc()
+        self._g_size.set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (capacity and counters unchanged)."""
+        self._entries.clear()
+        self._g_size.set(0)

@@ -1,0 +1,471 @@
+"""Persistent queries over the wire (paper Section 5.1).
+
+The in-process :class:`~repro.core.persistent.PersistentQueryManager`
+fires upcalls for documents published *through the same process*.  This
+module extends the idea community-wide: a remote client posts a standing
+conjunctive query to any serving node (``SubscribeRequest``), and that
+node watches its *replicated directory* — every gossip-applied filter
+update or member (re)join marks the originating peer dirty, a background
+worker probes dirty peers whose filters may match a subscription
+(exhaustive RPC), fetches fresh matching documents, and pushes them to
+the subscriber's notify address as ``Notify`` frames.  Gossip is the
+change feed, so a document published on *any* member reaches the
+subscriber without the publisher knowing the subscription exists.
+
+Delivery semantics:
+
+* **at-least-once upcalls, deduplicated by doc id** — a doc id enters a
+  subscription's ``delivered`` set only after the subscriber acks its
+  ``Notify``; failed notifies are retried on the next probe;
+* **baseline at subscribe** — documents already searchable when the
+  subscription is posted are marked delivered silently, so upcalls mean
+  "published after you subscribed";
+* **durable across restarts** — subscriptions (with their delivered
+  sets) are checkpointed through :mod:`repro.store` (``PPSUB001``); a
+  restarted node reloads them and probes the whole directory once
+  (:meth:`SubscriptionManager.mark_all_dirty`), catching documents
+  published while it was down.
+
+:class:`SubscriptionClient` is the other end: it serves a notify
+address, posts/cancels subscriptions, and routes ``Notify`` frames to
+per-subscription callbacks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.constants import NetConfig
+from repro.core.search import exhaustive_local_match
+from repro.gossip.wire import (
+    AENothing,
+    Notify,
+    SubscribeAck,
+    SubscribeRequest,
+    Unsubscribe,
+)
+from repro.net import codec
+from repro.net.codec import (
+    CodecError,
+    ErrorReply,
+    ExhaustiveQuery,
+    ExhaustiveResponse,
+    SnippetFetch,
+    SnippetResponse,
+)
+from repro.net.transport import TcpTransport, Transport, TransportError
+from repro.obs import Registry, global_registry
+from repro.store import (
+    SubscriptionCheckpoint,
+    SubscriptionEntry,
+    load_subscriptions,
+    save_subscriptions,
+)
+from repro.text.document import Document
+
+if TYPE_CHECKING:
+    from repro.net.node import NetworkPeer
+
+__all__ = ["Subscription", "SubscriptionClient", "SubscriptionManager"]
+
+
+@dataclass
+class Subscription:
+    """One standing query registered at a serving node."""
+
+    sub_id: int
+    terms: tuple[str, ...]
+    notify_address: str
+    created_at: float
+    #: doc ids the subscriber has acknowledged (dedup across probes,
+    #: republications, and restarts).
+    delivered: set[str] = field(default_factory=set)
+
+
+class SubscriptionManager:
+    """Server half: registration, change detection, upcall delivery.
+
+    Attached to every :class:`~repro.net.node.NetworkPeer`; inert (no
+    task, no RPCs) until the first subscription arrives.
+    """
+
+    def __init__(
+        self, node: NetworkPeer, checkpoint_path: str | Path | None = None
+    ) -> None:
+        self.node = node
+        self.obs = node.obs
+        self._path = Path(checkpoint_path) if checkpoint_path is not None else None
+        self.subscriptions: dict[int, Subscription] = {}
+        self._next_id = 1
+        self._dirty: set[int] = set()
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self.restored_subscriptions = 0
+        self._g_active = self.obs.gauge(
+            "serve", "subscriptions_active", "standing queries registered"
+        )
+        self._c_notifies = self.obs.counter(
+            "serve", "notifies_sent_total", "acknowledged upcalls delivered"
+        )
+        self._c_notify_failures = self.obs.counter(
+            "serve",
+            "notify_failures_total",
+            "upcalls that failed or went unacknowledged (retried)",
+        )
+        self._c_probes = self.obs.counter(
+            "serve", "subscription_probes_total", "dirty-peer probes run"
+        )
+        self._restore()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _restore(self) -> None:
+        if self._path is None:
+            return
+        ckpt = load_subscriptions(self._path)
+        if ckpt is None or ckpt.peer_id != self.node.peer_id:
+            return
+        for e in ckpt.entries:
+            self.subscriptions[e.sub_id] = Subscription(
+                e.sub_id, e.terms, e.notify_address, e.created_at, set(e.delivered)
+            )
+        highest = max(self.subscriptions, default=0)
+        self._next_id = max(ckpt.next_sub_id, highest + 1)
+        self.restored_subscriptions = len(ckpt.entries)
+        self._g_active.set(len(self.subscriptions))
+        if self.restored_subscriptions:
+            self.obs.emit(
+                "subscriptions_restored",
+                peer=self.node.peer_id,
+                count=self.restored_subscriptions,
+            )
+
+    def checkpoint(self) -> int:
+        """Persist registered subscriptions; returns bytes written.
+
+        A no-op without a checkpoint path; write failures are counted,
+        never raised — a full disk must not stop serving.
+        """
+        if self._path is None:
+            return 0
+        ckpt = SubscriptionCheckpoint(
+            self.node.peer_id,
+            time.time(),
+            self._next_id,
+            tuple(
+                SubscriptionEntry(
+                    s.sub_id,
+                    s.terms,
+                    s.notify_address,
+                    s.created_at,
+                    tuple(sorted(s.delivered)),
+                )
+                for _sid, s in sorted(self.subscriptions.items())
+            ),
+        )
+        try:
+            return save_subscriptions(self._path, ckpt)
+        except OSError:
+            self.obs.counter(
+                "store",
+                "subscription_checkpoint_errors_total",
+                "failed subscription checkpoint writes",
+            ).inc()
+            return 0
+
+    # -- registration (server dispatch) --------------------------------------
+
+    async def handle_subscribe(self, msg: SubscribeRequest) -> SubscribeAck:
+        """Register (or reattach) a standing query; baseline its view."""
+        terms = tuple(self.node.analyzer.analyze_query(" ".join(msg.terms)))
+        if not terms:
+            return SubscribeAck(0, False, "query analyzed to zero terms")
+        existing = self.subscriptions.get(msg.sub_id) if msg.sub_id else None
+        if existing is not None and existing.terms == terms:
+            # Reattach after a client restart: refresh the upcall address,
+            # keep the delivered set (the dedup survives the reconnect).
+            if msg.notify_address:
+                existing.notify_address = msg.notify_address
+            self.checkpoint()
+            return SubscribeAck(existing.sub_id, True, "reattached")
+        sub_id = msg.sub_id if msg.sub_id else self._next_id
+        self._next_id = max(self._next_id, sub_id) + 1
+        sub = Subscription(sub_id, terms, msg.notify_address, msg.created_at)
+        await self._baseline(sub)
+        self.subscriptions[sub_id] = sub
+        self._g_active.set(len(self.subscriptions))
+        self._ensure_task()
+        self.checkpoint()
+        self.obs.emit(
+            "subscription_posted",
+            peer=self.node.peer_id,
+            sub=sub_id,
+            terms=list(terms),
+        )
+        return SubscribeAck(sub_id, True, "subscribed")
+
+    def handle_unsubscribe(self, msg: Unsubscribe) -> SubscribeAck:
+        """Deregister a standing query (idempotent)."""
+        removed = self.subscriptions.pop(msg.sub_id, None)
+        self._g_active.set(len(self.subscriptions))
+        if removed is not None:
+            self.checkpoint()
+            return SubscribeAck(msg.sub_id, True, "unsubscribed")
+        return SubscribeAck(msg.sub_id, False, "unknown subscription")
+
+    async def _baseline(self, sub: Subscription) -> None:
+        """Mark everything already searchable as delivered, silently —
+        upcalls are for documents published *after* the subscription."""
+        for pid in self.node.peer.candidate_peers(list(sub.terms)):
+            sub.delivered.update(await self._matching_ids(pid, sub.terms))
+
+    # -- change detection ----------------------------------------------------
+
+    def mark_dirty(self, pid: int) -> None:
+        """Note that ``pid``'s content may have changed (gossip applied a
+        filter update or join, or we published locally).  Cheap no-op
+        while nothing is subscribed."""
+        if not self.subscriptions:
+            return
+        self._dirty.add(pid)
+        self._wake.set()
+        self._ensure_task()
+
+    def mark_all_dirty(self) -> None:
+        """Probe the whole directory (warm-restart catch-up: rumors that
+        arrived and were checkpointed before the crash never re-apply, so
+        their publishes would otherwise be missed)."""
+        if not self.subscriptions:
+            return
+        self._dirty.update(self.node.peer.directory)
+        self._dirty.add(self.node.peer_id)
+        self._wake.set()
+        self._ensure_task()
+
+    def _ensure_task(self) -> None:
+        if self._task is not None and not self._task.done():
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # sync context; the next async touch starts the worker
+        self._task = loop.create_task(self._worker())
+
+    async def _worker(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            with contextlib.suppress(TransportError, CodecError):
+                await self.drain()
+
+    async def stop(self) -> None:
+        """Cancel the worker and write a final checkpoint."""
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        if self.subscriptions:
+            self.checkpoint()
+
+    # -- probing & delivery --------------------------------------------------
+
+    async def drain(self) -> int:
+        """Probe every dirty peer now; returns upcalls delivered.
+
+        The worker calls this on wakeup; tests call it directly for
+        deterministic delivery without sleeping.
+        """
+        dirty, self._dirty = self._dirty, set()
+        if not dirty or not self.subscriptions:
+            return 0
+        fired = 0
+        for pid in sorted(dirty):
+            fired += await self._probe(pid)
+        self.checkpoint()
+        return fired
+
+    async def _probe(self, pid: int) -> int:
+        self._c_probes.inc()
+        fired = 0
+        for sub in list(self.subscriptions.values()):
+            if sub.sub_id not in self.subscriptions:
+                continue  # unsubscribed while an earlier await ran
+            if not self._filter_may_match(pid, sub.terms):
+                continue
+            for doc_id in await self._matching_ids(pid, sub.terms):
+                if sub.sub_id not in self.subscriptions:
+                    break  # unsubscribe raced the probe: stop delivering
+                if doc_id in sub.delivered:
+                    continue
+                doc = await self._fetch(pid, doc_id)
+                if doc is None:
+                    self._dirty.add(pid)  # fetch failed; retry next wake
+                    continue
+                if await self._notify(sub, pid, doc):
+                    sub.delivered.add(doc_id)
+                    fired += 1
+                else:
+                    self._dirty.add(pid)  # unacked; retry next wake
+        return fired
+
+    def _filter_may_match(self, pid: int, terms: tuple[str, ...]) -> bool:
+        if pid == self.node.peer_id:
+            return self.node.peer.store.bloom_filter.contains_all(terms)
+        entry = self.node.peer.directory.get(pid)
+        if entry is None or entry.bloom_filter is None:
+            return False
+        return entry.bloom_filter.contains_all(terms)
+
+    async def _matching_ids(self, pid: int, terms: tuple[str, ...]) -> list[str]:
+        if pid == self.node.peer_id:
+            return exhaustive_local_match(self.node.peer.store.index, list(terms))
+        reply = await self._rpc(pid, ExhaustiveQuery(terms))
+        if isinstance(reply, ExhaustiveResponse):
+            return list(reply.doc_ids)
+        return []
+
+    async def _fetch(self, pid: int, doc_id: str) -> Document | None:
+        if pid == self.node.peer_id:
+            try:
+                return self.node.peer.store.get(doc_id)
+            except KeyError:
+                return None
+        reply = await self._rpc(pid, SnippetFetch(doc_id))
+        if isinstance(reply, SnippetResponse) and reply.found:
+            return Document(reply.doc_id, reply.text)
+        return None
+
+    async def _notify(self, sub: Subscription, origin: int, doc: Document) -> bool:
+        msg = Notify(sub.sub_id, origin, doc.doc_id, doc.text)
+        try:
+            body = await self.node.transport.request(
+                sub.notify_address, codec.encode(msg)
+            )
+            reply = codec.decode(body)
+        except (TransportError, CodecError):
+            reply = None
+        if isinstance(reply, AENothing):
+            self._c_notifies.inc()
+            self.obs.emit(
+                "notify_delivered",
+                peer=self.node.peer_id,
+                sub=sub.sub_id,
+                doc=doc.doc_id,
+                origin=origin,
+            )
+            return True
+        self._c_notify_failures.inc()
+        return False
+
+    async def _rpc(self, pid: int, msg: object) -> object | None:
+        entry = self.node.peer.directory.get(pid)
+        if entry is None or not entry.address:
+            return None
+        try:
+            body = await self.node.transport.request(
+                entry.address, codec.encode(msg)
+            )
+            return codec.decode(body)
+        except (TransportError, CodecError):
+            self.node._contact_failed(pid)
+            return None
+
+    def __len__(self) -> int:
+        return len(self.subscriptions)
+
+
+class SubscriptionClient:
+    """Client half: posts standing queries and receives their upcalls.
+
+    Owns a transport endpoint serving ``Notify`` frames; callbacks are
+    keyed by subscription id and receive the raw :class:`~repro.gossip.
+    wire.Notify` (sub id, origin peer, doc id, full text).  A ``Notify``
+    for an unknown id is answered with an error, so the server keeps the
+    document queued for redelivery.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        transport: Transport | None = None,
+        net_config: NetConfig | None = None,
+        registry: Registry | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.transport = transport or TcpTransport(net_config or NetConfig())
+        self.obs = registry if registry is not None else global_registry()
+        self.transport.bind_registry(self.obs)
+        self.address: str | None = None
+        self._callbacks: dict[int, Callable[[Notify], None]] = {}
+
+    async def start(self) -> str:
+        """Bind the notify endpoint; returns its address."""
+        self.address = await self.transport.serve(
+            f"{self._host}:{self._port}", self._serve
+        )
+        return self.address
+
+    async def _serve(self, body: bytes) -> bytes:
+        try:
+            msg = codec.decode(body)
+        except CodecError as exc:
+            return codec.encode(ErrorReply(f"bad frame: {exc}"))
+        if isinstance(msg, Notify):
+            callback = self._callbacks.get(msg.sub_id)
+            if callback is None:
+                return codec.encode(
+                    ErrorReply(f"unknown subscription {msg.sub_id}")
+                )
+            callback(msg)
+            self.obs.counter(
+                "serve", "notifies_received_total", "upcalls received and acked"
+            ).inc()
+            return codec.encode(AENothing())
+        return codec.encode(ErrorReply(f"unexpected message {type(msg).__name__}"))
+
+    async def subscribe(
+        self,
+        server_address: str,
+        query: str | Sequence[str],
+        callback: Callable[[Notify], None],
+        sub_id: int = 0,
+    ) -> int:
+        """Post a standing query at ``server_address``; returns its id.
+
+        ``sub_id`` other than 0 reattaches to an existing subscription
+        (after a client restart).  Raises :class:`TransportError` if the
+        server declines.
+        """
+        if self.address is None:
+            raise RuntimeError("call start() before subscribe()")
+        terms = tuple(query.split()) if isinstance(query, str) else tuple(query)
+        msg = SubscribeRequest(sub_id, terms, self.address, time.time())
+        body = await self.transport.request(server_address, codec.encode(msg))
+        reply = codec.decode(body)
+        if not isinstance(reply, SubscribeAck) or not reply.accepted:
+            detail = getattr(reply, "message", type(reply).__name__)
+            raise TransportError(f"subscribe declined: {detail}")
+        self._callbacks[reply.sub_id] = callback
+        return reply.sub_id
+
+    async def unsubscribe(self, server_address: str, sub_id: int) -> bool:
+        """Cancel a standing query; returns whether the server knew it."""
+        self._callbacks.pop(sub_id, None)
+        body = await self.transport.request(
+            server_address, codec.encode(Unsubscribe(sub_id))
+        )
+        reply = codec.decode(body)
+        return isinstance(reply, SubscribeAck) and reply.accepted
+
+    async def close(self) -> None:
+        """Stop serving upcalls and release the transport."""
+        await self.transport.close()

@@ -26,8 +26,12 @@ all three (see ``python -m repro.net --data-dir``).
 from repro.store.checkpoint import (
     CheckpointEntry,
     DirectoryCheckpoint,
+    SubscriptionCheckpoint,
+    SubscriptionEntry,
     load_checkpoint,
+    load_subscriptions,
     save_checkpoint,
+    save_subscriptions,
 )
 from repro.store.persistent_store import PersistentDataStore, RecoveryInfo
 from repro.store.snapshot import (
@@ -43,8 +47,12 @@ __all__ = [
     "DirectoryCheckpoint",
     "PersistentDataStore",
     "RecoveryInfo",
+    "SubscriptionCheckpoint",
+    "SubscriptionEntry",
     "WriteAheadLog",
     "load_checkpoint",
+    "load_subscriptions",
+    "save_subscriptions",
     "load_latest_snapshot",
     "prune_snapshots",
     "save_checkpoint",

@@ -59,6 +59,15 @@ def test_chaos_demo():
     assert "all peers stopped" in out
 
 
+def test_serve_demo():
+    out = _run("serve_demo.py")
+    assert "cache hit on the repeat" in out
+    assert "stale entry evicted" in out
+    assert "rejected (retry_after" in out
+    assert "upcall sub=" in out and "doc='late-news'" in out
+    assert "all peers stopped" in out
+
+
 def test_ranked_search_example():
     out = _run("ranked_search.py")
     assert "adaptive" in out and "first-k" in out

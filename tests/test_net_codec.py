@@ -6,18 +6,23 @@ from repro.constants import NET_CODEC_VERSION
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
     GOSSIP_MESSAGES,
+    SERVE_MESSAGES,
     AENothing,
     AERecent,
     AERequest,
     AESummary,
     JoinRequest,
     JoinSnapshot,
+    Notify,
     PeerRecord,
     PullRequest,
     RumorData,
     RumorPush,
     RumorReply,
     SnapshotEntry,
+    SubscribeAck,
+    SubscribeRequest,
+    Unsubscribe,
     WireRumor,
 )
 from repro.net.codec import (
@@ -74,6 +79,12 @@ MESSAGES = [
         ),
     ),
     StatsResponse(0, 0.0, ()),
+    SubscribeRequest(0, ("gossip", "bloom"), "10.0.0.9:9400", 42.5),
+    SubscribeRequest(12, (), "h:1", 0.0),
+    SubscribeAck(12, True, ""),
+    SubscribeAck(0, False, "queue full"),
+    Notify(12, 7, "doc-a", "the matching document text éè"),
+    Unsubscribe(12),
     ErrorReply("bad frame: truncated"),
 ]
 
@@ -88,6 +99,17 @@ def test_roundtrip(msg):
 def test_every_gossip_type_is_covered():
     tested = {type(m) for m in MESSAGES}
     assert set(GOSSIP_MESSAGES) <= tested
+
+
+def test_every_serve_type_is_covered():
+    tested = {type(m) for m in MESSAGES}
+    assert set(SERVE_MESSAGES) <= tested
+
+
+def test_notify_carries_large_documents():
+    # doc text travels as a u32 blob, not a u16 string, so >64 KiB works
+    msg = Notify(1, 2, "big-doc", "x" * 70_000)
+    assert decode(encode(msg)) == msg
 
 
 def test_unknown_version_rejected():

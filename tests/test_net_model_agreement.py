@@ -20,18 +20,23 @@ from repro.gossip.messages import MessageSizer
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
     GOSSIP_MESSAGES,
+    SERVE_MESSAGES,
     AENothing,
     AERecent,
     AERequest,
     AESummary,
     JoinRequest,
     JoinSnapshot,
+    Notify,
     PeerRecord,
     PullRequest,
     RumorData,
     RumorPush,
     RumorReply,
     SnapshotEntry,
+    SubscribeAck,
+    SubscribeRequest,
+    Unsubscribe,
     WireRumor,
 )
 from repro.net.codec import RankedQuery, encode, encode_member_payload
@@ -82,6 +87,15 @@ INSTANCES = [
     ),
 ]
 
+#: The serve inventory gets the same 2x treatment but stays out of the
+#: gossip coverage check — it is not part of the Table-2 model.
+SERVE_INSTANCES = [
+    SubscribeRequest(0, ("gossip", "bloom", "filters"), "192.168.1.9:9400", 42.5),
+    SubscribeAck(12, True, "subscribed"),
+    Notify(12, 7, "doc-a", "peer 7 shares gossip corpus shard with bloom filters"),
+    Unsubscribe(12),
+]
+
 
 @pytest.fixture(scope="module")
 def sizer() -> MessageSizer:
@@ -103,6 +117,22 @@ def test_real_encoding_within_2x_of_model(msg, sizer):
 def test_inventory_fully_covered(sizer):
     instance_types = {type(m) for m in INSTANCES}
     assert instance_types == set(GOSSIP_MESSAGES)
+
+
+@pytest.mark.parametrize("msg", SERVE_INSTANCES, ids=lambda m: type(m).__name__)
+def test_serve_encoding_within_2x_of_model(msg, sizer):
+    real = len(encode(msg))
+    model = sizer.model_size(msg)
+    assert model > 0
+    ratio = real / model
+    assert 0.5 <= ratio <= 2.0, (
+        f"{type(msg).__name__}: real={real}B model={model}B ratio={ratio:.2f}"
+    )
+
+
+def test_serve_inventory_fully_covered(sizer):
+    instance_types = {type(m) for m in SERVE_INSTANCES}
+    assert instance_types == set(SERVE_MESSAGES)
 
 
 def test_model_rejects_non_gossip_messages(sizer):

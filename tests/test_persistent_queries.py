@@ -1,0 +1,102 @@
+"""Edge cases of the in-process persistent-query manager (Section 5.1).
+
+The dispatch loop must stay correct when callbacks mutate the registry
+mid-dispatch — a cancel racing a publish must suppress the doomed
+query's upcall, a post racing a publish must not corrupt iteration — and
+the delivered set must dedup re-publications of the same document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.persistent import PersistentQueryManager
+from repro.text.document import Document
+
+
+def _terms(text: str) -> set[str]:
+    return set(text.split())
+
+
+def test_matching_document_fires_once_per_query():
+    mgr = PersistentQueryManager()
+    hits: list[str] = []
+    mgr.post(["gossip"], lambda doc: hits.append(doc.doc_id))
+    mgr.post(["gossip", "bloom"], lambda doc: hits.append("both:" + doc.doc_id))
+    fired = mgr.on_new_document(Document("d1", ""), _terms("gossip bloom"))
+    assert fired == 2
+    assert sorted(hits) == ["both:d1", "d1"]
+    assert mgr.on_new_document(Document("d2", ""), _terms("bloom")) == 0
+
+
+def test_republished_document_is_deduplicated():
+    """Remove-then-republish: the delivered set outlives the document,
+    so the same doc id coming back never re-fires."""
+    mgr = PersistentQueryManager()
+    hits: list[str] = []
+    mgr.post(["gossip"], lambda doc: hits.append(doc.doc_id))
+    doc = Document("d", "gossip rumors")
+    assert mgr.on_new_document(doc, _terms("gossip rumors")) == 1
+    # The document is removed and published again — duplicate upcalls
+    # would make every subscriber re-process old news.
+    assert mgr.on_new_document(doc, _terms("gossip rumors")) == 0
+    assert mgr.on_new_document(Document("d", "gossip edited"), _terms("gossip")) == 0
+    assert hits == ["d"]
+
+
+def test_cancel_racing_a_publish_suppresses_the_upcall():
+    """A callback cancelling another query mid-dispatch must win the
+    race: the cancelled query gets no upcall for the in-flight doc."""
+    mgr = PersistentQueryManager()
+    hits: list[str] = []
+
+    def assassin(doc: Document) -> None:
+        hits.append("assassin")
+        mgr.cancel(doomed.query_id)
+
+    mgr.post(["gossip"], assassin)  # dispatches first (insertion order)
+    doomed = mgr.post(["gossip"], lambda doc: hits.append("doomed"))
+    fired = mgr.on_new_document(Document("d", ""), _terms("gossip"))
+    assert fired == 1
+    assert hits == ["assassin"]
+    assert len(mgr) == 1
+
+
+def test_callback_posting_a_query_does_not_break_dispatch():
+    mgr = PersistentQueryManager()
+    hits: list[str] = []
+
+    def recruiter(doc: Document) -> None:
+        hits.append("recruiter:" + doc.doc_id)
+        mgr.post(["gossip"], lambda d: hits.append("recruit:" + d.doc_id))
+
+    mgr.post(["gossip"], recruiter)
+    # The new query must not fire for the document that created it.
+    assert mgr.on_new_document(Document("d1", ""), _terms("gossip")) == 1
+    assert hits == ["recruiter:d1"]
+    # ...but it is live for the next one (and the recruiter spawns more).
+    assert mgr.on_new_document(Document("d2", ""), _terms("gossip")) == 2
+    assert "recruit:d2" in hits
+
+
+def test_callback_cancelling_itself_is_safe():
+    mgr = PersistentQueryManager()
+    hits: list[str] = []
+
+    def one_shot(doc: Document) -> None:
+        hits.append(doc.doc_id)
+        mgr.cancel(query.query_id)
+
+    query = mgr.post(["gossip"], one_shot)
+    assert mgr.on_new_document(Document("d1", ""), _terms("gossip")) == 1
+    assert mgr.on_new_document(Document("d2", ""), _terms("gossip")) == 0
+    assert hits == ["d1"]
+    assert len(mgr) == 0
+
+
+def test_cancel_unknown_and_empty_terms_raise():
+    mgr = PersistentQueryManager()
+    with pytest.raises(KeyError):
+        mgr.cancel(42)
+    with pytest.raises(ValueError):
+        mgr.post([], lambda doc: None)

@@ -1,0 +1,175 @@
+"""The query plane's version-keyed result cache (repro.serve.cache).
+
+Two halves: :class:`ResultCache` as a pure LRU with generation-checked
+lookups (hit/miss/stale/eviction accounting), and
+:func:`directory_generation` as a live fingerprint over real loopback
+nodes — it must hold still while nothing changes and move on exactly the
+events that can change a search answer: a local publish, a gossip-applied
+replica update, and an online flip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net.node import NetworkPeer
+from repro.net.transport import LoopbackNetwork
+from repro.obs import Registry
+from repro.serve import ResultCache, directory_generation
+from repro.text.document import Document
+
+
+def _node(net: LoopbackNetwork, pid: int) -> NetworkPeer:
+    return NetworkPeer(
+        pid, "peer", pid, transport=net.transport(), seed=pid, registry=Registry()
+    )
+
+
+async def _spread(nodes: list[NetworkPeer], rounds: int = 12) -> None:
+    for _ in range(rounds):
+        for node in nodes:
+            await node.gossip_round()
+
+
+# -- ResultCache --------------------------------------------------------------
+
+
+def test_cache_roundtrip_hits():
+    reg = Registry()
+    cache = ResultCache(4, registry=reg)
+    cache.put(("ranked", ("gossip",), 10), 7, "answer")
+    assert cache.get(("ranked", ("gossip",), 10), 7) == "answer"
+    assert reg.value("serve", "result_cache_hits_total") == 1
+    assert reg.value("serve", "result_cache_misses_total") == 0
+    assert len(cache) == 1
+
+
+def test_cache_misses_on_absent_key():
+    reg = Registry()
+    cache = ResultCache(4, registry=reg)
+    assert cache.get("nope", 1) is None
+    assert reg.value("serve", "result_cache_misses_total") == 1
+    assert reg.value("serve", "result_cache_stale_total") == 0
+
+
+def test_generation_mismatch_evicts_and_counts_stale():
+    reg = Registry()
+    cache = ResultCache(4, registry=reg)
+    cache.put("q", 1, "old")
+    assert cache.get("q", 2) is None  # the directory moved on
+    assert reg.value("serve", "result_cache_stale_total") == 1
+    assert reg.value("serve", "result_cache_misses_total") == 1
+    # The stale entry is gone, not resurrectable at its old generation.
+    assert cache.get("q", 1) is None
+    assert len(cache) == 0
+
+
+def test_lru_evicts_least_recently_used():
+    reg = Registry()
+    cache = ResultCache(2, registry=reg)
+    cache.put("a", 1, "A")
+    cache.put("b", 1, "B")
+    assert cache.get("a", 1) == "A"  # refresh a; b is now the LRU
+    cache.put("c", 1, "C")
+    assert reg.value("serve", "result_cache_evictions_total") == 1
+    assert cache.get("b", 1) is None
+    assert cache.get("a", 1) == "A"
+    assert cache.get("c", 1) == "C"
+    assert reg.value("serve", "result_cache_size") == 2
+
+
+def test_zero_capacity_stores_nothing():
+    cache = ResultCache(0, registry=Registry())
+    cache.put("q", 1, "dropped")
+    assert len(cache) == 0
+    assert cache.get("q", 1) is None
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(-1, registry=Registry())
+
+
+def test_clear_empties_the_cache():
+    reg = Registry()
+    cache = ResultCache(4, registry=reg)
+    cache.put("q", 1, "gone")
+    cache.clear()
+    assert len(cache) == 0
+    assert reg.value("serve", "result_cache_size") == 0
+
+
+# -- directory_generation -----------------------------------------------------
+
+
+def test_generation_stable_while_nothing_changes():
+    async def scenario():
+        net = LoopbackNetwork()
+        a, b = _node(net, 0), _node(net, 1)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        await _spread([a, b])
+        g0 = directory_generation(a)
+        assert directory_generation(a) == g0  # pure read, no side effects
+        await _spread([a, b], rounds=3)  # quiescent gossip: no new content
+        assert directory_generation(a) == g0
+        await a.stop()
+        await b.stop()
+
+    asyncio.run(scenario())
+
+
+def test_local_publish_moves_generation():
+    async def scenario():
+        net = LoopbackNetwork()
+        a = _node(net, 0)
+        await a.start()
+        g0 = directory_generation(a)
+        a.publish(Document("d", "bloom filters summarize membership"))
+        assert directory_generation(a) != g0
+        await a.stop()
+
+    asyncio.run(scenario())
+
+
+def test_replica_update_moves_generation():
+    async def scenario():
+        net = LoopbackNetwork()
+        a, b = _node(net, 0), _node(net, 1)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        await _spread([a, b])
+        g0 = directory_generation(a)
+        b.publish(Document("d-b", "gossip spreads rumors epidemically"))
+        # Until the rumor reaches a, its view (and generation) holds.
+        assert directory_generation(a) == g0
+        await _spread([a, b])
+        assert a.replica_of(1) == b.peer.store.bloom_filter
+        assert directory_generation(a) != g0
+        await a.stop()
+        await b.stop()
+
+    asyncio.run(scenario())
+
+
+def test_online_flip_moves_generation():
+    async def scenario():
+        net = LoopbackNetwork()
+        a, b = _node(net, 0), _node(net, 1)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        await _spread([a, b])
+        g0 = directory_generation(a)
+        a.peer.directory[1].online = False  # a failed contact's verdict
+        assert directory_generation(a) != g0
+        a.peer.directory[1].online = True
+        assert directory_generation(a) == g0
+        await a.stop()
+        await b.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,339 @@
+"""Persistent queries over the wire (repro.serve.subscriptions).
+
+Loopback communities drive the full path: a :class:`SubscriptionClient`
+posts a standing query at one node, a document published on a *different*
+node travels by gossip to the serving node's replicated directory, and
+the subscriber receives exactly one ``Notify`` upcall for it.  Around
+that spine: baseline silencing, dedup across re-probes, unsubscribe,
+reattach after a client restart, unacked-notify retries, durable
+checkpoints across a server restart, and checkpoint-file robustness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.constants import StoreConfig
+from repro.net.node import NetworkPeer
+from repro.net.transport import LoopbackNetwork, TransportError
+from repro.obs import Registry
+from repro.serve import SubscriptionClient
+from repro.store import (
+    SubscriptionCheckpoint,
+    SubscriptionEntry,
+    load_subscriptions,
+    save_subscriptions,
+)
+from repro.text.document import Document
+
+FAST_STORE = StoreConfig(fsync=False)
+
+
+def _node(net: LoopbackNetwork, pid: int, port: int | None = None, **kwargs) -> NetworkPeer:
+    kwargs.setdefault("registry", Registry())
+    return NetworkPeer(
+        pid, "peer", port if port is not None else pid,
+        transport=net.transport(), seed=pid, **kwargs,
+    )
+
+
+async def _boot(net: LoopbackNetwork, n: int) -> list[NetworkPeer]:
+    nodes = [_node(net, pid) for pid in range(n)]
+    for node in nodes:
+        await node.start()
+    for node in nodes[1:]:
+        await node.join(nodes[0].address)
+    await _spread(nodes)
+    return nodes
+
+
+async def _spread(nodes: list[NetworkPeer], rounds: int = 15) -> None:
+    """Drive gossip rounds, letting the subscription workers run between
+    them, then settle any remaining dirty marks deterministically."""
+    for _ in range(rounds):
+        for node in nodes:
+            await node.gossip_round()
+    for node in nodes:
+        while await node.subscriptions.drain():
+            pass
+
+
+async def _client(net: LoopbackNetwork, port: int = 9000) -> SubscriptionClient:
+    client = SubscriptionClient(
+        "client", port, transport=net.transport(), registry=Registry()
+    )
+    await client.start()
+    return client
+
+
+def test_remote_publish_reaches_the_subscriber_once():
+    async def scenario():
+        net = LoopbackNetwork()
+        nodes = await _boot(net, 3)
+        client = await _client(net)
+        events = []
+        sub_id = await client.subscribe(nodes[0].address, "gossip", events.append)
+        assert len(nodes[0].subscriptions) == 1
+
+        nodes[2].publish(Document("d-new", "gossip spreads epidemically"))
+        await _spread(nodes)
+        assert [e.doc_id for e in events] == ["d-new"]
+        notify = events[0]
+        assert notify.sub_id == sub_id
+        assert notify.origin == 2
+        assert "gossip" in notify.text
+        reg = nodes[0].obs
+        assert reg.value("serve", "notifies_sent_total") == 1
+        assert reg.value("serve", "subscriptions_active") == 1
+
+        # Re-probing the same content must not re-deliver.
+        nodes[0].subscriptions.mark_all_dirty()
+        await _spread(nodes, rounds=3)
+        assert len(events) == 1
+
+        for node in nodes:
+            await node.stop()
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_baseline_documents_are_silent():
+    async def scenario():
+        net = LoopbackNetwork()
+        nodes = await _boot(net, 3)
+        nodes[1].publish(Document("d-old", "gossip existed before anyone asked"))
+        await _spread(nodes)
+
+        client = await _client(net)
+        events = []
+        await client.subscribe(nodes[0].address, "gossip", events.append)
+        nodes[0].subscriptions.mark_all_dirty()
+        await _spread(nodes, rounds=3)
+        assert events == []  # pre-existing matches were baselined
+
+        nodes[1].publish(Document("d-new", "gossip published after subscribing"))
+        await _spread(nodes)
+        assert [e.doc_id for e in events] == ["d-new"]
+
+        for node in nodes:
+            await node.stop()
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_publish_on_the_serving_node_itself_fires():
+    async def scenario():
+        net = LoopbackNetwork()
+        nodes = await _boot(net, 2)
+        client = await _client(net)
+        events = []
+        await client.subscribe(nodes[0].address, "bloom", events.append)
+        nodes[0].publish(Document("d-local", "bloom filters grown locally"))
+        await _spread(nodes, rounds=3)
+        assert [e.doc_id for e in events] == ["d-local"]
+        assert events[0].origin == 0
+        for node in nodes:
+            await node.stop()
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_unsubscribe_stops_delivery():
+    async def scenario():
+        net = LoopbackNetwork()
+        nodes = await _boot(net, 2)
+        client = await _client(net)
+        events = []
+        sub_id = await client.subscribe(nodes[0].address, "gossip", events.append)
+        assert await client.unsubscribe(nodes[0].address, sub_id) is True
+        assert len(nodes[0].subscriptions) == 0
+        nodes[1].publish(Document("d", "gossip into the void"))
+        await _spread(nodes)
+        assert events == []
+        # Idempotent: the second cancel reports the id as unknown.
+        assert await client.unsubscribe(nodes[0].address, sub_id) is False
+        for node in nodes:
+            await node.stop()
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_zero_term_subscription_is_declined():
+    async def scenario():
+        net = LoopbackNetwork()
+        nodes = await _boot(net, 1)
+        client = await _client(net)
+        with pytest.raises(TransportError, match="declined"):
+            await client.subscribe(nodes[0].address, "", lambda n: None)
+        assert len(nodes[0].subscriptions) == 0
+        await nodes[0].stop()
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_subscribe_before_start_is_refused():
+    async def scenario():
+        net = LoopbackNetwork()
+        client = SubscriptionClient(
+            "client", 1, transport=net.transport(), registry=Registry()
+        )
+        with pytest.raises(RuntimeError, match="start"):
+            await client.subscribe("peer:0", "gossip", lambda n: None)
+
+    asyncio.run(scenario())
+
+
+def test_client_restart_reattaches_and_keeps_dedup():
+    async def scenario():
+        net = LoopbackNetwork()
+        nodes = await _boot(net, 2)
+        first = await _client(net, port=9000)
+        events_old = []
+        sub_id = await first.subscribe(
+            nodes[0].address, "gossip", events_old.append
+        )
+        nodes[1].publish(Document("d1", "gossip round one"))
+        await _spread(nodes)
+        assert [e.doc_id for e in events_old] == ["d1"]
+        await first.close()  # the client dies; its address goes away
+
+        # A new incarnation at a different address reattaches by sub id.
+        second = await _client(net, port=9001)
+        events_new = []
+        reattached = await second.subscribe(
+            nodes[0].address, "gossip", events_new.append, sub_id=sub_id
+        )
+        assert reattached == sub_id
+        assert len(nodes[0].subscriptions) == 1  # no duplicate registration
+        nodes[1].publish(Document("d2", "gossip round two"))
+        await _spread(nodes)
+        # Only the new document arrives: d1 stayed in the delivered set.
+        assert [e.doc_id for e in events_new] == ["d2"]
+        for node in nodes:
+            await node.stop()
+        await second.close()
+
+    asyncio.run(scenario())
+
+
+def test_unacked_notify_is_retried_until_the_client_returns():
+    async def scenario():
+        net = LoopbackNetwork()
+        nodes = await _boot(net, 2)
+        client = await _client(net, port=9000)
+        events = []
+        sub_id = await client.subscribe(nodes[0].address, "gossip", events.append)
+        await client.close()  # gone before anything is published
+
+        nodes[1].publish(Document("d", "gossip with nobody listening"))
+        await _spread(nodes)
+        assert events == []
+        reg = nodes[0].obs
+        assert reg.value("serve", "notify_failures_total") >= 1
+        assert reg.value("serve", "notifies_sent_total") == 0
+
+        # The client comes back at the same address and reattaches; the
+        # retried probe delivers the queued document.
+        revived = await _client(net, port=9000)
+        await revived.subscribe(
+            nodes[0].address, "gossip", events.append, sub_id=sub_id
+        )
+        nodes[0].subscriptions.mark_dirty(1)
+        await _spread(nodes, rounds=3)
+        assert [e.doc_id for e in events] == ["d"]
+        assert reg.value("serve", "notifies_sent_total") == 1
+        for node in nodes:
+            await node.stop()
+        await revived.close()
+
+    asyncio.run(scenario())
+
+
+def test_subscriptions_survive_a_server_restart(tmp_path):
+    async def scenario():
+        net = LoopbackNetwork()
+        a = _node(net, 0, data_dir=tmp_path, store_config=FAST_STORE)
+        b = _node(net, 1)
+        await a.start()
+        await b.start()
+        await b.join(a.address)
+        await _spread([a, b])
+
+        client = await _client(net)
+        events = []
+        sub_id = await client.subscribe(a.address, "gossip", events.append)
+        b.publish(Document("d1", "gossip before the crash"))
+        await _spread([a, b])
+        assert [e.doc_id for e in events] == ["d1"]
+        await a.stop()  # writes directory + subscription checkpoints
+
+        # Published while the serving node is down: no rumor will ever
+        # re-apply for it after the restart — only the start()-time
+        # directory sweep can catch it.
+        b.publish(Document("d2", "gossip during the outage"))
+
+        a2 = _node(net, 0, port=100, data_dir=tmp_path, store_config=FAST_STORE)
+        restored = a2.subscriptions.subscriptions
+        assert a2.subscriptions.restored_subscriptions == 1
+        assert restored[sub_id].delivered == {"d1"}
+        assert restored[sub_id].notify_address == client.address
+        await a2.start()
+        await _spread([a2, b])
+        # Exactly the outage document arrives; d1 is not re-delivered.
+        assert [e.doc_id for e in events] == ["d1", "d2"]
+        await a2.stop()
+        await b.stop()
+        await client.close()
+
+    asyncio.run(scenario())
+
+
+# -- checkpoint file robustness ----------------------------------------------
+
+
+def test_subscription_checkpoint_roundtrip(tmp_path):
+    path = tmp_path / "subs.ckpt"
+    ckpt = SubscriptionCheckpoint(
+        7,
+        123.5,
+        4,
+        (
+            SubscriptionEntry(3, ("gossip", "bloom"), "client:9", 1.0, ("d1", "d2")),
+        ),
+    )
+    assert save_subscriptions(path, ckpt) > 0
+    loaded = load_subscriptions(path)
+    assert loaded == ckpt
+
+
+def test_corrupt_subscription_checkpoint_is_a_cold_start(tmp_path):
+    path = tmp_path / "subs.ckpt"
+    ckpt = SubscriptionCheckpoint(7, 1.0, 2, ())
+    save_subscriptions(path, ckpt)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # torn write
+    assert load_subscriptions(path) is None
+    assert load_subscriptions(tmp_path / "absent.ckpt") is None
+
+
+def test_checkpoint_for_another_peer_is_ignored(tmp_path):
+    async def scenario():
+        net = LoopbackNetwork()
+        save_subscriptions(
+            tmp_path / "subscriptions.ckpt",
+            SubscriptionCheckpoint(
+                9, 1.0, 5, (SubscriptionEntry(1, ("t",), "x:1", 0.0, ()),)
+            ),
+        )
+        node = _node(net, 0, data_dir=tmp_path, store_config=FAST_STORE)
+        assert node.subscriptions.restored_subscriptions == 0
+        assert len(node.subscriptions) == 0
+
+    asyncio.run(scenario())
