@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Fleet benchmark: real-subprocess launch, convergence, recall, recovery.
+
+Runs the :mod:`repro.fleet` orchestrator end to end — every node a
+separate ``python -m repro.net`` process on its own localhost TCP port —
+and reports the numbers the harness gates scale runs on:
+
+* **launch** — subprocess spawn-to-ready throughput (nodes/second);
+* **convergence** — directory convergence time against the Fig.-2
+  bound, reported as the *fraction of the bound used* so the gate is
+  meaningful across machines of different speeds;
+* **recall** — converged ranked-search recall vs. the in-process
+  full-directory oracle, plus publish-wave freshness (stale serves);
+* **recovery** — SIGKILL/warm-restart time for the crash schedule;
+* **gossip cost** — mean encoded bytes per gossip round per node.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --write BENCH_fleet.json
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick --check BENCH_fleet.json
+
+``--check`` enforces hard floors (all fleet invariants hold: recall,
+zero stale serves, zero leaked processes/ports) and compares the
+machine-stable quantities — recall and gossip bytes per round — against
+the committed baseline.  Absolute times are reported but never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+from repro.fleet import FleetReport, FleetSpec, run_scenario
+
+#: Hard floors from the fleet acceptance criteria.  Recall is the small-
+#: fleet bar (see tests/test_fleet_small.py for why it is not 0.98).
+FLOORS = {
+    "min_recall": 0.95,
+    "stale_serves": 0,  # exactly equal
+    "leaked": 0,  # processes + ports, exactly equal
+}
+
+#: Gossip cost may drift in either direction: paying more bytes per
+#: round than baseline is a compression/summary regression.
+GOSSIP_BYTES_SLACK = 0.50
+
+
+def _spec(quick: bool, seed: int) -> FleetSpec:
+    if quick:
+        return FleetSpec(num_nodes=10, seed=seed, num_crashes=1)
+    return FleetSpec(num_nodes=25, seed=seed)
+
+
+def run_sweep(quick: bool, seed: int = 20030612) -> dict:
+    spec = _spec(quick, seed)
+    report: FleetReport = run_scenario(spec)
+    return {
+        "meta": {
+            "quick": quick,
+            "num_nodes": spec.num_nodes,
+            "seed": seed,
+            "python": platform.python_version(),
+        },
+        "fleet": report.to_dict(),
+        "derived": {
+            "launch_nodes_per_s": (
+                spec.num_nodes / report.launch_s if report.launch_s else 0.0
+            ),
+            "convergence_bound_used": (
+                report.convergence_s / report.convergence_bound_s
+                if report.convergence_bound_s
+                else 0.0
+            ),
+            "violations": report.violations(min_recall=FLOORS["min_recall"]),
+        },
+    }
+
+
+def check_regression(results: dict, baseline: dict, threshold: float) -> list[str]:
+    """Failures vs floors and the committed baseline; empty means pass."""
+    failures = []
+    fleet, derived = results["fleet"], results["derived"]
+    for violation in derived["violations"]:
+        failures.append(f"invariant: {violation}")
+    leaked = fleet["leaked_processes"] + fleet["leaked_ports"]
+    if leaked != FLOORS["leaked"]:
+        failures.append(f"hygiene: {leaked} leaked process(es)/port(s)")
+    base = baseline.get("fleet", {})
+    base_recall = base.get("recall")
+    if base_recall and fleet["recall"] < base_recall * (1.0 - threshold):
+        failures.append(
+            f"recall {fleet['recall']:.3f} regressed >{threshold:.0%} "
+            f"from baseline {base_recall:.3f}"
+        )
+    base_bytes = base.get("gossip_bytes_per_round")
+    if base_bytes and fleet["gossip_bytes_per_round"] > base_bytes * (
+        1.0 + GOSSIP_BYTES_SLACK
+    ):
+        failures.append(
+            f"gossip cost {fleet['gossip_bytes_per_round']:.0f} B/round grew "
+            f">{GOSSIP_BYTES_SLACK:.0%} over baseline {base_bytes:.0f} B/round"
+        )
+    return failures
+
+
+def _report(results: dict) -> str:
+    fleet, derived = results["fleet"], results["derived"]
+    waves = ", ".join(f"{s:.1f}s" for s in fleet["wave_propagation_s"]) or "none"
+    return "\n".join(
+        [
+            f"fleet of {fleet['num_nodes']} subprocess nodes (seed {fleet['seed']}):",
+            f"  launch       {fleet['launch_s']:8.1f}s  "
+            f"({derived['launch_nodes_per_s']:.1f} nodes/s)",
+            f"  convergence  {fleet['convergence_s']:8.1f}s  "
+            f"({derived['convergence_bound_used']:.0%} of the "
+            f"{fleet['convergence_bound_s']:.0f}s Fig.-2 bound)",
+            f"  recall       {fleet['recall']:8.3f}   "
+            f"(worst query {fleet['recall_min']:.3f}); "
+            f"stale serves {fleet['stale_serves']}",
+            f"  waves        {waves}",
+            f"  recovery     {fleet['recovery_s']:8.1f}s  "
+            f"(crash pids {fleet['crash_pids']}, recall after "
+            f"{fleet['recall_after_recovery']:.3f})",
+            f"  gossip       {fleet['gossip_bytes_per_round']:8.0f} B/round  "
+            f"({fleet['gossip_rounds_per_node']:.0f} rounds/node)",
+            f"  cleanup      {fleet['forced_kills']} forced, "
+            f"{fleet['leaked_processes']} leaked proc(s), "
+            f"{fleet['leaked_ports']} leaked port(s)",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(__doc__ or "fleet benchmark").splitlines()[0]
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--write", metavar="PATH", help="write results JSON")
+    parser.add_argument(
+        "--check", metavar="PATH", help="compare against a baseline JSON"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="allowed fractional recall regression vs baseline (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_sweep(quick=args.quick)
+    print(_report(results))
+    if args.write:
+        with open(args.write, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.write}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(results, baseline, args.threshold)
+        if failures:
+            print("REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"ok: no fleet regression vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

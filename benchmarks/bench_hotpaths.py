@@ -277,7 +277,10 @@ def _report(results: dict) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # __doc__ is None under python -OO; the benches must still run there.
+    parser = argparse.ArgumentParser(
+        description=(__doc__ or "hot-path benchmark").splitlines()[0]
+    )
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
     parser.add_argument("--write", metavar="PATH", help="write results JSON")
     parser.add_argument(

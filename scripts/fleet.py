@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Launch a PlanetP fleet and judge it against the paper's invariants.
+
+Stands up N real ``python -m repro.net`` processes on localhost ports,
+runs the seeded scenario (staggered join, publish waves, ranked
+searches, SIGKILL/warm-restart), and prints the resulting
+:class:`repro.fleet.FleetReport`.  Exits 1 if any acceptance criterion
+is violated, so it doubles as a CI gate and a local soak tool::
+
+    PYTHONPATH=src python scripts/fleet.py --nodes 25
+    PYTHONPATH=src python scripts/fleet.py --nodes 500 --seed 7 \
+        --gossip-interval 2.5 --slack 180 --log-dir /tmp/fleet-logs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.fleet import FleetSpec, run_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    spec = FleetSpec()  # one source of defaults: the dataclass itself
+    parser = argparse.ArgumentParser(
+        prog="fleet.py",
+        description=(__doc__ or "run a PlanetP fleet").splitlines()[0],
+    )
+    parser.add_argument("--nodes", type=int, default=spec.num_nodes,
+                        help="fleet size (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=spec.seed,
+                        help="scenario seed; same seed, same run (default: %(default)s)")
+    parser.add_argument("--gossip-interval", type=float,
+                        default=spec.gossip_interval_s, metavar="SECONDS",
+                        help="per-node gossip interval T_g (default: %(default)s)")
+    parser.add_argument("--bloom-bits", type=int, default=spec.bloom_bits,
+                        help="Bloom filter bits per node (default: %(default)s)")
+    parser.add_argument("--waves", type=int, default=spec.num_waves,
+                        help="publish waves to inject (default: %(default)s)")
+    parser.add_argument("--crashes", type=int, default=spec.num_crashes,
+                        help="nodes to SIGKILL and warm-restart (default: %(default)s)")
+    parser.add_argument("--launch-batch", type=int, default=spec.launch_batch,
+                        help="nodes launched per batch (default: %(default)s)")
+    parser.add_argument("--ready-timeout", type=float,
+                        default=spec.ready_timeout_s, metavar="SECONDS",
+                        help="per-node readiness deadline (default: %(default)s)")
+    parser.add_argument("--slack", type=float, default=spec.convergence_slack_s,
+                        metavar="SECONDS",
+                        help="additive slack in the convergence bound (default: %(default)s)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="working directory for corpora and data dirs "
+                             "(default: a temp dir, removed afterwards)")
+    parser.add_argument("--log-dir", type=Path, default=None,
+                        help="keep per-node logs here (default: under --root)")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="also write the report as JSON to PATH ('-' for stdout)")
+    parser.add_argument("--min-recall", type=float, default=0.98,
+                        help="acceptance bar for mean recall vs. the oracle "
+                             "(default: %(default)s)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        spec = FleetSpec(
+            num_nodes=args.nodes,
+            seed=args.seed,
+            gossip_interval_s=args.gossip_interval,
+            bloom_bits=args.bloom_bits,
+            num_waves=args.waves,
+            num_crashes=args.crashes,
+            launch_batch=args.launch_batch,
+            ready_timeout_s=args.ready_timeout,
+            convergence_slack_s=args.slack,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    progress = None if args.quiet else (lambda msg: print(msg, flush=True))
+    report = run_scenario(
+        spec, root=args.root, log_dir=args.log_dir, progress=progress
+    )
+
+    payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if args.json is not None:
+        if str(args.json) == "-":
+            print(payload)
+        else:
+            args.json.write_text(payload + "\n")
+
+    print(f"fleet of {report.num_nodes} (seed {report.seed}):")
+    print(f"  launch            {report.launch_s:8.1f}s")
+    print(f"  convergence       {report.convergence_s:8.1f}s  "
+          f"(bound {report.convergence_bound_s:.1f}s)")
+    print(f"  recall            {report.recall:8.3f}   "
+          f"(worst query {report.recall_min:.3f})")
+    print(f"  stale serves      {report.stale_serves:8d}")
+    if report.wave_propagation_s:
+        waves = ", ".join(f"{s:.1f}s" for s in report.wave_propagation_s)
+        print(f"  wave propagation  {waves}")
+    if report.crash_pids:
+        print(f"  crash/restart     pids {report.crash_pids}, "
+              f"recovered in {report.recovery_s:.1f}s, "
+              f"recall after {report.recall_after_recovery:.3f}")
+    print(f"  gossip            {report.gossip_bytes_per_round:8.0f} B/round, "
+          f"{report.gossip_rounds_per_node:.0f} rounds/node")
+    print(f"  cleanup           {report.forced_kills} forced kill(s), "
+          f"{report.leaked_processes} leaked process(es), "
+          f"{report.leaked_ports} leaked port(s)")
+
+    violations = report.violations(min_recall=args.min_recall)
+    if violations:
+        print("VIOLATIONS:", file=sys.stderr)
+        for line in violations:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("all fleet invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

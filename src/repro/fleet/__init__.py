@@ -1,0 +1,60 @@
+"""Multi-process fleet orchestration (500+ real-socket nodes).
+
+Everything above the in-process acceptance suites runs at most a dozen
+loopback peers, but the paper's headline claims — propagation time,
+join traffic, convergence under churn (Figs. 2-5) — are about
+*community-scale* behavior.  This package stands up that community for
+real: N ``python -m repro.net`` subprocesses on localhost ephemeral
+ports, driven through scripted scenarios and measured from the outside.
+
+Layers:
+
+* :mod:`~repro.fleet.proc` — one node subprocess: spawn, parse the
+  CLI's ``PLANETP_READY`` line for the bound port, SIGKILL, reap.
+* :mod:`~repro.fleet.scenario` — the seeded script: corpora, queries,
+  publish waves, crash schedule.  Everything derives from one integer
+  seed, so a fleet run is reproducible end to end.
+* :mod:`~repro.fleet.orchestrator` — the conductor: staggered launch,
+  stats scraping over the ``StatsRequest`` wire message, control-plane
+  publish waves (``PublishRequest``), crash/warm-restart, an in-process
+  observer node that joins the fleet to issue ranked searches, and
+  guaranteed process reaping.
+* :mod:`~repro.fleet.oracle` — the full-directory in-process community
+  built from the same scenario, whose ranked results are the ground
+  truth fleet searches are scored against.
+* :mod:`~repro.fleet.invariants` — the fleet-level checks: the Fig.-2
+  convergence bound, recall@k, per-node gossip bytes, leak detection.
+
+``scripts/fleet.py`` and ``benchmarks/bench_fleet.py`` are thin CLI
+wrappers over :func:`~repro.fleet.orchestrator.run_scenario`;
+``tests/test_fleet_small.py`` (tier 1) and ``tests/test_fleet_scale.py``
+(the 500-node CI job) gate the invariants.
+"""
+
+from repro.fleet.invariants import (
+    FleetReport,
+    convergence_bound_s,
+    gossip_bytes_per_round,
+    recall_at_k,
+)
+from repro.fleet.oracle import FleetOracle
+from repro.fleet.orchestrator import Fleet, FleetError, run_scenario
+from repro.fleet.proc import NodeProcess, ReadyInfo, parse_ready
+from repro.fleet.scenario import FleetSpec, Scenario, build_scenario
+
+__all__ = [
+    "Fleet",
+    "FleetError",
+    "FleetOracle",
+    "FleetReport",
+    "FleetSpec",
+    "NodeProcess",
+    "ReadyInfo",
+    "Scenario",
+    "build_scenario",
+    "convergence_bound_s",
+    "gossip_bytes_per_round",
+    "parse_ready",
+    "recall_at_k",
+    "run_scenario",
+]

@@ -1,0 +1,134 @@
+"""Fleet-level invariants: the numbers a run is judged by.
+
+The acceptance bar for a fleet run (tiered tests, the bench gate, and
+``scripts/fleet.py --check``) is expressed once, here:
+
+* **convergence** — directories reach full membership within a bound
+  derived from the paper's Fig. 2: propagation completes in O(log n)
+  gossip rounds, so the bound is ``slack + T_g * (8 + 3·log2(n))``
+  seconds.  The constants are deliberately generous (Fig. 2 shows
+  ~log2(n) + a small constant rounds for arbitrary updates) because a
+  single-host fleet shares one CPU across all n nodes.
+* **recall** — ranked-search results from the live fleet, scored
+  against the in-process full-directory oracle's top-k.
+* **freshness** — zero stale serves: after a publish wave has
+  propagated, the query plane must return the new documents (the
+  version-keyed result cache may never answer with a pre-wave result).
+* **hygiene** — every subprocess reaped, every port closed.
+
+:class:`FleetReport` carries every measured number plus
+:meth:`FleetReport.violations`, so every consumer applies the same
+checks instead of growing drift-prone local copies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "FleetReport",
+    "convergence_bound_s",
+    "gossip_bytes_per_round",
+    "recall_at_k",
+]
+
+
+def convergence_bound_s(
+    num_nodes: int, interval_s: float, slack_s: float = 15.0
+) -> float:
+    """Fig.-2-derived deadline for full directory convergence (seconds)."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    rounds = 8.0 + 3.0 * math.log2(max(2, num_nodes))
+    return slack_s + interval_s * rounds
+
+
+def recall_at_k(expected: list[str] | tuple[str, ...], got: list[str]) -> float:
+    """Fraction of the oracle's top-k the fleet returned (1.0 if the
+    oracle returned nothing — there was nothing to miss)."""
+    if not expected:
+        return 1.0
+    return len(set(expected) & set(got)) / len(expected)
+
+
+def gossip_bytes_per_round(samples: Mapping[str, float]) -> float:
+    """Mean encoded gossip bytes per round from one node's stats scrape."""
+    total = samples.get("planetp_node_gossip_real_bytes_total", 0.0)
+    rounds = samples.get("planetp_node_gossip_rounds_total", 0.0)
+    return total / rounds if rounds else 0.0
+
+
+@dataclass
+class FleetReport:
+    """Every number one fleet run produced."""
+
+    num_nodes: int
+    seed: int
+    #: first spawn to last PLANETP_READY.
+    launch_s: float
+    #: launch completion to every directory at full membership.
+    convergence_s: float
+    convergence_bound_s: float
+    #: mean / worst per-query recall of the converged fleet vs. the oracle.
+    recall: float
+    recall_min: float
+    #: post-wave queries answered from a pre-wave cache entry (must be 0).
+    stale_serves: int
+    #: per-wave publish-to-searchable time.
+    wave_propagation_s: list[float] = field(default_factory=list)
+    crash_pids: list[int] = field(default_factory=list)
+    #: did the query plane keep answering while members were down?
+    crash_search_ok: bool = True
+    #: restart begun to every crashed node's sentinel doc fetchable again.
+    recovery_s: float = 0.0
+    #: mean recall (base + wave queries) after the crash/restart cycle.
+    recall_after_recovery: float = 1.0
+    gossip_bytes_per_node: float = 0.0
+    gossip_bytes_per_round: float = 0.0
+    gossip_rounds_per_node: float = 0.0
+    #: nodes that ignored the graceful stop and needed SIGKILL.
+    forced_kills: int = 0
+    #: processes still running / ports still accepting after stop().
+    leaked_processes: int = 0
+    leaked_ports: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (what ``scripts/fleet.py --json`` writes)."""
+        return asdict(self)
+
+    def violations(self, *, min_recall: float = 0.98) -> list[str]:
+        """Every acceptance-criterion breach, as human-readable strings.
+
+        ``min_recall`` is "within 2 points of the oracle" by default;
+        small fleets may pass a looser bar (fewer peers means one
+        ranking tie breaking differently costs more recall).
+        """
+        out = []
+        if self.convergence_s > self.convergence_bound_s:
+            out.append(
+                f"convergence took {self.convergence_s:.1f}s, over the "
+                f"Fig.-2 bound of {self.convergence_bound_s:.1f}s"
+            )
+        if self.recall < min_recall:
+            out.append(
+                f"fleet recall {self.recall:.3f} below {min_recall:.3f} "
+                f"(worst query {self.recall_min:.3f})"
+            )
+        if self.stale_serves > 0:
+            out.append(f"{self.stale_serves} stale serve(s) after publish waves")
+        if not self.crash_search_ok:
+            out.append("query plane failed while crashed members were down")
+        if self.crash_pids and self.recall_after_recovery < min_recall:
+            out.append(
+                f"post-recovery recall {self.recall_after_recovery:.3f} "
+                f"below {min_recall:.3f}"
+            )
+        if self.leaked_processes:
+            out.append(f"{self.leaked_processes} node process(es) leaked")
+        if self.leaked_ports:
+            out.append(f"{self.leaked_ports} node port(s) still accepting")
+        return out

@@ -1,0 +1,50 @@
+"""The full-directory oracle a fleet's search results are scored against.
+
+An :class:`~repro.core.community.InProcessCommunity` built from the same
+scenario is ground truth for ranked search: it shares the analyzer, the
+Bloom sizing, the TF×IPF ranking, the adaptive stopping rule, and the
+merge logic with the networked path, but its "directory replication" is
+perfect by construction.  A converged fleet should therefore return the
+same top-k — any shortfall is gossip (replication lag, a member the
+observer doesn't know, a filter diff that never arrived), which is
+exactly what fleet recall is meant to measure.
+
+The oracle community has ``num_nodes + 1`` peers: peer ``num_nodes`` is
+the empty observer, mirroring the in-process observer node the
+orchestrator joins to the live fleet, so peer ranking sees the same
+membership on both sides.
+"""
+
+from __future__ import annotations
+
+from repro.constants import BloomConfig
+from repro.core.community import InProcessCommunity
+from repro.fleet.scenario import Scenario, Wave
+
+__all__ = ["FleetOracle"]
+
+
+class FleetOracle:
+    """In-process ground truth built from a fleet scenario."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        spec = scenario.spec
+        self.community = InProcessCommunity(
+            spec.num_nodes + 1,
+            bloom_config=BloomConfig(
+                num_bits=spec.bloom_bits, num_hashes=spec.bloom_hashes
+            ),
+        )
+        for pid, docs in enumerate(scenario.corpus):
+            for doc in docs:
+                self.community.publish(pid, doc)
+
+    def apply_wave(self, wave: Wave) -> None:
+        """Mirror one publish wave into the oracle."""
+        for pid, doc in wave.publishes:
+            self.community.publish(pid, doc)
+
+    def ranked_ids(self, query: str, k: int) -> list[str]:
+        """The oracle's ranked top-k document ids for ``query``."""
+        result = self.community.ranked_search(query, k=k)
+        return [doc.doc_id for doc in result.results]

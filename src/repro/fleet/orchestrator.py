@@ -1,0 +1,562 @@
+"""The fleet conductor: launch, measure, perturb, and reap real nodes.
+
+:class:`Fleet` drives N ``python -m repro.net`` subprocesses through a
+:class:`~repro.fleet.scenario.Scenario`:
+
+* **staggered launch** — a seed node, then batches that each bootstrap
+  off a random already-ready member (so join load spreads instead of
+  hammering node 0), every node on ``--port 0`` with its bound address
+  parsed from the ``PLANETP_READY`` line;
+* **outside-in measurement** — each node's metrics are scraped over the
+  ``StatsRequest`` wire message with bounded concurrency; directory
+  convergence is "every node's ``planetp_node_directory_size`` gauge
+  reports full membership";
+* **control plane** — publish waves are injected with the
+  ``PublishRequest`` RPC at exact scenario moments (the document takes
+  the node's ordinary publish path: WAL when durable, index, filter
+  flush, BF_UPDATE rumor);
+* **an observer** — one in-process :class:`~repro.net.node.NetworkPeer`
+  joins the live fleet and fronts it with a
+  :class:`~repro.serve.scheduler.QueryScheduler`, so ranked searches,
+  freshness checks, and document fetches run through the production
+  query plane rather than a test backdoor;
+* **churn** — SIGKILL per the crash schedule, warm restart from the
+  same ``--data-dir`` (new ephemeral port; the community relearns the
+  address from the REJOIN rumor, exactly as the paper prescribes);
+* **guaranteed reaping** — graceful SIGINT sweep, bounded wait, SIGKILL
+  stragglers, then a leak audit of processes and ports.
+
+:func:`run_scenario` strings those into the full timeline and returns a
+:class:`~repro.fleet.invariants.FleetReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import random
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable
+
+import repro
+from repro.constants import BloomConfig, GossipConfig, NetConfig
+from repro.fleet.invariants import (
+    FleetReport,
+    convergence_bound_s,
+    recall_at_k,
+)
+from repro.fleet.oracle import FleetOracle
+from repro.fleet.proc import FleetError, NodeProcess, ReadyInfo
+from repro.fleet.scenario import FleetSpec, Scenario, build_scenario
+from repro.net import codec
+from repro.net.codec import PublishAck, PublishRequest, StatsRequest, StatsResponse
+from repro.net.node import NetworkPeer
+from repro.net.transport import TcpTransport, TransportError
+from repro.obs import Registry
+from repro.serve.scheduler import QueryScheduler
+from repro.text.document import Document
+
+__all__ = ["Fleet", "FleetError", "run_scenario", "run_scenario_async"]
+
+#: directory-size gauge every convergence check reads.
+_DIRECTORY_GAUGE = "planetp_node_directory_size"
+
+
+def _subprocess_env() -> dict[str, str]:
+    """The child environment, with this interpreter's ``repro`` first on
+    ``PYTHONPATH`` — fleets must run the code under test even when the
+    orchestrating process imported it from a source tree."""
+    pkg_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    previous = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        pkg_root if not previous else pkg_root + os.pathsep + previous
+    )
+    return env
+
+
+class Fleet:
+    """N live node subprocesses plus the plumbing to drive and read them."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        root: str | Path,
+        log_dir: str | Path | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.spec = scenario.spec
+        self.root = Path(root)
+        self.log_dir = Path(log_dir) if log_dir is not None else self.root / "logs"
+        self.say = progress if progress is not None else lambda _msg: None
+        #: live (or most recent) process per peer id.
+        self.procs: dict[int, NodeProcess] = {}
+        #: current serving address per peer id.
+        self.addresses: dict[int, str] = {}
+        self.transport = TcpTransport(NetConfig())
+        # The fleet's own randomness (bootstrap targets, observer join
+        # point) keys off the scenario seed too: one seed, one run.
+        self._rng = random.Random(self.spec.seed ^ 0x5EED)
+        self._scrape_gate = asyncio.Semaphore(self.spec.scrape_concurrency)
+        self._env = _subprocess_env()
+        self.observer: NetworkPeer | None = None
+        self.scheduler: QueryScheduler | None = None
+
+    # -- layout --------------------------------------------------------------
+
+    def corpus_dir(self, pid: int) -> Path:
+        """Where node ``pid``'s startup ``--corpus`` tree lives."""
+        return self.root / "corpus" / f"n{pid:04d}"
+
+    def data_dir(self, pid: int) -> Path:
+        """Durable node ``pid``'s ``--data-dir``."""
+        return self.root / "data" / f"n{pid:04d}"
+
+    def log_path(self, pid: int) -> Path:
+        """Node ``pid``'s log file (shared across restarts)."""
+        return self.log_dir / f"n{pid:04d}.log"
+
+    def write_corpora(self) -> None:
+        """Materialize every node's scenario corpus as ``*.txt`` files."""
+        for pid, docs in enumerate(self.scenario.corpus):
+            directory = self.corpus_dir(pid)
+            directory.mkdir(parents=True, exist_ok=True)
+            for doc in docs:
+                (directory / f"{doc.doc_id}.txt").write_text(
+                    doc.text, encoding="utf-8"
+                )
+
+    def _node_args(self, pid: int, bootstrap: str | None) -> list[str]:
+        args = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.net",
+            "--peer-id", str(pid),
+            "--port", "0",
+            "--corpus", str(self.corpus_dir(pid)),
+            "--gossip-interval", str(self.spec.gossip_interval_s),
+            "--bloom-bits", str(self.spec.bloom_bits),
+            "--bloom-hashes", str(self.spec.bloom_hashes),
+        ]
+        if bootstrap is not None:
+            args += ["--bootstrap", bootstrap]
+        if pid in self.scenario.durable_pids:
+            # Durable exactly where the crash schedule needs it; fsync
+            # off — the WAL still reaches the OS on every append, so a
+            # SIGKILL (not a host crash) loses nothing.
+            args += [
+                "--data-dir", str(self.data_dir(pid)),
+                "--snapshot-every", str(self.spec.snapshot_every),
+                "--no-fsync",
+            ]
+        return args
+
+    # -- launch --------------------------------------------------------------
+
+    async def launch(self) -> float:
+        """Staggered batched launch; seconds from first spawn to last ready."""
+        self.write_corpora()
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        started = time.monotonic()
+        ready_addrs: list[str] = []
+        await self._launch_batch([0], ready_addrs)
+        pending = list(range(1, self.spec.num_nodes))
+        while pending:
+            batch = pending[: self.spec.launch_batch]
+            pending = pending[self.spec.launch_batch :]
+            await self._launch_batch(batch, ready_addrs)
+            self.say(
+                f"fleet: {len(ready_addrs)}/{self.spec.num_nodes} nodes ready"
+            )
+        return time.monotonic() - started
+
+    async def _launch_batch(
+        self, pids: list[int], ready_addrs: list[str]
+    ) -> None:
+        batch = []
+        for pid in pids:
+            bootstrap = self._rng.choice(ready_addrs) if ready_addrs else None
+            proc = NodeProcess(
+                pid, self._node_args(pid, bootstrap), self.log_path(pid),
+                env=self._env,
+            )
+            proc.spawn()
+            self.procs[pid] = proc
+            batch.append(proc)
+        infos = await asyncio.gather(
+            *(p.wait_ready(self.spec.ready_timeout_s) for p in batch)
+        )
+        for info in infos:
+            self.addresses[info.peer_id] = info.address
+            ready_addrs.append(info.address)
+
+    # -- scraping ------------------------------------------------------------
+
+    async def scrape(self, pid: int) -> dict[str, float] | None:
+        """One node's metrics as a name→value dict (None if unreachable)."""
+        address = self.addresses.get(pid)
+        if address is None:
+            return None
+        async with self._scrape_gate:
+            try:
+                body = await self.transport.request(
+                    address, codec.encode(StatsRequest())
+                )
+            except TransportError:
+                return None
+        reply = codec.decode(body)
+        if not isinstance(reply, StatsResponse):
+            return None
+        return dict(reply.samples)
+
+    async def scrape_all(self) -> dict[int, dict[str, float]]:
+        """Metrics from every live node (unreachable nodes omitted)."""
+        pids = [pid for pid, proc in self.procs.items() if proc.alive]
+        results = await asyncio.gather(*(self.scrape(pid) for pid in pids))
+        return {
+            pid: samples
+            for pid, samples in zip(pids, results)
+            if samples is not None
+        }
+
+    async def await_convergence(self, expected: int, timeout_s: float) -> float:
+        """Seconds until every node's directory gauge reports ``expected``
+        members; raises :class:`FleetError` past ``timeout_s``."""
+        started = time.monotonic()
+        last_said = 0.0
+        poll_s = max(0.2, self.spec.gossip_interval_s / 2)
+        while True:
+            stats = await self.scrape_all()
+            converged = sum(
+                1
+                for samples in stats.values()
+                if samples.get(_DIRECTORY_GAUGE, 0.0) >= expected
+            )
+            elapsed = time.monotonic() - started
+            if converged == self.spec.num_nodes:
+                return elapsed
+            if elapsed > timeout_s:
+                raise FleetError(
+                    f"directory convergence timed out after {elapsed:.1f}s: "
+                    f"{converged}/{self.spec.num_nodes} nodes at "
+                    f"{expected} members ({len(stats)} scrapable)"
+                )
+            if elapsed - last_said > 5.0:
+                self.say(
+                    f"fleet: {converged}/{self.spec.num_nodes} directories "
+                    f"converged after {elapsed:.1f}s"
+                )
+                last_said = elapsed
+            await asyncio.sleep(poll_s)
+
+    # -- control plane -------------------------------------------------------
+
+    async def publish(self, pid: int, doc: Document) -> PublishAck:
+        """Inject ``doc`` at node ``pid``; raises unless acked accepted."""
+        body = await self.transport.request(
+            self.addresses[pid], codec.encode(PublishRequest(doc.doc_id, doc.text))
+        )
+        reply = codec.decode(body)
+        if not isinstance(reply, PublishAck) or not reply.accepted:
+            raise FleetError(
+                f"node {pid} did not accept publish of {doc.doc_id!r}: {reply!r}"
+            )
+        return reply
+
+    def kill(self, pid: int) -> None:
+        """SIGKILL node ``pid`` (the crash schedule — no cleanup runs)."""
+        self.procs[pid].sigkill()
+
+    async def restart(self, pid: int) -> ReadyInfo:
+        """Respawn a killed node on its old ``--data-dir`` (new port)."""
+        await self.procs[pid].reap(10.0)
+        live = [
+            self.addresses[p]
+            for p, proc in self.procs.items()
+            if p != pid and proc.alive
+        ]
+        if not live:
+            raise FleetError("no live node left to bootstrap a restart from")
+        proc = NodeProcess(
+            pid,
+            self._node_args(pid, self._rng.choice(live)),
+            self.log_path(pid),
+            env=self._env,
+        )
+        proc.spawn()
+        self.procs[pid] = proc
+        info = await proc.wait_ready(self.spec.ready_timeout_s)
+        self.addresses[pid] = info.address
+        return info
+
+    # -- the observer --------------------------------------------------------
+
+    async def start_observer(self) -> QueryScheduler:
+        """Join an in-process observer node and front it with the query
+        plane.  Its own registry keeps fleet metrics out of the global one."""
+        spec = self.spec
+        self.observer = NetworkPeer(
+            spec.num_nodes,
+            "127.0.0.1",
+            0,
+            gossip_config=GossipConfig(
+                base_interval_s=spec.gossip_interval_s,
+                max_interval_s=spec.gossip_interval_s * 2,
+            ),
+            bloom_config=BloomConfig(
+                num_bits=spec.bloom_bits, num_hashes=spec.bloom_hashes
+            ),
+            registry=Registry(),
+        )
+        await self.observer.start()
+        await self.observer.join(self._rng.choice(list(self.addresses.values())))
+        self.observer.run()
+        self.scheduler = QueryScheduler(self.observer)
+        return self.scheduler
+
+    # -- teardown ------------------------------------------------------------
+
+    async def stop(self, reap_timeout_s: float | None = None) -> tuple[int, int, int]:
+        """Stop everything; returns (forced_kills, leaked_procs, leaked_ports).
+
+        Graceful first (SIGINT runs each node's checkpoint-and-close
+        path), SIGKILL for stragglers, then the leak audit the scale
+        test gates on: no process unreaped, no port still accepting.
+        """
+        if self.observer is not None:
+            await self.observer.stop()
+            self.observer = None
+            self.scheduler = None
+        if reap_timeout_s is None:
+            # Every node finalizes concurrently but shares the host CPU.
+            reap_timeout_s = 30.0 + 0.2 * len(self.procs)
+        for proc in self.procs.values():
+            proc.interrupt()
+        deadline = time.monotonic() + reap_timeout_s
+        forced = 0
+        for proc in self.procs.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            if not await proc.reap(remaining):
+                proc.sigkill()
+                forced += 1
+        leaked_procs = 0
+        for proc in self.procs.values():
+            if not await proc.reap(5.0):
+                leaked_procs += 1
+        leaked_ports = await self._count_open_ports()
+        await self.transport.close()
+        return forced, leaked_procs, leaked_ports
+
+    async def _count_open_ports(self) -> int:
+        """How many node addresses still accept connections (should be 0)."""
+        leaked = 0
+        for address in self.addresses.values():
+            host, _, port = address.rpartition(":")
+            try:
+                _reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, int(port)), 1.0
+                )
+            except (OSError, asyncio.TimeoutError):
+                continue
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            leaked += 1
+        return leaked
+
+
+# ---------------------------------------------------------------------------
+# the scripted timeline
+# ---------------------------------------------------------------------------
+
+
+async def run_scenario_async(
+    spec: FleetSpec,
+    root: str | Path | None = None,
+    log_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FleetReport:
+    """Run the full fleet timeline for ``spec``; see :func:`run_scenario`."""
+    say = progress if progress is not None else lambda _msg: None
+    scenario = build_scenario(spec)
+    cleanup_root = root is None
+    root = (
+        Path(tempfile.mkdtemp(prefix="planetp-fleet-")) if root is None else Path(root)
+    )
+    fleet = Fleet(scenario, root, log_dir=log_dir, progress=progress)
+    bound = convergence_bound_s(
+        spec.num_nodes, spec.gossip_interval_s, spec.convergence_slack_s
+    )
+    poll_s = max(0.2, spec.gossip_interval_s / 2)
+    m: dict = {}
+    try:
+        say(f"fleet: launching {spec.num_nodes} nodes under {root}")
+        m["launch_s"] = await fleet.launch()
+        say(f"fleet: all nodes ready in {m['launch_s']:.1f}s")
+
+        m["convergence_s"] = await fleet.await_convergence(spec.num_nodes, bound)
+        say(
+            f"fleet: directories converged in {m['convergence_s']:.1f}s "
+            f"(bound {bound:.1f}s)"
+        )
+
+        scheduler = await fleet.start_observer()
+        client = scheduler.client
+        oracle = FleetOracle(scenario)
+
+        # Baseline: ranked recall of the live fleet vs. the oracle.
+        recalls = []
+        for query in scenario.queries:
+            served = await scheduler.ranked(query, spec.top_k)
+            expected = oracle.ranked_ids(query, spec.top_k)
+            recalls.append(
+                recall_at_k(expected, [d.doc_id for d in served.results])
+            )
+        m["recall"] = statistics.fmean(recalls)
+        m["recall_min"] = min(recalls)
+        say(f"fleet: baseline recall {m['recall']:.3f} (min {m['recall_min']:.3f})")
+
+        # Publish waves: measure propagation, then prove freshness — the
+        # cache was primed with the pre-wave answer, so serving anything
+        # but the new documents afterwards is a stale serve.
+        stale_serves = 0
+        wave_propagation = []
+        for wave in scenario.waves:
+            await scheduler.ranked(wave.query, spec.top_k)
+            wave_started = time.monotonic()
+            for pid, doc in wave.publishes:
+                await fleet.publish(pid, doc)
+            oracle.apply_wave(wave)
+            wave_ids = set(wave.doc_ids)
+            wave_deadline = wave_started + bound
+            while True:
+                direct = await client.ranked_search(wave.query, spec.top_k)
+                if wave_ids <= {d.doc_id for d in direct.results}:
+                    break
+                if time.monotonic() > wave_deadline:
+                    raise FleetError(
+                        f"wave {wave.index} not searchable within {bound:.1f}s"
+                    )
+                await asyncio.sleep(poll_s)
+            wave_propagation.append(time.monotonic() - wave_started)
+            served = await scheduler.ranked(wave.query, spec.top_k)
+            if wave_ids - {d.doc_id for d in served.results}:
+                stale_serves += 1
+            say(
+                f"fleet: wave {wave.index} searchable after "
+                f"{wave_propagation[-1]:.1f}s"
+            )
+        m["stale_serves"] = stale_serves
+        m["wave_propagation_s"] = wave_propagation
+
+        # Crash schedule: SIGKILL, keep serving, warm restart, recover.
+        m["crash_pids"] = list(scenario.crash_pids)
+        m["crash_search_ok"] = True
+        m["recovery_s"] = 0.0
+        if scenario.crash_pids:
+            say(f"fleet: SIGKILL nodes {list(scenario.crash_pids)}")
+            for pid in scenario.crash_pids:
+                fleet.kill(pid)
+            for query in scenario.queries[:2]:
+                try:
+                    await scheduler.ranked(query, spec.top_k)
+                except Exception:
+                    m["crash_search_ok"] = False
+            restart_started = time.monotonic()
+            for pid in scenario.crash_pids:
+                await fleet.restart(pid)
+            pending = {
+                pid: scenario.sentinel_doc(pid) for pid in scenario.crash_pids
+            }
+            recovery_deadline = restart_started + bound + spec.ready_timeout_s
+            while pending:
+                recovered = []
+                for pid, doc in pending.items():
+                    fetched = await client.fetch(pid, doc.doc_id)
+                    if fetched is not None and fetched.text == doc.text:
+                        recovered.append(pid)
+                for pid in recovered:
+                    del pending[pid]
+                if not pending:
+                    break
+                if time.monotonic() > recovery_deadline:
+                    raise FleetError(
+                        f"nodes {sorted(pending)} not recovered within "
+                        f"{bound + spec.ready_timeout_s:.1f}s of restart"
+                    )
+                await asyncio.sleep(poll_s)
+            m["recovery_s"] = time.monotonic() - restart_started
+            say(f"fleet: crash schedule recovered in {m['recovery_s']:.1f}s")
+
+        # Post-recovery recall over base + wave queries.
+        recalls2 = []
+        for query in [*scenario.queries, *(w.query for w in scenario.waves)]:
+            served = await scheduler.ranked(query, spec.top_k)
+            expected = oracle.ranked_ids(query, spec.top_k)
+            recalls2.append(
+                recall_at_k(expected, [d.doc_id for d in served.results])
+            )
+        m["recall_after_recovery"] = statistics.fmean(recalls2)
+
+        # Cost: what the convergence and churn above took on the wire.
+        stats = await fleet.scrape_all()
+        byte_totals = [
+            s.get("planetp_node_gossip_real_bytes_total", 0.0)
+            for s in stats.values()
+        ]
+        round_totals = [
+            s.get("planetp_node_gossip_rounds_total", 0.0) for s in stats.values()
+        ]
+        m["gossip_bytes_per_node"] = (
+            statistics.fmean(byte_totals) if byte_totals else 0.0
+        )
+        m["gossip_rounds_per_node"] = (
+            statistics.fmean(round_totals) if round_totals else 0.0
+        )
+        total_rounds = sum(round_totals)
+        m["gossip_bytes_per_round"] = (
+            sum(byte_totals) / total_rounds if total_rounds else 0.0
+        )
+    finally:
+        forced, leaked_procs, leaked_ports = await fleet.stop()
+        if cleanup_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+    report = FleetReport(
+        num_nodes=spec.num_nodes,
+        seed=spec.seed,
+        convergence_bound_s=bound,
+        forced_kills=forced,
+        leaked_processes=leaked_procs,
+        leaked_ports=leaked_ports,
+        **m,
+    )
+    say(f"fleet: done — {len(report.violations()) or 'no'} violation(s)")
+    return report
+
+
+def run_scenario(
+    spec: FleetSpec,
+    root: str | Path | None = None,
+    log_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FleetReport:
+    """Launch a fleet per ``spec``, run the scripted timeline, and return
+    the measured :class:`~repro.fleet.invariants.FleetReport`.
+
+    ``root`` holds corpora, data dirs, and (by default) logs; a
+    temporary directory is created and removed when omitted.  Pass
+    ``log_dir`` to keep per-node logs somewhere durable (CI uploads
+    them as an artifact on failure).  ``progress`` receives one-line
+    status updates.  Teardown always runs — the fleet is reaped even
+    when the scenario fails.
+    """
+    return asyncio.run(run_scenario_async(spec, root, log_dir, progress))

@@ -1,0 +1,208 @@
+"""One fleet node as a managed ``python -m repro.net`` subprocess.
+
+:class:`NodeProcess` owns exactly one life of one node: spawn with
+stdout/stderr appended to a per-node log file, wait for the CLI's
+machine-readable ``PLANETP_READY`` line (which carries the bound
+ephemeral port), deliver signals, and reap.  A crash/restart schedule
+creates a *new* :class:`NodeProcess` per life over the same log path —
+each life scans the log only from its own spawn offset, so a restart
+never mistakes the previous life's ready line for its own.
+
+Everything here is synchronous process plumbing except the two waits
+(:meth:`NodeProcess.wait_ready`, :meth:`NodeProcess.reap`), which poll
+with ``asyncio.sleep`` so an orchestrator can wait on a whole launch
+batch concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import signal
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Sequence
+
+__all__ = ["FleetError", "NodeProcess", "ReadyInfo", "parse_ready"]
+
+
+class FleetError(RuntimeError):
+    """A fleet-level failure: node died early, deadline blown, leak."""
+
+
+#: The CLI's ready line (see ``repro.net.cli.run``).  Anchored and fully
+#: keyed so ordinary human-oriented output can never false-positive.
+READY_RE = re.compile(
+    r"^PLANETP_READY peer=(?P<peer>\d+) addr=(?P<addr>\S+) "
+    r"pid=(?P<pid>\d+) members=(?P<members>\d+)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class ReadyInfo:
+    """The parsed ``PLANETP_READY`` line of one node life."""
+
+    peer_id: int
+    address: str
+    pid: int
+    members: int
+
+
+def parse_ready(line: str) -> ReadyInfo | None:
+    """Parse one log line; ``None`` if it is not a ready line."""
+    match = READY_RE.match(line.strip())
+    if match is None:
+        return None
+    return ReadyInfo(
+        peer_id=int(match.group("peer")),
+        address=match.group("addr"),
+        pid=int(match.group("pid")),
+        members=int(match.group("members")),
+    )
+
+
+class NodeProcess:
+    """Spawn, observe, signal, and reap one node subprocess."""
+
+    def __init__(
+        self,
+        peer_id: int,
+        args: Sequence[str],
+        log_path: str | Path,
+        env: dict[str, str] | None = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.args = list(args)
+        self.log_path = Path(log_path)
+        self.env = env
+        #: parsed ready line of this life (set by :meth:`wait_ready`).
+        self.ready: ReadyInfo | None = None
+        self._proc: subprocess.Popen | None = None
+        self._log_file: IO[bytes] | None = None
+        #: log offset this life starts at — ready-line scanning must not
+        #: see a previous life's output in a shared restart log.
+        self._scan_from = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def spawn(self) -> int:
+        """Start the subprocess; returns its OS pid."""
+        if self._proc is not None and self._proc.poll() is None:
+            raise FleetError(f"node {self.peer_id} is already running")
+        self.log_path.parent.mkdir(parents=True, exist_ok=True)
+        self._scan_from = (
+            self.log_path.stat().st_size if self.log_path.exists() else 0
+        )
+        self._log_file = open(self.log_path, "ab")
+        self._proc = subprocess.Popen(
+            self.args,
+            stdin=subprocess.DEVNULL,
+            stdout=self._log_file,
+            stderr=subprocess.STDOUT,
+            env=self.env,
+        )
+        return self._proc.pid
+
+    @property
+    def os_pid(self) -> int | None:
+        """OS pid of the running (or exited-but-unreaped) process."""
+        return self._proc.pid if self._proc is not None else None
+
+    @property
+    def alive(self) -> bool:
+        """True while the subprocess has not exited."""
+        return self._proc is not None and self._proc.poll() is None
+
+    @property
+    def returncode(self) -> int | None:
+        """Exit status, or ``None`` while running / never spawned."""
+        return self._proc.poll() if self._proc is not None else None
+
+    # -- readiness -----------------------------------------------------------
+
+    async def wait_ready(self, timeout_s: float) -> ReadyInfo:
+        """Wait for this life's ``PLANETP_READY`` line in the log.
+
+        Raises :class:`FleetError` (with the log tail attached, so CI
+        failures are debuggable from the message alone) if the process
+        exits first or the deadline passes.
+        """
+        deadline = time.monotonic() + timeout_s
+        partial = b""
+        offset = self._scan_from
+        while True:
+            try:
+                with open(self.log_path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                chunk = b""
+            if chunk:
+                offset += len(chunk)
+                partial += chunk
+                lines = partial.split(b"\n")
+                partial = lines.pop()  # tail may be mid-write
+                for raw in lines:
+                    info = parse_ready(raw.decode("utf-8", errors="replace"))
+                    if info is not None and info.peer_id == self.peer_id:
+                        self.ready = info
+                        return info
+            if not self.alive:
+                raise FleetError(
+                    f"node {self.peer_id} exited with status "
+                    f"{self.returncode} before becoming ready\n"
+                    f"--- log tail ({self.log_path}) ---\n{self.log_tail()}"
+                )
+            if time.monotonic() > deadline:
+                raise FleetError(
+                    f"node {self.peer_id} not ready within {timeout_s:.0f}s\n"
+                    f"--- log tail ({self.log_path}) ---\n{self.log_tail()}"
+                )
+            await asyncio.sleep(0.05)
+
+    def log_tail(self, lines: int = 15) -> str:
+        """The last ``lines`` lines of the node's log (for diagnostics)."""
+        try:
+            with open(self.log_path, "rb") as fh:
+                fh.seek(0, 2)
+                size = fh.tell()
+                fh.seek(max(0, size - 8192))
+                text = fh.read().decode("utf-8", errors="replace")
+        except OSError:
+            return "<log unreadable>"
+        return "\n".join(text.splitlines()[-lines:])
+
+    # -- signalling & reaping ------------------------------------------------
+
+    def _signal(self, sig: int) -> None:
+        if self.alive:
+            assert self._proc is not None
+            self._proc.send_signal(sig)
+
+    def interrupt(self) -> None:
+        """SIGINT: the CLI's graceful-exit path (checkpoint + close)."""
+        self._signal(signal.SIGINT)
+
+    def terminate(self) -> None:
+        """SIGTERM: immediate default-action death, no cleanup."""
+        self._signal(signal.SIGTERM)
+
+    def sigkill(self) -> None:
+        """SIGKILL: the crash-schedule signal — nothing runs, ever."""
+        self._signal(signal.SIGKILL)
+
+    async def reap(self, timeout_s: float) -> bool:
+        """Collect the exit status; True once reaped (or never spawned)."""
+        if self._proc is None:
+            return True
+        deadline = time.monotonic() + timeout_s
+        while self._proc.poll() is None:
+            if time.monotonic() > deadline:
+                return False
+            await asyncio.sleep(0.1)
+        if self._log_file is not None:
+            self._log_file.close()
+            self._log_file = None
+        return True

@@ -1,0 +1,189 @@
+"""Seeded fleet scenarios: corpora, queries, waves, crash schedule.
+
+Everything a fleet run does is derived here from one integer seed, so a
+500-node run that fails in CI reproduces bit-identically from
+``--seed`` alone.  The generator never touches wall clocks, hostnames,
+or directory listings — just ``random.Random(seed)``.
+
+Synthetic text is built from a small Zipf-flavored topic vocabulary
+(``term0007``-style tokens: alphanumeric, stopword-free, and fixed
+points of the Porter stemmer, so every token survives the analyzer
+unchanged) plus one node-unique term per document.  Topic terms shared
+across many nodes make ranked queries span peers — which is what makes
+fleet recall vs. the full-directory oracle a meaningful number — while
+the unique terms give the crash schedule a per-node sentinel document
+to prove recovery with.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.text.document import Document
+
+__all__ = ["FleetSpec", "Scenario", "Wave", "build_scenario"]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Tunable shape of one fleet scenario (all derived from ``seed``)."""
+
+    num_nodes: int = 25
+    seed: int = 0
+    #: base gossip interval T_g for every node (paper: 30 s; fleets run
+    #: compressed time so convergence is measured in seconds, not hours).
+    gossip_interval_s: float = 0.25
+    #: community-wide Bloom sizing.  The 50 KB paper default costs
+    #: ~25 MB of replica memory per node at 500 members; fleets default
+    #: to 64 Kbit filters, ample for a few dozen synthetic terms.
+    bloom_bits: int = 65536
+    bloom_hashes: int = 2
+    docs_per_node: int = 3
+    terms_per_doc: int = 10
+    vocab_size: int = 120
+    num_queries: int = 6
+    top_k: int = 10
+    num_waves: int = 2
+    docs_per_wave: int = 3
+    num_crashes: int = 2
+    #: nodes launched (and waited ready) per batch after the seed node.
+    launch_batch: int = 16
+    #: WAL records between snapshots on durable (crash-schedule) nodes.
+    snapshot_every: int = 64
+    #: additive slack in the Fig.-2 convergence bound (absorbs process
+    #: startup, scrape latency, and gauge refresh lag).
+    convergence_slack_s: float = 15.0
+    #: per-node deadline for the PLANETP_READY line after spawn.
+    ready_timeout_s: float = 60.0
+    #: concurrent in-flight stats scrapes during convergence polling.
+    scrape_concurrency: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("a fleet needs at least 2 nodes")
+        if not 0 <= self.num_crashes < self.num_nodes:
+            raise ValueError("num_crashes must be in [0, num_nodes)")
+        if self.docs_per_node < 1 or self.terms_per_doc < 1:
+            raise ValueError("every node needs at least one non-empty document")
+        if self.vocab_size < 2:
+            raise ValueError("vocab_size must be >= 2")
+        if self.gossip_interval_s <= 0:
+            raise ValueError("gossip_interval_s must be positive")
+        if self.launch_batch < 1:
+            raise ValueError("launch_batch must be >= 1")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+
+
+@dataclass(frozen=True)
+class Wave:
+    """One publish wave: new documents injected at chosen members."""
+
+    index: int
+    #: the wave's marker term — present in every wave document and
+    #: nowhere else, so one ranked query for it must return the whole
+    #: wave once (and only once) gossip has propagated the filters.
+    query: str
+    publishes: tuple[tuple[int, Document], ...]
+
+    @property
+    def doc_ids(self) -> tuple[str, ...]:
+        """Ids of every document this wave publishes."""
+        return tuple(doc.doc_id for _pid, doc in self.publishes)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully materialized, reproducible fleet script."""
+
+    spec: FleetSpec
+    #: per-node startup corpus, indexed by peer id.
+    corpus: tuple[tuple[Document, ...], ...]
+    #: ranked queries scored against the oracle for recall.
+    queries: tuple[str, ...]
+    waves: tuple[Wave, ...]
+    #: peers the crash schedule SIGKILLs and warm-restarts.
+    crash_pids: tuple[int, ...]
+
+    @property
+    def durable_pids(self) -> tuple[int, ...]:
+        """Peers launched with ``--data-dir`` (exactly the crash set —
+        durability is what the crash schedule is there to exercise)."""
+        return self.crash_pids
+
+    def sentinel_doc(self, pid: int) -> Document:
+        """The document whose post-restart fetch proves ``pid`` recovered."""
+        return self.corpus[pid][0]
+
+
+def _topic_picker(rng: random.Random, vocab: list[str]):
+    """Zipf-flavored draw: low-index (popular) terms dominate, the tail
+    stays rare — the skew that gives TF×IPF ranking something to rank."""
+
+    def pick() -> str:
+        return vocab[min(int(rng.random() ** 2 * len(vocab)), len(vocab) - 1)]
+
+    return pick
+
+
+def build_scenario(spec: FleetSpec) -> Scenario:
+    """Materialize the scenario ``spec.seed`` deterministically describes."""
+    rng = random.Random(spec.seed)
+    vocab = [f"term{i:04d}" for i in range(spec.vocab_size)]
+    pick = _topic_picker(rng, vocab)
+
+    corpus: list[tuple[Document, ...]] = []
+    topic_counts: Counter[str] = Counter()
+    for pid in range(spec.num_nodes):
+        docs = []
+        for d in range(spec.docs_per_node):
+            words = [pick() for _ in range(spec.terms_per_doc)]
+            topic_counts.update(words)
+            # One node-unique term: the recovery sentinel, and a reason
+            # for every node's filter to differ from every other's.
+            words.append(f"uniq{pid:04d}x{d}")
+            rng.shuffle(words)
+            docs.append(Document(f"n{pid:04d}-d{d}", " ".join(words)))
+        corpus.append(tuple(docs))
+
+    # Queries over the most widely published topics (single- and
+    # two-term), so answering well requires contacting several peers.
+    common = [term for term, _n in topic_counts.most_common(20)]
+    queries: list[str] = []
+    while len(queries) < spec.num_queries:
+        if len(common) >= 2 and rng.random() < 0.5:
+            q = " ".join(rng.sample(common, 2))
+        else:
+            q = rng.choice(common)
+        if q not in queries:
+            queries.append(q)
+
+    waves = []
+    for w in range(spec.num_waves):
+        marker = f"wmark{spec.seed % 10_000:04d}w{w}"
+        publishers = rng.sample(
+            range(spec.num_nodes), min(spec.docs_per_wave, spec.num_nodes)
+        )
+        publishes = tuple(
+            (
+                pid,
+                Document(
+                    f"wave{w}-{j}",
+                    " ".join([marker, *(pick() for _ in range(4))]),
+                ),
+            )
+            for j, pid in enumerate(publishers)
+        )
+        waves.append(Wave(w, marker, publishes))
+
+    crash_pids = tuple(sorted(rng.sample(range(spec.num_nodes), spec.num_crashes)))
+
+    return Scenario(
+        spec=spec,
+        corpus=tuple(corpus),
+        queries=tuple(queries),
+        waves=tuple(waves),
+        crash_pids=crash_pids,
+    )

@@ -38,10 +38,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 from pathlib import Path
 
-from repro.constants import GossipConfig, NET_DEFAULT_PORT, NetConfig, StoreConfig
+from repro.constants import BloomConfig, GossipConfig, NET_DEFAULT_PORT, NetConfig, StoreConfig
 from repro.net import codec
 from repro.net.chaos import EdgeFaults, FaultPlan, FaultyTransport
 from repro.net.client import NetworkSearchClient
@@ -92,6 +93,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="WAL records between automatic snapshots under --data-dir "
              f"(default {StoreConfig().snapshot_every})",
+    )
+    parser.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip the WAL fsync before acking publishes (trades crash "
+             "durability of the newest records for throughput; useful for "
+             "large single-host fleets)",
+    )
+    parser.add_argument(
+        "--bloom-bits", type=int, default=BloomConfig().num_bits, metavar="BITS",
+        help="Bloom filter size in bits — every member of a community must "
+             f"agree on it (default {BloomConfig().num_bits}; smaller "
+             "filters shrink per-member directory memory at large scale)",
+    )
+    parser.add_argument(
+        "--bloom-hashes", type=int, default=BloomConfig().num_hashes, metavar="K",
+        help=f"Bloom filter hash count (default {BloomConfig().num_hashes})",
     )
     parser.add_argument(
         "--gossip-interval", type=float, default=GossipConfig().base_interval_s,
@@ -255,20 +272,46 @@ def _chaos_transport(args: argparse.Namespace) -> Transport | None:
     return FaultyTransport(TcpTransport(NetConfig()), plan)
 
 
+def _check_data_dir(data_dir: Path) -> None:
+    """Refuse an existing-but-unreadable directory checkpoint.
+
+    Checkpoint writes are atomic (tmp + rename), so a checkpoint that
+    exists yet fails to parse is real damage, not a torn write.  The
+    library layer would silently cold-start over it; at the CLI — where
+    the operator explicitly asked for a warm restart — discarding state
+    without saying so is worse than stopping, so fail with instructions.
+    """
+    from repro.store import load_checkpoint
+
+    ckpt_path = data_dir / "directory.ckpt"
+    if ckpt_path.exists() and load_checkpoint(ckpt_path) is None:
+        raise ValueError(
+            f"corrupt directory checkpoint at {ckpt_path}; delete it to "
+            f"cold-start from the WAL/snapshots (documents are unaffected)"
+        )
+
+
 async def run(args: argparse.Namespace) -> None:
     """Start a node per the parsed arguments and gossip until stopped."""
     config = GossipConfig(
         base_interval_s=args.gossip_interval,
         max_interval_s=args.gossip_interval * 2,
     )
+    if args.data_dir is not None:
+        _check_data_dir(args.data_dir)
     node = NetworkPeer(
         args.peer_id,
         args.host,
         args.port,
         gossip_config=config,
+        bloom_config=BloomConfig(
+            num_bits=args.bloom_bits, num_hashes=args.bloom_hashes
+        ),
         transport=_chaos_transport(args),
         data_dir=args.data_dir,
-        store_config=StoreConfig(snapshot_every=args.snapshot_every)
+        store_config=StoreConfig(
+            snapshot_every=args.snapshot_every, fsync=not args.no_fsync
+        )
         if args.data_dir is not None
         else None,
     )
@@ -304,6 +347,15 @@ async def run(args: argparse.Namespace) -> None:
         else:
             await node.join(args.bootstrap)
             print(f"joined via {args.bootstrap}: {len(node.members())} members known")
+
+    # One machine-readable line once the node is fully up (serving,
+    # corpus published, joined): orchestrators parse it for the bound
+    # ephemeral port instead of scraping the human-oriented output.
+    print(
+        f"PLANETP_READY peer={args.peer_id} addr={address} pid={os.getpid()} "
+        f"members={len(node.members())}",
+        flush=True,
+    )
 
     node.run()
     try:

@@ -279,15 +279,21 @@ class NetworkSearchClient:
                 body = await asyncio.wait_for(request, self.peer_deadline_s)
             else:
                 body = await request
-            return codec.decode(body)
+            reply = codec.decode(body)
         except asyncio.TimeoutError:
             self.obs.counter(
                 "client",
                 "peer_deadline_timeouts_total",
                 "RPCs abandoned at the per-peer deadline",
             ).inc()
-            self.node._contact_failed(pid)
+            self.node._record_contact(pid, address, ok=False)
             return None
         except (TransportError, CodecError):
-            self.node._contact_failed(pid)
+            self.node._record_contact(pid, address, ok=False)
             return None
+        # An answer is the same positive liveness evidence a gossip
+        # exchange is: it must heal an entry a failed contact marked
+        # offline, or a restarted peer stays invisible to ranking until
+        # the next gossip round happens to pick it.
+        self.node._record_contact(pid, address, ok=True)
+        return reply

@@ -55,6 +55,8 @@ __all__ = [
     "SnippetResponse",
     "StatsRequest",
     "StatsResponse",
+    "PublishRequest",
+    "PublishAck",
     "ErrorReply",
     "encode",
     "decode",
@@ -144,6 +146,29 @@ class StatsResponse:
     peer_id: int
     uptime_s: float
     samples: tuple[tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class PublishRequest:
+    """Inject one document into a live node (the fleet control plane).
+
+    The node publishes ``Document(doc_id, text)`` exactly as a local
+    publish would: WAL'd when durable, indexed, filter growth flushed as
+    a BF_UPDATE rumor.  Orchestrators use it to drive scripted publish
+    waves at exact scenario moments instead of guessing with timers.
+    """
+
+    doc_id: str
+    text: str
+
+
+@dataclass(frozen=True)
+class PublishAck:
+    """Outcome of a :class:`PublishRequest` at the publishing node."""
+
+    accepted: bool
+    doc_id: str
+    filter_version: int
 
 
 @dataclass(frozen=True)
@@ -340,6 +365,8 @@ _T_SUBSCRIBE_REQUEST = 24
 _T_SUBSCRIBE_ACK = 25
 _T_NOTIFY = 26
 _T_UNSUBSCRIBE = 27
+_T_PUBLISH_REQUEST = 28
+_T_PUBLISH_ACK = 29
 _T_ERROR = 31
 
 _TYPE_OF = {
@@ -365,6 +392,8 @@ _TYPE_OF = {
     SubscribeAck: _T_SUBSCRIBE_ACK,
     Notify: _T_NOTIFY,
     Unsubscribe: _T_UNSUBSCRIBE,
+    PublishRequest: _T_PUBLISH_REQUEST,
+    PublishAck: _T_PUBLISH_ACK,
     ErrorReply: _T_ERROR,
 }
 
@@ -466,6 +495,13 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
         w.blob(msg.text.encode("utf-8"))
     elif isinstance(msg, Unsubscribe):
         w.u64(msg.sub_id)
+    elif isinstance(msg, PublishRequest):
+        w.text(msg.doc_id)
+        w.blob(msg.text.encode("utf-8"))
+    elif isinstance(msg, PublishAck):
+        w.u8(1 if msg.accepted else 0)
+        w.text(msg.doc_id)
+        w.u32(msg.filter_version)
     elif isinstance(msg, ErrorReply):
         w.text(msg.message)
     return bytes(w.buf)
@@ -553,6 +589,15 @@ def decode(body: bytes) -> object:
         msg = Notify(sub_id, origin, doc_id, text)
     elif mtype == _T_UNSUBSCRIBE:
         msg = Unsubscribe(r.u64())
+    elif mtype == _T_PUBLISH_REQUEST:
+        doc_id = r.text()
+        try:
+            text = r.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 in document text: {exc}") from exc
+        msg = PublishRequest(doc_id, text)
+    elif mtype == _T_PUBLISH_ACK:
+        msg = PublishAck(bool(r.u8()), r.text(), r.u32())
     elif mtype == _T_ERROR:
         msg = ErrorReply(r.text())
     else:

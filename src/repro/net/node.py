@@ -76,6 +76,8 @@ from repro.net.codec import (
     ErrorReply,
     ExhaustiveQuery,
     ExhaustiveResponse,
+    PublishAck,
+    PublishRequest,
     RankedQuery,
     RankedResponse,
     SnippetFetch,
@@ -800,16 +802,31 @@ class NetworkPeer:
         entry = self.peer.directory.get(pid)
         if entry is None or not entry.address:
             return None
+        address = entry.address
         try:
             frame = codec.encode(msg)
             self._account_gossip(msg, frame)
-            body = await self.transport.request(entry.address, frame)
+            body = await self.transport.request(address, frame)
             reply = codec.decode(body)
         except (TransportError, CodecError):
-            self._contact_failed(pid)
+            self._record_contact(pid, address, ok=False)
             return None
-        self._contact_succeeded(pid, entry)
+        self._record_contact(pid, address, ok=True)
         return reply
+
+    def _record_contact(self, pid: int, address: str, *, ok: bool) -> None:
+        """Turn one RPC outcome into directory liveness evidence — but
+        only while the entry still points at the address that was
+        contacted.  A JOIN/REJOIN rumor may re-address the peer while an
+        RPC is in flight; the late outcome is evidence about the *old*
+        incarnation and must not flip the freshly healed entry."""
+        entry = self.peer.directory.get(pid)
+        if entry is None or entry.address != address:
+            return
+        if ok:
+            self._contact_succeeded(pid, entry)
+        else:
+            self._contact_failed(pid)
 
     def _contact_succeeded(self, pid: int, entry: PeerEntry) -> None:
         if not entry.online:
@@ -902,6 +919,17 @@ class NetworkPeer:
             return SnippetResponse(True, doc.doc_id, doc.text)
         if isinstance(msg, StatsRequest):
             return self.stats_response()
+        if isinstance(msg, PublishRequest):
+            # The fleet control plane: a remotely injected document takes
+            # the exact local-publish path (WAL when durable, index,
+            # filter flush + BF_UPDATE rumor) and is acked only after it.
+            if msg.doc_id in self.peer.store:
+                return PublishAck(False, msg.doc_id, self.peer.store.filter_version)
+            self.publish(Document(msg.doc_id, msg.text))
+            self._count(
+                "remote_publishes_total", 1, "documents injected via PublishRequest"
+            )
+            return PublishAck(True, msg.doc_id, self.peer.store.filter_version)
         if isinstance(msg, SubscribeRequest):
             return await self.subscriptions.handle_subscribe(msg)
         if isinstance(msg, Unsubscribe):

@@ -367,14 +367,15 @@ class SubscriptionManager:
         entry = self.node.peer.directory.get(pid)
         if entry is None or not entry.address:
             return None
+        address = entry.address
         try:
-            body = await self.node.transport.request(
-                entry.address, codec.encode(msg)
-            )
-            return codec.decode(body)
+            body = await self.node.transport.request(address, codec.encode(msg))
+            reply = codec.decode(body)
         except (TransportError, CodecError):
-            self.node._contact_failed(pid)
+            self.node._record_contact(pid, address, ok=False)
             return None
+        self.node._record_contact(pid, address, ok=True)
+        return reply
 
     def __len__(self) -> int:
         return len(self.subscriptions)

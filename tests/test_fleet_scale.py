@@ -1,0 +1,93 @@
+"""The 500-node fleet: the paper's community size, on real sockets.
+
+Too heavy for the tier-1 lane (500 interpreter startups on shared CI
+hardware), so it runs in its own CI job gated on ``PLANETP_FLEET_SCALE=1``
+— see the ``fleet`` job in ``.github/workflows/ci.yml``.  Reproduce any
+failure locally with::
+
+    PLANETP_FLEET_SCALE=1 PYTHONPATH=src python -m pytest tests/test_fleet_scale.py
+
+or, for the same scenario under manual control::
+
+    PYTHONPATH=src python scripts/fleet.py --nodes 500 --seed 7 \
+        --gossip-interval 2.5 --slack 180
+
+Scale-vs-small spec differences, all about sharing one host among 500
+processes: a longer gossip interval (2.5 s — still 12x compressed vs.
+the paper's 30 s) so the scheduler isn't saturated by gossip wakeups,
+larger launch batches, and generous ready/slack allowances because
+~0.5 s of interpreter+import CPU per node serializes on small CI
+machines.  The recall bar is the ISSUE's "within 2 points of the
+oracle": at 500 members each query draws on many peers, so tie-break
+noise amortizes away and 0.98 is enforceable.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.fleet import FleetReport, FleetSpec, run_scenario
+
+pytestmark = [
+    pytest.mark.fleet,
+    pytest.mark.slow,
+    pytest.mark.timeout(3600),
+    pytest.mark.skipif(
+        not os.environ.get("PLANETP_FLEET_SCALE"),
+        reason="500-node fleet: set PLANETP_FLEET_SCALE=1 to run",
+    ),
+]
+
+SPEC = FleetSpec(
+    num_nodes=500,
+    seed=7,
+    gossip_interval_s=2.5,
+    bloom_bits=65536,
+    docs_per_node=3,
+    vocab_size=400,
+    num_queries=6,
+    num_waves=2,
+    docs_per_wave=5,
+    num_crashes=3,
+    launch_batch=24,
+    ready_timeout_s=240.0,
+    convergence_slack_s=180.0,
+    scrape_concurrency=64,
+)
+MIN_RECALL = 0.98
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory) -> FleetReport:
+    root = tmp_path_factory.mktemp("fleet500")
+    try:
+        return run_scenario(SPEC, root=root, log_dir=root / "logs", progress=print)
+    finally:
+        shutil.rmtree(root / "corpus", ignore_errors=True)
+        shutil.rmtree(root / "data", ignore_errors=True)
+
+
+def test_scale_run_meets_every_acceptance_criterion(report):
+    assert report.violations(min_recall=MIN_RECALL) == []
+
+
+def test_scale_convergence_within_fig2_bound(report):
+    assert report.num_nodes == 500
+    assert report.convergence_s <= report.convergence_bound_s
+
+
+def test_scale_recall_within_two_points_of_oracle(report):
+    assert report.recall >= MIN_RECALL
+    assert report.recall_after_recovery >= MIN_RECALL
+
+
+def test_scale_zero_stale_serves(report):
+    assert report.stale_serves == 0
+
+
+def test_scale_full_cleanup(report):
+    assert report.leaked_processes == 0
+    assert report.leaked_ports == 0

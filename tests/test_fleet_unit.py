@@ -1,0 +1,202 @@
+"""The fleet harness's pure parts: ready parsing, scenarios, invariants.
+
+No sockets, no subprocesses — everything here must hold before a single
+node is spawned, and these are the pieces a scale-run failure message is
+built from (so they need to be right when nothing else is).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.fleet import (
+    FleetReport,
+    FleetSpec,
+    build_scenario,
+    convergence_bound_s,
+    gossip_bytes_per_round,
+    parse_ready,
+    recall_at_k,
+)
+from repro.text.analyzer import Analyzer
+
+# -- the ready line -----------------------------------------------------------
+
+
+def test_parse_ready_roundtrip():
+    info = parse_ready(
+        "PLANETP_READY peer=17 addr=127.0.0.1:45123 pid=9931 members=25\n"
+    )
+    assert info is not None
+    assert info.peer_id == 17
+    assert info.address == "127.0.0.1:45123"
+    assert info.pid == 9931
+    assert info.members == 25
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "peer 17 serving at 127.0.0.1:45123",  # the human-oriented line
+        "published 3 documents from ./docs",
+        "PLANETP_READY peer=17 addr=127.0.0.1:45123",  # truncated
+        "warm rejoin: 24 members from the checkpoint",
+        "",
+    ],
+)
+def test_parse_ready_rejects_other_output(line):
+    assert parse_ready(line) is None
+
+
+# -- scenario generation ------------------------------------------------------
+
+
+def test_scenario_is_reproducible_from_the_seed():
+    spec = FleetSpec(num_nodes=12, seed=99)
+    a, b = build_scenario(spec), build_scenario(spec)
+    assert a == b
+    different = build_scenario(FleetSpec(num_nodes=12, seed=100))
+    assert different.corpus != a.corpus
+
+
+def test_scenario_shape_matches_the_spec():
+    spec = FleetSpec(
+        num_nodes=10, seed=3, docs_per_node=2, num_queries=4, num_waves=2,
+        docs_per_wave=3, num_crashes=2,
+    )
+    scenario = build_scenario(spec)
+    assert len(scenario.corpus) == 10
+    assert all(len(docs) == 2 for docs in scenario.corpus)
+    assert len(scenario.queries) == 4
+    assert len(set(scenario.queries)) == 4
+    assert len(scenario.waves) == 2
+    assert all(len(w.publishes) == 3 for w in scenario.waves)
+    assert len(scenario.crash_pids) == 2
+    assert scenario.durable_pids == scenario.crash_pids
+    assert all(0 <= pid < 10 for pid in scenario.crash_pids)
+
+
+def test_scenario_doc_ids_are_fleet_unique():
+    scenario = build_scenario(FleetSpec(num_nodes=20, seed=5))
+    ids = [doc.doc_id for docs in scenario.corpus for doc in docs]
+    ids += [doc.doc_id for w in scenario.waves for _pid, doc in w.publishes]
+    assert len(ids) == len(set(ids))
+
+
+def test_scenario_terms_survive_the_analyzer():
+    """Every generated token must pass tokenize/stopword/stem unchanged,
+    or fleet queries would not match what fleet corpora indexed."""
+    analyzer = Analyzer()
+    scenario = build_scenario(FleetSpec(num_nodes=6, seed=11))
+    for docs in scenario.corpus:
+        for doc in docs:
+            assert analyzer.analyze(doc.text) == doc.text.split()
+    for query in scenario.queries:
+        assert analyzer.analyze_query(query) == query.split()
+    markers = [w.query for w in scenario.waves]
+    assert len(set(markers)) == len(markers)
+    for wave in scenario.waves:
+        assert analyzer.analyze_query(wave.query) == [wave.query]
+        # The marker leads every wave document, and nothing else uses it.
+        assert all(doc.text.startswith(wave.query) for _p, doc in wave.publishes)
+        for docs in scenario.corpus:
+            assert all(wave.query not in doc.text for doc in docs)
+
+
+def test_sentinel_doc_belongs_to_its_node():
+    scenario = build_scenario(FleetSpec(num_nodes=8, seed=2, num_crashes=3))
+    for pid in scenario.crash_pids:
+        assert scenario.sentinel_doc(pid) == scenario.corpus[pid][0]
+
+
+def test_spec_validation_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        FleetSpec(num_nodes=1)
+    with pytest.raises(ValueError):
+        FleetSpec(num_nodes=5, num_crashes=5)
+    with pytest.raises(ValueError):
+        FleetSpec(num_nodes=5, gossip_interval_s=0.0)
+    with pytest.raises(ValueError):
+        FleetSpec(num_nodes=5, docs_per_node=0)
+
+
+# -- invariants ---------------------------------------------------------------
+
+
+def test_convergence_bound_grows_logarithmically():
+    b25 = convergence_bound_s(25, 1.0, slack_s=0.0)
+    b500 = convergence_bound_s(500, 1.0, slack_s=0.0)
+    b1000 = convergence_bound_s(1000, 1.0, slack_s=0.0)
+    assert b25 < b500 < b1000
+    # O(log n): doubling the community adds a constant number of rounds.
+    assert b1000 - b500 == pytest.approx(3.0 * (math.log2(1000) - math.log2(500)))
+    # And the bound scales linearly with the gossip interval.
+    assert convergence_bound_s(500, 2.0, slack_s=0.0) == pytest.approx(2.0 * b500)
+    with pytest.raises(ValueError):
+        convergence_bound_s(0, 1.0)
+    with pytest.raises(ValueError):
+        convergence_bound_s(10, 0.0)
+
+
+def test_recall_at_k():
+    assert recall_at_k(["a", "b", "c", "d"], ["a", "b", "c", "d"]) == 1.0
+    assert recall_at_k(["a", "b", "c", "d"], ["a", "b", "x", "y"]) == 0.5
+    assert recall_at_k([], ["anything"]) == 1.0  # nothing to miss
+    assert recall_at_k(["a"], []) == 0.0
+
+
+def test_gossip_bytes_per_round_from_samples():
+    samples = {
+        "planetp_node_gossip_real_bytes_total": 1200.0,
+        "planetp_node_gossip_rounds_total": 40.0,
+    }
+    assert gossip_bytes_per_round(samples) == 30.0
+    assert gossip_bytes_per_round({}) == 0.0  # a node scraped before round 1
+
+
+def _clean_report(**overrides) -> FleetReport:
+    base = dict(
+        num_nodes=25, seed=0, launch_s=10.0, convergence_s=5.0,
+        convergence_bound_s=20.0, recall=1.0, recall_min=1.0, stale_serves=0,
+        wave_propagation_s=[1.0], crash_pids=[3], crash_search_ok=True,
+        recovery_s=2.0, recall_after_recovery=1.0,
+    )
+    base.update(overrides)
+    return FleetReport(**base)
+
+
+def test_report_with_no_violations_is_clean():
+    assert _clean_report().violations() == []
+
+
+@pytest.mark.parametrize(
+    ("overrides", "needle"),
+    [
+        ({"convergence_s": 30.0}, "Fig.-2 bound"),
+        ({"recall": 0.5, "recall_min": 0.1}, "recall 0.500"),
+        ({"stale_serves": 2}, "stale serve"),
+        ({"crash_search_ok": False}, "while crashed members were down"),
+        ({"recall_after_recovery": 0.5}, "post-recovery recall"),
+        ({"leaked_processes": 1}, "leaked"),
+        ({"leaked_ports": 3}, "still accepting"),
+    ],
+)
+def test_report_violations_fire_per_criterion(overrides, needle):
+    violations = _clean_report(**overrides).violations()
+    assert len(violations) == 1
+    assert needle in violations[0]
+
+
+def test_report_recovery_recall_ignored_without_a_crash_schedule():
+    report = _clean_report(crash_pids=[], recall_after_recovery=0.0)
+    assert report.violations() == []
+
+
+def test_report_roundtrips_to_plain_json():
+    import json
+
+    report = _clean_report()
+    rebuilt = FleetReport(**json.loads(json.dumps(report.to_dict())))
+    assert rebuilt == report

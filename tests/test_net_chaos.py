@@ -21,6 +21,8 @@ from repro.net.transport import LoopbackNetwork, TransportError
 from repro.text.document import Document
 from tests.chaos_harness import ChaosCommunity
 
+pytestmark = pytest.mark.chaos
+
 SEED = 1337
 
 

@@ -1,10 +1,16 @@
 """The ``python -m repro.net`` command line: parsing and a short live run."""
 
 import asyncio
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
-from repro.constants import NET_DEFAULT_PORT, StoreConfig
+import repro
+from repro.constants import NET_DEFAULT_PORT, BloomConfig, StoreConfig
 from repro.net.cli import _load_corpus, build_parser, build_stats_parser, run, run_stats
 from repro.net.node import NetworkPeer
 from repro.obs import Registry
@@ -39,6 +45,19 @@ def test_parser_persistence_flags(tmp_path):
 def test_parser_requires_peer_id():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_parser_fleet_flags():
+    defaults = build_parser().parse_args(["--peer-id", "3"])
+    assert defaults.no_fsync is False
+    assert defaults.bloom_bits == BloomConfig().num_bits
+    assert defaults.bloom_hashes == BloomConfig().num_hashes
+    args = build_parser().parse_args(
+        ["--peer-id", "3", "--no-fsync", "--bloom-bits", "65536", "--bloom-hashes", "3"]
+    )
+    assert args.no_fsync is True
+    assert args.bloom_bits == 65536
+    assert args.bloom_hashes == 3
 
 
 def test_load_corpus_recurses_with_collision_free_ids(tmp_path):
@@ -110,6 +129,11 @@ def test_cli_run_bootstraps_publishes_and_queries(tmp_path, capsys):
     assert "peer 1 serving at" in out
     assert "published 2 documents" in out
     assert "joined via" in out and "2 members known" in out
+    # The machine-readable ready line fleet orchestrators parse for the
+    # bound port appears exactly once, after join/publish completed.
+    ready_lines = [l for l in out.splitlines() if l.startswith("PLANETP_READY ")]
+    assert len(ready_lines) == 1
+    assert "peer=1" in ready_lines[0] and "members=2" in ready_lines[0]
     assert "ranked 'gossip rumors'" in out
     assert "gossip" in out.split("ranked")[1]  # the matching doc is listed
     assert "peer 1 stopped" in out
@@ -178,3 +202,77 @@ def test_chaos_transport_built_only_when_seeded():
     transport = _chaos_transport(chaotic)
     assert isinstance(transport, FaultyTransport)
     assert transport.plan.seed == 7
+
+
+# -- failure paths: nonzero exit with a clear message, never a traceback ------
+
+
+def _run_cli(args: list[str], timeout: float = 60.0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    pkg_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = pkg_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.net", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+def _assert_clean_failure(proc: subprocess.CompletedProcess) -> None:
+    assert proc.returncode != 0
+    assert "error:" in proc.stderr
+    assert "Traceback" not in proc.stderr
+    assert "Traceback" not in proc.stdout
+
+
+def test_cli_bad_bootstrap_fails_cleanly():
+    # Port 1 refuses connections; the join must surface as a one-line
+    # operator error, not an asyncio traceback.
+    proc = _run_cli(
+        ["--peer-id", "1", "--port", "0", "--bootstrap", "127.0.0.1:1"]
+    )
+    _assert_clean_failure(proc)
+    assert "127.0.0.1:1" in proc.stderr
+
+
+def test_cli_port_in_use_fails_cleanly():
+    with socket.socket() as holder:
+        holder.bind(("127.0.0.1", 0))
+        holder.listen(1)
+        port = holder.getsockname()[1]
+        proc = _run_cli(["--peer-id", "1", "--port", str(port)])
+    _assert_clean_failure(proc)
+
+
+def test_cli_corrupt_checkpoint_fails_cleanly(tmp_path):
+    data_dir = tmp_path / "state"
+    data_dir.mkdir()
+    (data_dir / "directory.ckpt").write_bytes(b"this is not a checkpoint")
+    proc = _run_cli(
+        ["--peer-id", "1", "--port", "0", "--data-dir", str(data_dir)]
+    )
+    _assert_clean_failure(proc)
+    assert "corrupt directory checkpoint" in proc.stderr
+
+
+def test_check_data_dir_accepts_missing_and_valid(tmp_path):
+    from repro.net.cli import _check_data_dir
+
+    _check_data_dir(tmp_path)  # no checkpoint at all: a cold start is fine
+
+    async def write_valid_checkpoint():
+        node = NetworkPeer(1, "127.0.0.1", 0, data_dir=tmp_path, registry=Registry())
+        await node.start()
+        await node.stop()  # writes the checkpoint on the way down
+
+    asyncio.run(write_valid_checkpoint())
+    assert (tmp_path / "directory.ckpt").exists()
+    _check_data_dir(tmp_path)  # a readable checkpoint passes
+
+    (tmp_path / "directory.ckpt").write_bytes(b"\x00garbage")
+    with pytest.raises(ValueError, match="corrupt directory checkpoint"):
+        _check_data_dir(tmp_path)

@@ -30,6 +30,8 @@ from repro.net.codec import (
     ErrorReply,
     ExhaustiveQuery,
     ExhaustiveResponse,
+    PublishAck,
+    PublishRequest,
     RankedQuery,
     RankedResponse,
     SnippetFetch,
@@ -69,6 +71,10 @@ MESSAGES = [
     SnippetFetch("doc-a"),
     SnippetResponse(True, "doc-a", "the full text éè"),
     SnippetResponse(False, "missing", ""),
+    PublishRequest("doc-a", "the injected document text éè"),
+    PublishRequest("empty", ""),
+    PublishAck(True, "doc-a", 4),
+    PublishAck(False, "doc-a", 0),
     StatsRequest(),
     StatsResponse(
         7,

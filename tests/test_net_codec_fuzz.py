@@ -25,6 +25,8 @@ from repro.net.codec import (
 from tests.test_net_codec import MESSAGES, RECORD
 from repro.net.codec import encode, encode_member_payload, encode_update_payload
 
+pytestmark = pytest.mark.chaos
+
 SEED = 20260806
 MUTATIONS_PER_FRAME = 250
 

@@ -126,3 +126,53 @@ def test_tcp_exhaustive_search_matches_in_process_community():
                 await node.stop()
 
     assert asyncio.run(scenario()) == expected
+
+
+def test_query_replies_heal_offline_entries_and_stale_outcomes_are_ignored():
+    """Directory liveness evidence from the query plane.
+
+    A successful RPC reply is the same positive evidence a gossip
+    exchange is: it must heal an entry a failed contact marked offline
+    (or a restarted peer stays invisible to ranked search until gossip
+    happens to pick it).  And an outcome from an RPC that raced a
+    JOIN/REJOIN re-addressing is about the *old* incarnation: it must
+    not flip the fresh entry either way.
+    """
+
+    async def scenario():
+        nodes = [NetworkPeer(pid, "127.0.0.1", 0, seed=pid) for pid in range(2)]
+        for node in nodes:
+            await node.start()
+        for pid, doc_id, text in CORPUS:
+            if pid < len(nodes):
+                nodes[pid].publish(Document(doc_id, text))
+        await nodes[1].join(nodes[0].address)
+        await _converge(nodes)
+        client = NetworkSearchClient(nodes[0])
+        entry = nodes[0].peer.directory[1]
+        try:
+            nodes[0]._contact_failed(1)
+            assert not entry.online
+            # The peer still answers at its recorded address: the reply
+            # heals the entry and it reappears in ranking candidates.
+            assert await client.fetch(1, "d-bloom") is not None
+            assert entry.online
+            assert 1 in [pid for pid, _r in
+                         (await client.ranked_search("bloom", k=2)).peer_ranking]
+
+            # A late failure from the peer's previous address (it was
+            # re-addressed mid-flight) must not mark the entry offline...
+            nodes[0]._record_contact(1, "127.0.0.1:1", ok=False)
+            assert entry.online
+            # ...and a late success from it must not resurrect one.
+            nodes[0]._contact_failed(1)
+            nodes[0]._record_contact(1, "127.0.0.1:1", ok=True)
+            assert not entry.online
+            # Evidence about the current address still lands.
+            nodes[0]._record_contact(1, entry.address, ok=True)
+            assert entry.online
+        finally:
+            for node in nodes:
+                await node.stop()
+
+    asyncio.run(scenario())

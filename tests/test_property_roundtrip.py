@@ -41,6 +41,8 @@ from repro.net.codec import (
     encode,
 )
 
+pytestmark = pytest.mark.chaos
+
 SEED = 20260806
 CASES = 200
 

@@ -173,3 +173,104 @@ def test_online_flip_moves_generation():
         await b.stop()
 
     asyncio.run(scenario())
+
+
+# -- the XOR mixing itself: order-insensitive, perturbation-sensitive ---------
+#
+# directory_generation folds per-member (pid, filter_version, bloom
+# version, online) tuples with XOR, so iteration order must never matter
+# (dict order is an implementation accident of gossip arrival), while
+# any single-field change in any single member must move the fingerprint.
+# These run against a stub directory, so every permutation and
+# perturbation is exercised without sockets.
+
+
+class _StubFilter:
+    def __init__(self, version: int) -> None:
+        self.version = version
+
+
+class _StubEntry:
+    def __init__(self, version: int, bloom: int | None, online: bool) -> None:
+        self.filter_version = version
+        self.bloom_filter = None if bloom is None else _StubFilter(bloom)
+        self.online = online
+
+
+class _StubNode:
+    """Just the attribute paths directory_generation reads."""
+
+    def __init__(self, members: dict[int, _StubEntry]) -> None:
+        from types import SimpleNamespace
+
+        self.peer_id = 0
+        self.peer = SimpleNamespace(
+            store=SimpleNamespace(filter_version=5, bloom_filter=_StubFilter(9)),
+            directory={0: _StubEntry(5, 9, True), **members},
+        )
+
+
+def _members(seed: int = 0) -> dict[int, _StubEntry]:
+    import random
+
+    rng = random.Random(seed)
+    return {
+        pid: _StubEntry(rng.randrange(100), rng.randrange(100), rng.random() < 0.8)
+        for pid in range(1, 9)
+    }
+
+
+def test_generation_is_order_insensitive_over_member_permutations():
+    import itertools
+    import random
+
+    members = _members()
+    reference = directory_generation(_StubNode(members))
+    pids = list(members)
+    rng = random.Random(42)
+    orders = [list(p) for p in itertools.islice(itertools.permutations(pids), 6)]
+    orders += [rng.sample(pids, len(pids)) for _ in range(6)]
+    for order in orders:
+        permuted = {pid: members[pid] for pid in order}
+        assert directory_generation(_StubNode(permuted)) == reference
+
+
+def test_generation_changes_on_any_single_field_perturbation():
+    members = _members()
+    reference = directory_generation(_StubNode(members))
+    seen = {reference}
+    for pid in members:
+        for mutate in (
+            lambda e: setattr(e, "filter_version", e.filter_version + 1),
+            lambda e: setattr(e, "bloom_filter", _StubFilter(e.bloom_filter.version + 1)),
+            lambda e: setattr(e, "online", not e.online),
+        ):
+            perturbed = _members()
+            mutate(perturbed[pid])
+            generation = directory_generation(_StubNode(perturbed))
+            assert generation != reference, (pid, mutate)
+            seen.add(generation)
+    # Each of the 24 perturbations lands on its own fingerprint — the
+    # mixing avalanches rather than cancelling between fields.
+    assert len(seen) == 3 * len(members) + 1
+
+
+def test_generation_distinguishes_missing_filter_from_version_zero():
+    with_none = _members()
+    with_none[3].bloom_filter = None
+    with_zero = _members()
+    with_zero[3].bloom_filter = _StubFilter(0)
+    assert directory_generation(_StubNode(with_none)) != directory_generation(
+        _StubNode(with_zero)
+    )
+
+
+def test_generation_changes_when_membership_changes():
+    members = _members()
+    reference = directory_generation(_StubNode(members))
+    grown = dict(members)
+    grown[99] = _StubEntry(0, 0, True)
+    assert directory_generation(_StubNode(grown)) != reference
+    shrunk = dict(members)
+    del shrunk[4]
+    assert directory_generation(_StubNode(shrunk)) != reference

@@ -28,6 +28,10 @@ from repro.obs import Registry
 from repro.serve import SubscriptionClient
 from repro.text.document import Document
 
+import pytest
+
+pytestmark = pytest.mark.recovery
+
 
 def _free_port() -> int:
     with socket.socket() as s:

@@ -13,6 +13,10 @@ from repro.store import PersistentDataStore
 from repro.store.snapshot import snapshot_path
 from repro.text.document import Document
 
+import pytest
+
+pytestmark = pytest.mark.recovery
+
 
 def _store(tmp_path) -> PersistentDataStore:
     return PersistentDataStore(

@@ -28,6 +28,8 @@ from repro.net.transport import LoopbackNetwork
 from repro.obs import Registry
 from repro.text.document import Document
 
+pytestmark = pytest.mark.recovery
+
 FAST_STORE = StoreConfig(fsync=False)
 
 
