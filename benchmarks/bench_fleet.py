@@ -3,7 +3,9 @@
 
 Runs the :mod:`repro.fleet` orchestrator end to end — every node a
 separate ``python -m repro.net`` process on its own localhost TCP port —
-and reports the numbers the harness gates scale runs on:
+once with the flat (fully replicated) directory and once in
+``--partial-view`` (sharded directory) mode, and reports the numbers the
+harness gates scale runs on:
 
 * **launch** — subprocess spawn-to-ready throughput (nodes/second);
 * **convergence** — directory convergence time against the Fig.-2
@@ -12,17 +14,21 @@ and reports the numbers the harness gates scale runs on:
 * **recall** — converged ranked-search recall vs. the in-process
   full-directory oracle, plus publish-wave freshness (stale serves);
 * **recovery** — SIGKILL/warm-restart time for the crash schedule;
-* **gossip cost** — mean encoded bytes per gossip round per node.
+* **gossip cost** — mean encoded bytes per gossip round per node;
+* **partial-view cost** — per-node directory filter memory as a ratio
+  of the flat run's (must stay below 1.0: sharding must save memory),
+  and the mode's maintenance traffic.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fleet.py --write BENCH_fleet.json
     PYTHONPATH=src python benchmarks/bench_fleet.py --quick --check BENCH_fleet.json
 
-``--check`` enforces hard floors (all fleet invariants hold: recall,
-zero stale serves, zero leaked processes/ports) and compares the
-machine-stable quantities — recall and gossip bytes per round — against
-the committed baseline.  Absolute times are reported but never gated.
+``--check`` enforces hard floors (all fleet invariants hold in both
+modes: recall, zero stale serves, zero leaked processes/ports, filter
+memory ratio < 1.0) and compares the machine-stable quantities — recall,
+gossip bytes per round, and the partial/flat memory ratio — against the
+committed baseline.  Absolute times are reported but never gated.
 """
 
 from __future__ import annotations
@@ -31,20 +37,27 @@ import argparse
 import json
 import platform
 import sys
+from dataclasses import replace
 
 from repro.fleet import FleetReport, FleetSpec, run_scenario
 
 #: Hard floors from the fleet acceptance criteria.  Recall is the small-
-#: fleet bar (see tests/test_fleet_small.py for why it is not 0.98).
+#: fleet bar (see tests/test_fleet_small.py for why it is not 0.98); the
+#: partial-view run is held to the same bar at these sizes.
 FLOORS = {
     "min_recall": 0.95,
     "stale_serves": 0,  # exactly equal
     "leaked": 0,  # processes + ports, exactly equal
+    "pv_filter_bytes_ratio": 1.0,  # strictly below: sharding must save memory
 }
 
 #: Gossip cost may drift in either direction: paying more bytes per
 #: round than baseline is a compression/summary regression.
 GOSSIP_BYTES_SLACK = 0.50
+
+#: The partial/flat memory ratio may drift this much over baseline
+#: before the gate trips (admission jitter moves the sample contents).
+PV_RATIO_SLACK = 0.25
 
 
 def _spec(quick: bool, seed: int) -> FleetSpec:
@@ -53,17 +66,32 @@ def _spec(quick: bool, seed: int) -> FleetSpec:
     return FleetSpec(num_nodes=25, seed=seed)
 
 
+def _pv_spec(quick: bool, seed: int) -> FleetSpec:
+    # The sample must stay well under the community size or the sharded
+    # view degenerates into the flat one and the ratio gate means nothing.
+    base = _spec(quick, seed)
+    if quick:
+        return replace(base, partial_view=True, num_shards=3, view_sample=2)
+    return replace(base, partial_view=True, num_shards=5, view_sample=4)
+
+
 def run_sweep(quick: bool, seed: int = 20030612) -> dict:
     spec = _spec(quick, seed)
     report: FleetReport = run_scenario(spec)
+    pv_spec = _pv_spec(quick, seed)
+    pv_report: FleetReport = run_scenario(pv_spec)
+    flat_filter_bytes = report.directory_filter_bytes_per_node
     return {
         "meta": {
             "quick": quick,
             "num_nodes": spec.num_nodes,
             "seed": seed,
             "python": platform.python_version(),
+            "pv_num_shards": pv_spec.resolved_num_shards,
+            "pv_view_sample": pv_spec.view_sample,
         },
         "fleet": report.to_dict(),
+        "partialview": pv_report.to_dict(),
         "derived": {
             "launch_nodes_per_s": (
                 spec.num_nodes / report.launch_s if report.launch_s else 0.0
@@ -74,6 +102,17 @@ def run_sweep(quick: bool, seed: int = 20030612) -> dict:
                 else 0.0
             ),
             "violations": report.violations(min_recall=FLOORS["min_recall"]),
+            "pv_violations": pv_report.violations(
+                min_recall=FLOORS["min_recall"]
+            ),
+            #: the sublinearity headline: partial-view filter memory per
+            #: node over the flat run's (a ratio, so machine-stable).
+            "pv_filter_bytes_ratio": (
+                pv_report.directory_filter_bytes_per_node / flat_filter_bytes
+                if flat_filter_bytes
+                else 0.0
+            ),
+            "pv_maintenance_bytes_per_node": pv_report.partialview_bytes_per_node,
         },
     }
 
@@ -84,9 +123,19 @@ def check_regression(results: dict, baseline: dict, threshold: float) -> list[st
     fleet, derived = results["fleet"], results["derived"]
     for violation in derived["violations"]:
         failures.append(f"invariant: {violation}")
-    leaked = fleet["leaked_processes"] + fleet["leaked_ports"]
-    if leaked != FLOORS["leaked"]:
-        failures.append(f"hygiene: {leaked} leaked process(es)/port(s)")
+    for violation in derived.get("pv_violations", ()):
+        failures.append(f"partial-view invariant: {violation}")
+    for key in ("fleet", "partialview"):
+        mode = results.get(key, {})
+        leaked = mode.get("leaked_processes", 0) + mode.get("leaked_ports", 0)
+        if leaked != FLOORS["leaked"]:
+            failures.append(f"{key} hygiene: {leaked} leaked process(es)/port(s)")
+    ratio = derived.get("pv_filter_bytes_ratio", 0.0)
+    if not 0.0 < ratio < FLOORS["pv_filter_bytes_ratio"]:
+        failures.append(
+            f"partial-view filter memory ratio {ratio:.2f} is not below "
+            f"{FLOORS['pv_filter_bytes_ratio']:.1f}x the flat directory's"
+        )
     base = baseline.get("fleet", {})
     base_recall = base.get("recall")
     if base_recall and fleet["recall"] < base_recall * (1.0 - threshold):
@@ -102,34 +151,56 @@ def check_regression(results: dict, baseline: dict, threshold: float) -> list[st
             f"gossip cost {fleet['gossip_bytes_per_round']:.0f} B/round grew "
             f">{GOSSIP_BYTES_SLACK:.0%} over baseline {base_bytes:.0f} B/round"
         )
+    # The memory ratio depends on fleet size (a fixed-size sample is a
+    # bigger fraction of a smaller community), so drift is only
+    # comparable against a baseline of the same scale; the hard <1.0
+    # floor above gates every run regardless.
+    same_scale = results.get("meta", {}).get("num_nodes") == baseline.get(
+        "meta", {}
+    ).get("num_nodes")
+    base_ratio = baseline.get("derived", {}).get("pv_filter_bytes_ratio")
+    if same_scale and base_ratio and ratio > base_ratio * (1.0 + PV_RATIO_SLACK):
+        failures.append(
+            f"partial-view memory ratio {ratio:.2f} grew >{PV_RATIO_SLACK:.0%} "
+            f"over baseline {base_ratio:.2f}"
+        )
     return failures
 
 
-def _report(results: dict) -> str:
-    fleet, derived = results["fleet"], results["derived"]
+def _report_mode(fleet: dict, title: str) -> list[str]:
     waves = ", ".join(f"{s:.1f}s" for s in fleet["wave_propagation_s"]) or "none"
-    return "\n".join(
-        [
-            f"fleet of {fleet['num_nodes']} subprocess nodes (seed {fleet['seed']}):",
-            f"  launch       {fleet['launch_s']:8.1f}s  "
-            f"({derived['launch_nodes_per_s']:.1f} nodes/s)",
-            f"  convergence  {fleet['convergence_s']:8.1f}s  "
-            f"({derived['convergence_bound_used']:.0%} of the "
-            f"{fleet['convergence_bound_s']:.0f}s Fig.-2 bound)",
-            f"  recall       {fleet['recall']:8.3f}   "
-            f"(worst query {fleet['recall_min']:.3f}); "
-            f"stale serves {fleet['stale_serves']}",
-            f"  waves        {waves}",
-            f"  recovery     {fleet['recovery_s']:8.1f}s  "
-            f"(crash pids {fleet['crash_pids']}, recall after "
-            f"{fleet['recall_after_recovery']:.3f})",
-            f"  gossip       {fleet['gossip_bytes_per_round']:8.0f} B/round  "
-            f"({fleet['gossip_rounds_per_node']:.0f} rounds/node)",
-            f"  cleanup      {fleet['forced_kills']} forced, "
-            f"{fleet['leaked_processes']} leaked proc(s), "
-            f"{fleet['leaked_ports']} leaked port(s)",
-        ]
-    )
+    lines = [
+        f"{title} fleet of {fleet['num_nodes']} subprocess nodes "
+        f"(seed {fleet['seed']}):",
+        f"  launch       {fleet['launch_s']:8.1f}s",
+        f"  convergence  {fleet['convergence_s']:8.1f}s  "
+        f"(bound {fleet['convergence_bound_s']:.0f}s)",
+        f"  recall       {fleet['recall']:8.3f}   "
+        f"(worst query {fleet['recall_min']:.3f}); "
+        f"stale serves {fleet['stale_serves']}",
+        f"  waves        {waves}",
+        f"  recovery     {fleet['recovery_s']:8.1f}s  "
+        f"(crash pids {fleet['crash_pids']}, recall after "
+        f"{fleet['recall_after_recovery']:.3f})",
+        f"  gossip       {fleet['gossip_bytes_per_round']:8.0f} B/round  "
+        f"({fleet['gossip_rounds_per_node']:.0f} rounds/node)",
+        f"  cleanup      {fleet['forced_kills']} forced, "
+        f"{fleet['leaked_processes']} leaked proc(s), "
+        f"{fleet['leaked_ports']} leaked port(s)",
+    ]
+    return lines
+
+
+def _report(results: dict) -> str:
+    derived = results["derived"]
+    lines = _report_mode(results["fleet"], "flat")
+    lines += _report_mode(results["partialview"], "partial-view")
+    lines += [
+        f"partial-view filter memory: {derived['pv_filter_bytes_ratio']:.2f}x "
+        f"the flat directory's "
+        f"({derived['pv_maintenance_bytes_per_node']:.0f} maintenance B/node)",
+    ]
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -49,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--slack", type=float, default=spec.convergence_slack_s,
                         metavar="SECONDS",
                         help="additive slack in the convergence bound (default: %(default)s)")
+    parser.add_argument("--partial-view", action="store_true",
+                        help="run every node in sharded partial-view mode "
+                             "(sublinear directory memory)")
+    parser.add_argument("--shards", type=int, default=spec.num_shards,
+                        help="shard count under --partial-view "
+                             "(default: 0 = ~sqrt(nodes))")
+    parser.add_argument("--view-sample", type=int, default=spec.view_sample,
+                        help="out-of-shard sample size under --partial-view "
+                             "(default: %(default)s)")
     parser.add_argument("--root", type=Path, default=None,
                         help="working directory for corpora and data dirs "
                              "(default: a temp dir, removed afterwards)")
@@ -77,6 +86,9 @@ def main(argv: list[str] | None = None) -> int:
             launch_batch=args.launch_batch,
             ready_timeout_s=args.ready_timeout,
             convergence_slack_s=args.slack,
+            partial_view=args.partial_view,
+            num_shards=args.shards,
+            view_sample=args.view_sample,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -110,6 +122,10 @@ def main(argv: list[str] | None = None) -> int:
               f"recall after {report.recall_after_recovery:.3f}")
     print(f"  gossip            {report.gossip_bytes_per_round:8.0f} B/round, "
           f"{report.gossip_rounds_per_node:.0f} rounds/node")
+    if report.partial_view:
+        print(f"  partial view      {report.directory_filter_bytes_per_node:8.0f} "
+              f"filter B/node, {report.partialview_bytes_per_node:.0f} "
+              f"maintenance B/node")
     print(f"  cleanup           {report.forced_kills} forced kill(s), "
           f"{report.leaked_processes} leaked process(es), "
           f"{report.leaked_ports} leaked port(s)")

@@ -29,7 +29,7 @@ from repro.bloom.golomb import (
 )
 from repro.bloom.compress import compress_filter, decompress_filter, compressed_size
 from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
-from repro.bloom.matcher import FilterMatrix
+from repro.bloom.matcher import FilterMatrix, ShardedFilterMatrix
 
 __all__ = [
     "HashFamily",
@@ -46,4 +46,5 @@ __all__ = [
     "apply_diff",
     "diff_filters",
     "FilterMatrix",
+    "ShardedFilterMatrix",
 ]

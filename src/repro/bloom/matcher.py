@@ -31,7 +31,7 @@ import numpy as np
 from repro.bloom.filter import BloomFilter
 from repro.bloom.hashing import HashFamily
 
-__all__ = ["FilterMatrix"]
+__all__ = ["FilterMatrix", "ShardedFilterMatrix"]
 
 
 class FilterMatrix:
@@ -181,4 +181,124 @@ class FilterMatrix:
         return (
             f"FilterMatrix(peers={len(self)}, "
             f"irregular={len(self._irregular)})"
+        )
+
+
+class ShardedFilterMatrix:
+    """Per-shard :class:`FilterMatrix` rows plus one summary row per shard.
+
+    The partial-view search path works in two resolutions: coarse
+    per-shard summary filters (the OR of a shard's member filters)
+    answer "which shards may hold these terms", and the full rows the
+    node actually keeps (its home shard plus a bounded sample) answer
+    "which *peers*".  This container holds both, keyed consistently:
+    full rows live in a per-shard :class:`FilterMatrix`, summaries in a
+    single matrix whose "peer ids" are shard ids.
+    """
+
+    def __init__(self) -> None:
+        self._shards: dict[int, FilterMatrix] = {}
+        self._summaries = FilterMatrix()
+        self._shard_of: dict[int, int] = {}  # peer -> shard, for removal
+
+    def __len__(self) -> int:
+        """Full filter rows held (summaries not counted)."""
+        return len(self._shard_of)
+
+    @property
+    def peer_ids(self) -> list[int]:
+        """Peers with full rows, across all shards."""
+        return list(self._shard_of)
+
+    @property
+    def summary_shards(self) -> list[int]:
+        """Shards currently represented by a summary row."""
+        return self._summaries.peer_ids
+
+    # -- maintenance -------------------------------------------------------
+
+    def update(self, shard: int, peer_id: int, bf: BloomFilter) -> None:
+        """Install/refresh one peer's full filter under its shard."""
+        held = self._shard_of.get(peer_id)
+        if held is not None and held != shard:
+            self._shards[held].remove(peer_id)
+        matrix = self._shards.get(shard)
+        if matrix is None:
+            matrix = self._shards[shard] = FilterMatrix()
+        matrix.update(peer_id, bf)
+        self._shard_of[peer_id] = shard
+
+    def remove(self, peer_id: int) -> None:
+        """Forget a peer's full row (no-op if absent)."""
+        shard = self._shard_of.pop(peer_id, None)
+        if shard is not None:
+            self._shards[shard].remove(peer_id)
+
+    def sync(self, rows: Iterable[tuple[int, int, BloomFilter]]) -> None:
+        """Reconcile against ``(shard, peer_id, filter)`` triples: update
+        changed rows, drop peers no longer present."""
+        seen = set()
+        for shard, peer_id, bf in rows:
+            seen.add(peer_id)
+            self.update(shard, peer_id, bf)
+        for peer_id in [p for p in self._shard_of if p not in seen]:
+            self.remove(peer_id)
+
+    def set_summary(self, shard: int, bf: BloomFilter) -> None:
+        """Install/refresh a shard's coarse summary filter."""
+        self._summaries.update(shard, bf)
+
+    def drop_summary(self, shard: int) -> None:
+        """Remove ``shard``'s summary row (a shard leaving the ring)."""
+        self._summaries.remove(shard)
+
+    # -- matching ----------------------------------------------------------
+
+    def candidate_shards(
+        self, terms: Sequence[str], all_terms: bool = False
+    ) -> list[int]:
+        """Shards whose summary may hold the query.
+
+        ``all_terms=False`` (ranked search) keeps a shard on *any* term
+        hit — a peer holding one query term still earns relevance score.
+        ``all_terms=True`` (exhaustive search) requires every term.
+        """
+        shard_ids, hits = self._summaries.hit_matrix(terms)
+        keep = hits.all(axis=1) if all_terms else hits.any(axis=1)
+        return [shard for shard, ok in zip(shard_ids, keep) if ok]
+
+    def hit_matrix(
+        self, terms: Sequence[str], shards: Iterable[int] | None = None
+    ) -> tuple[list[int], np.ndarray]:
+        """Per-peer, per-term membership over full rows, optionally
+        restricted to ``shards``: ``(peer_ids, bool (P, T))``."""
+        wanted = None if shards is None else set(shards)
+        peers: list[int] = []
+        blocks: list[np.ndarray] = []
+        for shard in sorted(self._shards):
+            if wanted is not None and shard not in wanted:
+                continue
+            shard_peers, hits = self._shards[shard].hit_matrix(terms)
+            peers.extend(shard_peers)
+            blocks.append(hits)
+        if not blocks:
+            return [], np.zeros((0, len(terms)), dtype=bool)
+        return peers, np.vstack(blocks)
+
+    def match_all_terms(
+        self, terms: Sequence[str], shards: Iterable[int] | None = None
+    ) -> list[int]:
+        """Peers (with full rows) whose filters may contain every term."""
+        wanted = None if shards is None else set(shards)
+        matched: list[int] = []
+        for shard in sorted(self._shards):
+            if wanted is not None and shard not in wanted:
+                continue
+            matched.extend(self._shards[shard].match_all_terms(terms))
+        return matched
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedFilterMatrix(peers={len(self)}, "
+            f"shards={len(self._shards)}, summaries={len(self._summaries)})"
         )

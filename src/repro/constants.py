@@ -389,6 +389,38 @@ class ServeConfig:
 
 
 @dataclass
+class PartialViewConfig:
+    """Tunables of the partial-view membership mode (:mod:`repro.gossip.partialview`).
+
+    Under partial views a node keeps full Bloom filters only for the
+    members of its own directory shard (consistent-hash over pids) plus
+    a bounded random sample of out-of-shard peers; everything else is
+    folded into one coarse OR-summary filter per shard.
+    """
+
+    #: directory shards; each node's "home" shard is shard_of(peer_id).
+    num_shards: int = 8
+    #: out-of-shard peers whose full filters a node keeps anyway, so
+    #: ranked search has warm candidates beyond its home shard.
+    sample_size: int = 32
+    #: membership records traded per ViewExchange message.
+    exchange_records: int = 16
+    #: virtual ring positions per shard — evens out arc sizes so churn
+    #: moves ~N/num_shards assignments, not an arbitrary arc's worth.
+    points_per_shard: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 2:
+            raise ValueError("num_shards must be >= 2")
+        if self.sample_size < 0:
+            raise ValueError("sample_size must be >= 0")
+        if self.exchange_records < 1:
+            raise ValueError("exchange_records must be >= 1")
+        if self.points_per_shard < 1:
+            raise ValueError("points_per_shard must be >= 1")
+
+
+@dataclass
 class BloomConfig:
     """Bloom filter sizing configuration."""
 

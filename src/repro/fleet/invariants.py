@@ -90,6 +90,12 @@ class FleetReport:
     gossip_bytes_per_node: float = 0.0
     gossip_bytes_per_round: float = 0.0
     gossip_rounds_per_node: float = 0.0
+    #: whether the fleet ran in --partial-view (sharded directory) mode.
+    partial_view: bool = False
+    #: mean bytes pinned per node by full replica filters + shard summaries.
+    directory_filter_bytes_per_node: float = 0.0
+    #: mean partial-view maintenance/fan-out bytes per node (0 when flat).
+    partialview_bytes_per_node: float = 0.0
     #: nodes that ignored the graceful stop and needed SIGKILL.
     forced_kills: int = 0
     #: processes still running / ports still accepting after stop().

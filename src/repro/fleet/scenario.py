@@ -17,6 +17,7 @@ to prove recovery with.
 
 from __future__ import annotations
 
+import math
 import random
 from collections import Counter
 from dataclasses import dataclass
@@ -59,6 +60,19 @@ class FleetSpec:
     ready_timeout_s: float = 60.0
     #: concurrent in-flight stats scrapes during convergence polling.
     scrape_concurrency: int = 32
+    #: run every node (and the observer) in ``--partial-view`` mode.
+    partial_view: bool = False
+    #: shard count under partial view; 0 = auto (~sqrt(num_nodes), min 2).
+    num_shards: int = 0
+    #: out-of-shard full-filter sample size under partial view.
+    view_sample: int = 32
+
+    @property
+    def resolved_num_shards(self) -> int:
+        """The effective shard count (auto-sized when ``num_shards=0``)."""
+        if self.num_shards:
+            return self.num_shards
+        return max(2, round(math.sqrt(self.num_nodes)))
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -75,6 +89,10 @@ class FleetSpec:
             raise ValueError("launch_batch must be >= 1")
         if self.top_k < 1:
             raise ValueError("top_k must be >= 1")
+        if self.num_shards < 0:
+            raise ValueError("num_shards must be >= 0 (0 = auto)")
+        if self.view_sample < 0:
+            raise ValueError("view_sample must be >= 0")
 
 
 @dataclass(frozen=True)

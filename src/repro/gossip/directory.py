@@ -20,14 +20,78 @@ drives protocol behaviour:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["DirectoryView", "digest_of_rids", "mix_rumor_id", "mix_rumor_ids"]
+__all__ = [
+    "DirectoryView",
+    "digest_of_rids",
+    "mix_rumor_id",
+    "mix_rumor_ids",
+    "mix_parts",
+    "member_mix",
+    "summary_mix",
+    "compose_generations",
+]
 
 _MIX = 0x9E3779B97F4A7C15
 _MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def mix_parts(*parts: int) -> int:
+    """Avalanche a small integer tuple into one 64-bit hash
+    (splitmix64 finalizer, applied per part).
+
+    The building block of the serve cache's directory generation: each
+    member contributes one mix, the mixes are XOR-folded (order-free),
+    and any single-field perturbation avalanches the fold.
+    """
+    h = _MIX
+    for p in parts:
+        h = (h ^ (p & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _MASK
+        h ^= h >> 31
+    return h
+
+
+def member_mix(
+    pid: int, filter_version: int, bloom_version: int, online: bool | int
+) -> int:
+    """One member's contribution to a directory generation.
+
+    ``bloom_version`` is the replica filter's mutation counter, or -1
+    when no full filter is held (partial views drop out-of-shard
+    filters; the distinct sentinel keeps "absent" and "version 0"
+    apart).  The final slot is the online flag as 0/1 — see
+    :func:`summary_mix` for why the value 2 is reserved.
+    """
+    return mix_parts(pid, filter_version, bloom_version, 1 if online else 0)
+
+
+def summary_mix(shard: int, version: int, member_count: int) -> int:
+    """A foreign shard summary's contribution to a directory generation.
+
+    Under partial views a node's search answer also depends on the
+    coarse per-shard summaries it fans out over, so their freshness
+    joins the fingerprint.  The final slot is the constant 2 — a value
+    :func:`member_mix` can never produce in that position — so a summary
+    contribution cannot collide with any member contribution.
+    """
+    return mix_parts(shard, version, member_count, 2)
+
+
+def compose_generations(generations: Iterable[int]) -> int:
+    """XOR-compose per-shard generation mixes into one fingerprint.
+
+    XOR keeps the composition order-free and incremental: the flat
+    directory generation equals the composition of any partition of its
+    members into shards.
+    """
+    gen = 0
+    for g in generations:
+        gen ^= g
+    return gen
 
 
 def mix_rumor_id(rid: int) -> int:

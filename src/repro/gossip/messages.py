@@ -33,6 +33,16 @@ gossip helpers above never see it.
 ``subscribe_ack``      header + id + verdict byte + message
 ``notify``             header + id + origin (4 B) + doc id + document
 ``unsubscribe``        header + id
+
+The partial-view inventory (:data:`repro.gossip.wire.PARTIALVIEW_MESSAGES`)
+is priced the same way — covered by the 2x envelope, outside Table 2:
+
+``shard_summary_request``   header + flag byte + 4 B per shard id
+``shard_summary_reply``     header + (16 B + bloom) per summary entry +
+                            (48 B + bloom) per full member entry
+``view_exchange``           header + want (2 B) + 48 B per record
+``shard_match_query``       header + shard (4 B) + terms
+``shard_match_response``    header + shard (4 B) + 12 B per (pid, mask)
 """
 
 from __future__ import annotations
@@ -134,6 +144,46 @@ class MessageSizer:
         """Deregister a standing query by id."""
         return self.config.header_bytes + self._SUB_ID_BYTES
 
+    # -- partial-view inventory (sharded directory; outside Table 2) --------
+
+    _SHARD_ID_BYTES = 4
+    _SUMMARY_META_BYTES = 16  # shard + member_count + version
+    _MATCH_HIT_BYTES = 12  # pid + u64 term bitmask
+
+    def shard_summary_request(self, num_shards: int) -> int:
+        """Ask a peer for shard summaries (and maybe member entries)."""
+        return self.config.header_bytes + 1 + self._SHARD_ID_BYTES * num_shards
+
+    def shard_summary_reply(
+        self, summary_blob_bytes: list[int], member_blob_bytes: list[int]
+    ) -> int:
+        """Per-shard summaries plus requested full member entries."""
+        return (
+            self.config.header_bytes
+            + sum(self._SUMMARY_META_BYTES + b for b in summary_blob_bytes)
+            + sum(self.config.peer_summary_bytes + b for b in member_blob_bytes)
+        )
+
+    def view_exchange(self, num_records: int) -> int:
+        """A bounded random sample of membership records."""
+        return (
+            self.config.header_bytes
+            + 2
+            + self.config.peer_summary_bytes * num_records
+        )
+
+    def shard_match_query(self, terms_bytes: int) -> int:
+        """Fine-grained candidate query against one shard's member."""
+        return self.config.header_bytes + self._SHARD_ID_BYTES + terms_bytes
+
+    def shard_match_response(self, num_hits: int) -> int:
+        """Per-peer term-hit bitmasks for one shard."""
+        return (
+            self.config.header_bytes
+            + self._SHARD_ID_BYTES
+            + self._MATCH_HIT_BYTES * num_hits
+        )
+
     # -- shared-inventory dispatch ------------------------------------------
 
     def model_size(self, msg: object) -> int:
@@ -182,4 +232,19 @@ class MessageSizer:
             )
         if isinstance(msg, wire.Unsubscribe):
             return self.unsubscribe()
+        if isinstance(msg, wire.ShardSummaryRequest):
+            return self.shard_summary_request(len(msg.shards))
+        if isinstance(msg, wire.ShardSummaryReply):
+            return self.shard_summary_reply(
+                [len(entry.bloom) for entry in msg.entries],
+                [len(member.bloom) for member in msg.members],
+            )
+        if isinstance(msg, wire.ViewExchange):
+            return self.view_exchange(len(msg.records))
+        if isinstance(msg, wire.ShardMatchQuery):
+            return self.shard_match_query(
+                sum(2 + len(t.encode("utf-8")) for t in msg.terms) + 2
+            )
+        if isinstance(msg, wire.ShardMatchResponse):
+            return self.shard_match_response(len(msg.hits))
         raise TypeError(f"not a gossip wire message: {type(msg).__name__}")

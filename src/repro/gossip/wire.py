@@ -42,6 +42,21 @@ Serve messages are priced by ``MessageSizer.model_size`` too (held to
 the same 2x envelope), but they live in :data:`SERVE_MESSAGES`, not
 :data:`GOSSIP_MESSAGES` — the Table-2 gossip cost model stays exactly
 the paper's inventory.
+
+The **partial-view inventory** (:mod:`repro.gossip.partialview`) carries
+the sharded-directory mode's maintenance and query fan-out:
+
+=======================  ==============================================
+``ShardSummaryRequest``  ask a peer for shard summary filters (and,
+                         optionally, full member entries per shard)
+``ShardSummaryReply``    per-shard OR-summaries + requested members
+``ViewExchange``         trade bounded random membership-record samples
+``ShardMatchQuery``      ask a shard member which of its peers hit terms
+``ShardMatchResponse``   per-peer term-hit bitmasks for that shard
+=======================  ==============================================
+
+Like serve messages these are priced to the same 2x envelope but live in
+:data:`PARTIALVIEW_MESSAGES`, outside the Table-2 gossip model.
 """
 
 from __future__ import annotations
@@ -70,6 +85,13 @@ __all__ = [
     "Notify",
     "Unsubscribe",
     "SERVE_MESSAGES",
+    "ShardSummaryEntry",
+    "ShardSummaryRequest",
+    "ShardSummaryReply",
+    "ViewExchange",
+    "ShardMatchQuery",
+    "ShardMatchResponse",
+    "PARTIALVIEW_MESSAGES",
 ]
 
 
@@ -275,4 +297,91 @@ SERVE_MESSAGES: tuple[type, ...] = (
     SubscribeAck,
     Notify,
     Unsubscribe,
+)
+
+
+# ---------------------------------------------------------------------------
+# partial-view inventory: sharded-directory maintenance and query fan-out
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSummaryEntry:
+    """One shard's coarse summary: the compressed OR of its member
+    filters, the responder's census of the shard, and a freshness
+    version (component of :class:`ShardSummaryReply`, not a message)."""
+
+    shard: int
+    member_count: int
+    version: int
+    bloom: bytes
+
+
+@dataclass(frozen=True)
+class ShardSummaryRequest:
+    """Ask a peer for shard summaries.
+
+    An empty ``shards`` tuple requests every shard the responder can
+    speak for.  ``want_members=True`` additionally requests the full
+    member entries (record + compressed filter) the responder holds for
+    the named shards — the bootstrap/backfill path a joiner (or the
+    survivor of a shard member's death) uses to learn its home shard's
+    full filters.
+    """
+
+    shards: tuple[int, ...]
+    want_members: bool
+
+
+@dataclass(frozen=True)
+class ShardSummaryReply:
+    """Per-shard summaries plus any requested full member entries."""
+
+    entries: tuple[ShardSummaryEntry, ...]
+    members: tuple[SnapshotEntry, ...]
+
+
+@dataclass(frozen=True)
+class ViewExchange:
+    """Trade bounded random samples of membership records.
+
+    Serves as both request and reply: the initiator sends a sample of
+    its directory records and asks for up to ``want`` in return; the
+    responder answers with its own sample and ``want=0``.  Keeps every
+    node's *record* view complete under partial filters, cheaply —
+    records are ~30 bytes against a filter's kilobytes.
+    """
+
+    records: tuple[PeerRecord, ...]
+    want: int
+
+
+@dataclass(frozen=True)
+class ShardMatchQuery:
+    """Ask a member of ``shard`` which of that shard's peers may hold
+    the query terms — the fine-grained second hop after shard summaries
+    nominated the shard."""
+
+    shard: int
+    terms: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ShardMatchResponse:
+    """Per-peer term-hit bitmasks for one shard: ``hits[i] = (pid,
+    mask)`` where bit ``t`` of ``mask`` is set iff the responder's copy
+    of ``pid``'s filter may contain query term ``t``."""
+
+    shard: int
+    hits: tuple[tuple[int, int], ...]
+
+
+#: The partial-view inventory — sharded-directory RPCs, priced by the
+#: sizer but NOT part of the Table-2 gossip model.
+PARTIALVIEW_MESSAGES: tuple[type, ...] = (
+    ShardSummaryRequest,
+    ShardSummaryReply,
+    ViewExchange,
+    ShardMatchQuery,
+    ShardMatchResponse,
 )

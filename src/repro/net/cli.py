@@ -42,7 +42,14 @@ import os
 import sys
 from pathlib import Path
 
-from repro.constants import BloomConfig, GossipConfig, NET_DEFAULT_PORT, NetConfig, StoreConfig
+from repro.constants import (
+    NET_DEFAULT_PORT,
+    BloomConfig,
+    GossipConfig,
+    NetConfig,
+    PartialViewConfig,
+    StoreConfig,
+)
 from repro.net import codec
 from repro.net.chaos import EdgeFaults, FaultPlan, FaultyTransport
 from repro.net.client import NetworkSearchClient
@@ -113,6 +120,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--gossip-interval", type=float, default=GossipConfig().base_interval_s,
         help="base gossip interval T_g in seconds (paper: 30)",
+    )
+    parser.add_argument(
+        "--partial-view", action="store_true",
+        help="keep full Bloom filters only for this node's directory shard "
+             "plus a bounded sample; other shards are coarse OR-summaries "
+             "(sublinear directory memory for very large communities)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=PartialViewConfig().num_shards, metavar="N",
+        help="directory shard count under --partial-view — every member of "
+             f"a community must agree on it (default "
+             f"{PartialViewConfig().num_shards})",
+    )
+    parser.add_argument(
+        "--view-sample", type=int, default=PartialViewConfig().sample_size,
+        metavar="M",
+        help="out-of-shard full filters to sample under --partial-view "
+             f"(default {PartialViewConfig().sample_size})",
     )
     parser.add_argument(
         "--query", default=None, help="run one ranked query after joining, print the top-k, keep serving"
@@ -314,6 +339,11 @@ async def run(args: argparse.Namespace) -> None:
         )
         if args.data_dir is not None
         else None,
+        partial_view=PartialViewConfig(
+            num_shards=args.shards, sample_size=args.view_sample
+        )
+        if args.partial_view
+        else None,
     )
     address = await node.start()
     print(f"peer {args.peer_id} serving at {address}")
@@ -329,6 +359,11 @@ async def run(args: argparse.Namespace) -> None:
         print(
             f"chaos enabled: seed={args.chaos_seed} drop={args.chaos_drop} "
             f"reset={args.chaos_reset} jitter<={args.chaos_jitter}s"
+        )
+    if node.pview is not None:
+        print(
+            f"partial view: shards={args.shards} sample={args.view_sample} "
+            f"home={node.pview.home}"
         )
 
     if args.corpus is not None:

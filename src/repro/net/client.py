@@ -22,11 +22,15 @@ from __future__ import annotations
 import asyncio
 from typing import TYPE_CHECKING, Protocol, Sequence
 
+import numpy as np
+
 from repro.bloom.filter import BloomFilter
 from repro.constants import RankingConfig
 from repro.core.search import exhaustive_local_match, score_local_documents
+from repro.gossip.wire import ShardMatchQuery, ShardMatchResponse
 from repro.net import codec
 from repro.net.codec import (
+    SHARD_MATCH_MAX_TERMS,
     CodecError,
     ExhaustiveQuery,
     ExhaustiveResponse,
@@ -94,6 +98,26 @@ class _ReplicaBackend:
         return ids, hits[[row_of[pid] for pid in ids]]
 
 
+class _PrecomputedBackend:
+    """A ranking backend over a peer × term hit matrix assembled by the
+    partial-view shard fan-out (local held rows + remote shard answers).
+
+    Exposes just what :func:`~repro.ranking.tfipf.rank_peers` consumes,
+    so the eq. 3 scoring, IPF computation, and ranking order stay the
+    shared implementation in both directory modes.
+    """
+
+    def __init__(self, peer_ids: list[int], hits: np.ndarray) -> None:
+        self._peer_ids = peer_ids
+        self._hits = hits
+
+    def online_peer_ids(self) -> list[int]:
+        return list(self._peer_ids)
+
+    def filter_hit_matrix(self, terms: Sequence[str]) -> tuple[list[int], np.ndarray]:
+        return list(self._peer_ids), self._hits
+
+
 class NetworkSearchClient:
     """Issues distributed searches from one :class:`NetworkPeer`."""
 
@@ -144,8 +168,12 @@ class NetworkSearchClient:
         terms = self.node.analyzer.analyze_query(query)
         if not terms:
             raise ValueError("query analyzed to zero terms")
-        ranking, ipf = rank_peers(terms, self._backend)
-        self.stopping.reset(len(self._backend.online_peer_ids()), k)
+        if self.node.pview is not None:
+            ranking, ipf, pool = await self._rank_via_shards(terms)
+        else:
+            ranking, ipf = rank_peers(terms, self._backend)
+            pool = len(self._backend.online_peer_ids())
+        self.stopping.reset(pool, k)
         self.obs.counter("client", "queries_total", "ranked searches issued").inc()
         wave_latency = self.obs.histogram(
             "client", "wave_latency_seconds", "per-contact-wave round-trip time"
@@ -209,6 +237,147 @@ class NetworkSearchClient:
             return []
         return [RankedDoc(doc_id, score) for doc_id, score in reply.results]
 
+    # -- partial-view fan-out -----------------------------------------------
+
+    async def _rank_via_shards(
+        self, terms: Sequence[str]
+    ) -> tuple[list[tuple[int, float]], dict[str, float], int]:
+        """Eq. 3 ranking under a partial view: held rows answer locally,
+        shard summaries nominate the foreign shards worth asking, and a
+        :class:`~repro.gossip.wire.ShardMatchQuery` per nominated shard
+        fetches that shard's per-peer term hits.  Returns the ranking,
+        the IPF map, and the candidate pool size for adaptive stopping.
+        """
+        node = self.node
+        pview = node.pview
+        assert pview is not None
+        term_list = list(dict.fromkeys(terms))
+        node._pview_sync()
+        local_ids, local_hits = pview.matrix.hit_matrix(term_list)
+        rows = {pid: local_hits[i] for i, pid in enumerate(local_ids)}
+        shards = self._fanout_shards(pview.matrix.candidate_shards(term_list))
+        self.obs.counter(
+            "client", "shard_fanouts_total", "foreign shards asked per search"
+        ).inc(len(shards))
+        remote = await self._shard_fanout(shards, term_list)
+        for pid, row in remote.items():
+            if pid not in rows:  # a held full filter beats a relayed answer
+                rows[pid] = row
+        # Every directory member is a candidate row (zeros where nothing
+        # is known) so IPF's N matches the flat mode's community size.
+        ids = sorted(
+            pid
+            for pid, entry in node.peer.directory.items()
+            if pid == node.peer_id or entry.online
+        )
+        hits = np.zeros((len(ids), len(term_list)), dtype=bool)
+        for i, pid in enumerate(ids):
+            row = rows.get(pid)
+            if row is not None:
+                hits[i] = row
+        ranking, ipf = rank_peers(term_list, _PrecomputedBackend(ids, hits))
+        return ranking, ipf, len(ids)
+
+    def _fanout_shards(self, nominated: Sequence[int]) -> list[int]:
+        """Which foreign shards a search must actually contact.
+
+        ``nominated`` comes from the summary rows (shards whose OR-ed
+        filter may hit).  Two corrections preserve the flat directory's
+        no-false-negative guarantee during warm-up:
+
+        * shards we hold no summary for yet are asked unconditionally
+          (a missing summary is no evidence the shard is empty), and
+        * the home shard — normally answered from first-class local
+          rows — is asked like any other shard while some home member's
+          full filter has not arrived (fresh join, pre-backfill).
+        """
+        node = self.node
+        pview = node.pview
+        assert pview is not None
+        shards = {s for s in nominated if s != pview.home}
+        shards.update(pview.unknown_shards())
+        if any(
+            entry.online
+            and entry.bloom_filter is None
+            and pview.shard_of(pid) == pview.home
+            for pid, entry in node.peer.directory.items()
+            if pid != node.peer_id
+        ):
+            shards.add(pview.home)
+        return sorted(shards)
+
+    async def _shard_fanout(
+        self, shards: Sequence[int], terms: Sequence[str]
+    ) -> dict[int, np.ndarray]:
+        """Ask one member of each shard (with a one-member fallback) for
+        its peers' term hits; returns ``{pid: bool row over terms}``."""
+        node = self.node
+        pview = node.pview
+        assert pview is not None
+        members: dict[int, list[int]] = {}
+        for pid, entry in node.peer.directory.items():
+            if pid == node.peer_id or not entry.address:
+                continue
+            members.setdefault(pview.shard_of(pid), []).append(pid)
+
+        async def ask(shard: int) -> dict[int, np.ndarray]:
+            # Online members first; a dead first target falls through to
+            # the runner-up instead of losing the whole shard.
+            pool = sorted(
+                members.get(shard, ()),
+                key=lambda pid: (not node.peer.directory[pid].online, pid),
+            )[:2]
+            rows: dict[int, np.ndarray] = {}
+            for start in range(0, len(terms), SHARD_MATCH_MAX_TERMS):
+                chunk = terms[start : start + SHARD_MATCH_MAX_TERMS]
+                for pid in pool:
+                    reply = await self._rpc(pid, ShardMatchQuery(shard, tuple(chunk)))
+                    if (
+                        isinstance(reply, ShardMatchResponse)
+                        and reply.shard == shard
+                    ):
+                        for hit_pid, mask in reply.hits:
+                            row = rows.get(hit_pid)
+                            if row is None:
+                                row = rows[hit_pid] = np.zeros(
+                                    len(terms), dtype=bool
+                                )
+                            for t in range(len(chunk)):
+                                if (mask >> t) & 1:
+                                    row[start + t] = True
+                        break
+            return rows
+
+        merged: dict[int, np.ndarray] = {}
+        for shard_rows in await asyncio.gather(*(ask(s) for s in shards)):
+            for pid, row in shard_rows.items():
+                held = merged.get(pid)
+                if held is None:
+                    merged[pid] = row
+                else:
+                    held |= row
+        return merged
+
+    async def _exhaustive_candidates(self, terms: Sequence[str]) -> list[int]:
+        """Partial-view candidate set for Section 5.1: held rows matched
+        locally, plus foreign-shard peers whose relayed rows hit every
+        term (summaries are false-negative-free, so no candidate whose
+        filter would match under the flat directory is ever skipped)."""
+        node = self.node
+        pview = node.pview
+        assert pview is not None
+        node._pview_sync()
+        candidates = set(pview.matrix.match_all_terms(terms))
+        shards = self._fanout_shards(
+            pview.matrix.candidate_shards(terms, all_terms=True)
+        )
+        remote = await self._shard_fanout(shards, terms)
+        held = set(pview.matrix.peer_ids)
+        candidates.update(
+            pid for pid, row in remote.items() if pid not in held and row.all()
+        )
+        return sorted(candidates)
+
     # -- exhaustive search --------------------------------------------------
 
     async def exhaustive_search(self, query: str) -> list[str]:
@@ -218,7 +387,10 @@ class NetworkSearchClient:
         if not terms:
             return []
         results: set[str] = set()
-        candidates = self.node.peer.candidate_peers(terms)
+        if self.node.pview is not None:
+            candidates = await self._exhaustive_candidates(terms)
+        else:
+            candidates = self.node.peer.candidate_peers(terms)
         if self.node.peer_id in candidates:
             results.update(exhaustive_local_match(self.node.peer.store.index, terms))
         remote = [pid for pid in candidates if pid != self.node.peer_id]

@@ -38,15 +38,22 @@ from repro.gossip.wire import (
     RumorData,
     RumorPush,
     RumorReply,
+    ShardMatchQuery,
+    ShardMatchResponse,
+    ShardSummaryEntry,
+    ShardSummaryReply,
+    ShardSummaryRequest,
     SnapshotEntry,
     SubscribeAck,
     SubscribeRequest,
     Unsubscribe,
+    ViewExchange,
     WireRumor,
 )
 
 __all__ = [
     "CodecError",
+    "SHARD_MATCH_MAX_TERMS",
     "RankedQuery",
     "RankedResponse",
     "ExhaustiveQuery",
@@ -197,6 +204,14 @@ _RUMOR_MIN_BYTES = _RID_BYTES + 1 + 4 + 8 + 4  # rid + kind + origin + time + bl
 
 _KIND_CODE = {RumorKind.JOIN: 1, RumorKind.REJOIN: 2, RumorKind.BF_UPDATE: 3}
 _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+#: A shard-match response packs per-term hits into a u64 bitmask, so a
+#: shard-match query carries at most this many terms.
+SHARD_MATCH_MAX_TERMS = 64
+
+#: Minimum encoded shard-summary entry: shard + member_count + version +
+#: empty bloom blob.
+_SUMMARY_ENTRY_MIN_BYTES = 4 + 4 + 8 + 4
 
 
 class _Writer:
@@ -368,6 +383,11 @@ _T_UNSUBSCRIBE = 27
 _T_PUBLISH_REQUEST = 28
 _T_PUBLISH_ACK = 29
 _T_ERROR = 31
+_T_SHARD_SUMMARY_REQUEST = 32
+_T_SHARD_SUMMARY_REPLY = 33
+_T_VIEW_EXCHANGE = 34
+_T_SHARD_MATCH_QUERY = 35
+_T_SHARD_MATCH_RESPONSE = 36
 
 _TYPE_OF = {
     RumorPush: _T_RUMOR_PUSH,
@@ -395,6 +415,11 @@ _TYPE_OF = {
     PublishRequest: _T_PUBLISH_REQUEST,
     PublishAck: _T_PUBLISH_ACK,
     ErrorReply: _T_ERROR,
+    ShardSummaryRequest: _T_SHARD_SUMMARY_REQUEST,
+    ShardSummaryReply: _T_SHARD_SUMMARY_REPLY,
+    ViewExchange: _T_VIEW_EXCHANGE,
+    ShardMatchQuery: _T_SHARD_MATCH_QUERY,
+    ShardMatchResponse: _T_SHARD_MATCH_RESPONSE,
 }
 
 
@@ -504,6 +529,42 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
         w.u32(msg.filter_version)
     elif isinstance(msg, ErrorReply):
         w.text(msg.message)
+    elif isinstance(msg, ShardSummaryRequest):
+        w.u32(len(msg.shards))
+        for shard in msg.shards:
+            w.u32(shard)
+        w.u8(1 if msg.want_members else 0)
+    elif isinstance(msg, ShardSummaryReply):
+        w.u32(len(msg.entries))
+        for entry in msg.entries:
+            w.u32(entry.shard)
+            w.u32(entry.member_count)
+            w.u64(entry.version)
+            w.blob(entry.bloom)
+        w.u32(len(msg.members))
+        for member in msg.members:
+            _w_record(w, member.record)
+            w.blob(member.bloom)
+    elif isinstance(msg, ViewExchange):
+        w.u32(len(msg.records))
+        for rec in msg.records:
+            _w_record(w, rec)
+        w.u16(msg.want)
+    elif isinstance(msg, ShardMatchQuery):
+        if len(msg.terms) > SHARD_MATCH_MAX_TERMS:
+            raise CodecError(
+                f"shard-match query exceeds {SHARD_MATCH_MAX_TERMS} terms"
+            )
+        w.u32(msg.shard)
+        w.u16(len(msg.terms))
+        for t in msg.terms:
+            w.text(t)
+    elif isinstance(msg, ShardMatchResponse):
+        w.u32(msg.shard)
+        w.u32(len(msg.hits))
+        for pid, mask in msg.hits:
+            w.u32(pid)
+            w.u64(mask)
     return bytes(w.buf)
 
 
@@ -600,6 +661,35 @@ def decode(body: bytes) -> object:
         msg = PublishAck(bool(r.u8()), r.text(), r.u32())
     elif mtype == _T_ERROR:
         msg = ErrorReply(r.text())
+    elif mtype == _T_SHARD_SUMMARY_REQUEST:
+        shards = tuple(r.u32() for _ in range(r.count(4)))
+        msg = ShardSummaryRequest(shards, bool(r.u8()))
+    elif mtype == _T_SHARD_SUMMARY_REPLY:
+        summaries = tuple(
+            ShardSummaryEntry(r.u32(), r.u32(), r.u64(), r.blob())
+            for _ in range(r.count(_SUMMARY_ENTRY_MIN_BYTES))
+        )
+        members = tuple(
+            SnapshotEntry(_r_record(r), r.blob())
+            for _ in range(r.count(_RECORD_MIN_BYTES + 4))
+        )
+        msg = ShardSummaryReply(summaries, members)
+    elif mtype == _T_VIEW_EXCHANGE:
+        records = tuple(_r_record(r) for _ in range(r.count(_RECORD_MIN_BYTES)))
+        msg = ViewExchange(records, r.u16())
+    elif mtype == _T_SHARD_MATCH_QUERY:
+        shard = r.u32()
+        num_terms = r.u16()
+        if num_terms > SHARD_MATCH_MAX_TERMS:
+            raise CodecError(
+                f"shard-match term count {num_terms} exceeds "
+                f"{SHARD_MATCH_MAX_TERMS}"
+            )
+        msg = ShardMatchQuery(shard, tuple(r.text() for _ in range(num_terms)))
+    elif mtype == _T_SHARD_MATCH_RESPONSE:
+        shard = r.u32()
+        hits = tuple((r.u32(), r.u64()) for _ in range(r.count(12)))
+        msg = ShardMatchResponse(shard, hits)
     else:
         raise CodecError(f"unknown message type byte {mtype}")
     r.done()

@@ -45,15 +45,23 @@ import numpy as np
 
 from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
 from repro.bloom.filter import BloomFilter
-from repro.constants import BloomConfig, GossipConfig, NetConfig, StoreConfig
+from repro.constants import (
+    BloomConfig,
+    GossipConfig,
+    NetConfig,
+    PartialViewConfig,
+    StoreConfig,
+)
 from repro.core.peer import PeerEntry, PlanetPPeer
 from repro.core.search import exhaustive_local_match, score_local_documents
 from repro.gossip.directory import digest_of_rids, mix_rumor_id
 from repro.gossip.intervals import IntervalPolicy
 from repro.gossip.messages import MessageSizer
+from repro.gossip.partialview import PartialView
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
     GOSSIP_MESSAGES,
+    PARTIALVIEW_MESSAGES,
     AENothing,
     AERecent,
     AERequest,
@@ -65,9 +73,15 @@ from repro.gossip.wire import (
     RumorData,
     RumorPush,
     RumorReply,
+    ShardMatchQuery,
+    ShardMatchResponse,
+    ShardSummaryEntry,
+    ShardSummaryReply,
+    ShardSummaryRequest,
     SnapshotEntry,
     SubscribeRequest,
     Unsubscribe,
+    ViewExchange,
     WireRumor,
 )
 from repro.net import codec
@@ -128,6 +142,7 @@ class NetworkPeer:
         registry: Registry | None = None,
         data_dir: str | Path | None = None,
         store_config: StoreConfig | None = None,
+        partial_view: PartialViewConfig | None = None,
     ) -> None:
         if not 0 <= peer_id < 1 << 16:
             raise ValueError("peer_id must fit in 16 bits for rumor-id minting")
@@ -211,6 +226,30 @@ class NetworkPeer:
             "gossip_model_bytes_total",
             "Table-2 model prediction for the same gossip messages",
         )
+        #: sharded partial-view state (None = flat full-replication mode).
+        self.pview: PartialView | None = (
+            PartialView(peer_id, partial_view, self.bloom_config)
+            if partial_view is not None
+            else None
+        )
+        self._c_pv_real_bytes = self.obs.counter(
+            "node",
+            "partialview_real_bytes_total",
+            "encoded partial-view maintenance/fan-out bytes",
+        )
+        self._c_pv_model_bytes = self.obs.counter(
+            "node",
+            "partialview_model_bytes_total",
+            "sizer prediction for the same partial-view messages",
+        )
+        self._g_filters_held = self.obs.gauge(
+            "node", "full_filters_held", "Bloom filters stored in full (incl. own)"
+        )
+        self._g_filter_bytes = self.obs.gauge(
+            "node",
+            "directory_filter_bytes",
+            "bytes pinned by full filters plus shard summaries",
+        )
         #: durable persistence (repro.store); None = pure-RAM node.
         self.store_config = store_config or StoreConfig()
         self.persistence: PersistentDataStore | None = None
@@ -268,6 +307,11 @@ class NetworkPeer:
         if isinstance(msg, GOSSIP_MESSAGES):
             self._c_real_bytes.inc(len(body))
             self._c_model_bytes.inc(self._sizer.model_size(msg))
+        elif isinstance(msg, PARTIALVIEW_MESSAGES):
+            # Outside the Table-2 gossip totals (the flat model must stay
+            # exactly the paper's inventory) but measured the same way.
+            self._c_pv_real_bytes.inc(len(body))
+            self._c_pv_model_bytes.inc(self._sizer.model_size(msg))
 
     def stats_response(self) -> StatsResponse:
         """The node's registry flattened into a wire-ready reply."""
@@ -510,6 +554,11 @@ class NetworkPeer:
         if not isinstance(reply, JoinSnapshot):
             raise TransportError(f"bootstrap sent {type(reply).__name__}, not a snapshot")
         self._install_snapshot(reply)
+        if self.pview is not None:
+            # Warm the shard summaries right away: until the rotating
+            # maintenance step has run, searches fan out to every
+            # unknown shard, so one extra RPC here pays for itself.
+            await self._pull_summaries(bootstrap_address)
 
     def _install_snapshot(self, snapshot: JoinSnapshot) -> None:
         for entry in snapshot.entries:
@@ -624,11 +673,24 @@ class NetworkPeer:
             version, blob = codec.decode_update_payload(rumor.payload)
             diff = BloomDiff.from_bytes(blob)
             entry = self._ensure_entry(rumor.origin)
-            if entry.bloom_filter is None:
-                entry.bloom_filter = BloomFilter(
-                    self.bloom_config.num_bits, self.bloom_config.num_hashes
-                )
-            entry.bloom_filter = apply_diff(entry.bloom_filter, diff)
+            if self.pview is not None and not self.pview.keeps_filter(rumor.origin):
+                # Dropped foreign filter: the diff still reaches the
+                # shard's coarse summary (diffs are monotone position
+                # sets, so OR-ing them in is order-free), and the version
+                # bump below keeps the serve cache's directory generation
+                # moving on remote publishes even without the full filter.
+                self.pview.fold_diff(rumor.origin, diff)
+            else:
+                if entry.bloom_filter is None:
+                    entry.bloom_filter = BloomFilter(
+                        self.bloom_config.num_bits, self.bloom_config.num_hashes
+                    )
+                entry.bloom_filter = apply_diff(entry.bloom_filter, diff)
+                if self.pview is not None:
+                    # A sampled out-of-shard member's growth must also show
+                    # in its shard summary, or summary fan-out would skip
+                    # the shard for terms only this member holds.
+                    self.pview.fold_filter(rumor.origin, entry.bloom_filter)
             entry.filter_version = max(entry.filter_version, version)
             entry.online = True
         # Gossip is the change feed for standing queries: the origin's
@@ -663,6 +725,13 @@ class NetworkPeer:
             # Neither we nor the sender believe it is alive: make sure the
             # T_Dead clock is running so the entry eventually expires.
             self.offline_since.setdefault(record.peer_id, self.clock())
+        if bf is not None and self.pview is not None:
+            # Every foreign filter feeds its shard summary (fold_filter
+            # skips the home shard, whose filters stay first-class); the
+            # full copy is kept only for home/sampled members.
+            self.pview.fold_filter(record.peer_id, bf)
+            if not self.pview.maybe_admit(record.peer_id):
+                bf = None
         if bf is not None:
             if entry.bloom_filter is None:
                 entry.bloom_filter = bf
@@ -700,6 +769,9 @@ class NetworkPeer:
         else:
             self._count("ae_rounds_total", 1, "rounds spent on anti-entropy")
             await self._ae_round(had_hot=bool(hot_ids))
+        if self.pview is not None:
+            await self._partialview_round()
+        self._update_filter_gauges()
         if (
             self._checkpoint_path is not None
             and self.round_counter % self.store_config.checkpoint_every_rounds == 0
@@ -867,8 +939,254 @@ class NetworkPeer:
             self.contact_failures.pop(pid, None)
             self.contact_backoff_until.pop(pid, None)
             self.peer.drop_peer(pid)
+            if self.pview is not None:
+                self.pview.forget(pid)
             self._count("peers_expired_total", 1, "members dropped at T_Dead")
             self.obs.emit("peer_expired", peer=self.peer_id, target=pid)
+
+    # ------------------------------------------------------------------
+    # partial-view maintenance (sharded directory mode)
+    # ------------------------------------------------------------------
+
+    def _update_filter_gauges(self) -> None:
+        """Per-node directory memory, comparable across both modes: full
+        filters held (our own included) plus shard-summary bytes."""
+        held = 1 + sum(
+            1
+            for pid, entry in self.peer.directory.items()
+            if pid != self.peer_id and entry.bloom_filter is not None
+        )
+        nbytes = held * (self.bloom_config.num_bits // 8)
+        if self.pview is not None:
+            nbytes += self.pview.summary_bytes()
+        self._g_filters_held.set(held)
+        self._g_filter_bytes.set(nbytes)
+
+    def _pview_sync(self) -> None:
+        """Reconcile the sharded search matrix with the filters we hold."""
+        assert self.pview is not None
+        filters = [(self.peer_id, self.peer.store.bloom_filter)]
+        filters += [
+            (pid, entry.bloom_filter)
+            for pid, entry in self.peer.directory.items()
+            if pid != self.peer_id and entry.bloom_filter is not None
+        ]
+        self.pview.sync(filters)
+
+    async def _partialview_round(self) -> None:
+        """One partial-view maintenance step per gossip round, rotating
+        through the three exchanges: foreign summary refresh, membership
+        record trade, and home-shard filter backfill."""
+        step = self.round_counter % 3
+        if step == 0:
+            await self._refresh_summaries()
+        elif step == 1:
+            await self._exchange_views()
+        else:
+            await self._backfill_home()
+
+    async def _refresh_summaries(self) -> None:
+        target = self._pick_target()
+        if target is None:
+            return
+        reply = await self._request_peer(target, ShardSummaryRequest((), False))
+        if isinstance(reply, ShardSummaryReply):
+            self._install_summary_reply(reply)
+
+    async def _pull_summaries(self, address: str) -> None:
+        """One summary refresh aimed at a raw address (join warm-up).
+
+        Best-effort: the bootstrap may predate partial-view mode and
+        answer with an error, in which case the rotating refresh fills
+        the summaries in over the next few rounds.
+        """
+        msg = ShardSummaryRequest((), False)
+        frame = codec.encode(msg)
+        self._account_gossip(msg, frame)
+        try:
+            reply = codec.decode(await self.transport.request(address, frame))
+        except (TransportError, CodecError):
+            return
+        if isinstance(reply, ShardSummaryReply):
+            self._install_summary_reply(reply)
+
+    async def _exchange_views(self) -> None:
+        assert self.pview is not None
+        target = self._pick_target()
+        if target is None:
+            return
+        want = self.pview.config.exchange_records
+        reply = await self._request_peer(
+            target, ViewExchange(self._sample_records(want), want)
+        )
+        if isinstance(reply, ViewExchange):
+            for record in reply.records:
+                if record.peer_id != self.peer_id:
+                    self._install_member(record, None, online=record.online)
+
+    async def _backfill_home(self) -> None:
+        """Re-learn home-shard filters we lack (a killed shard member's
+        filters are recoverable from any peer still holding them)."""
+        assert self.pview is not None
+        home = self.pview.home
+        missing = any(
+            entry.bloom_filter is None and self.pview.shard_of(pid) == home
+            for pid, entry in self.peer.directory.items()
+            if pid != self.peer_id
+        )
+        if not missing:
+            return
+        target = self._pick_target()
+        if target is None:
+            return
+        self._count(
+            "partialview_backfills_total", 1, "home-shard filter backfill requests"
+        )
+        reply = await self._request_peer(target, ShardSummaryRequest((home,), True))
+        if isinstance(reply, ShardSummaryReply):
+            self._install_summary_reply(reply)
+
+    def _install_summary_reply(self, reply: ShardSummaryReply) -> None:
+        assert self.pview is not None
+        for entry in reply.entries:
+            if entry.shard == self.pview.home:
+                continue  # home knowledge is first-class, never coarse
+            try:
+                bf = BloomFilter.from_compressed(
+                    entry.bloom, num_hashes=self.bloom_config.num_hashes
+                )
+            except ValueError:
+                continue  # damaged summary: re-learned at the next refresh
+            self.pview.summary_for(entry.shard).install(
+                bf, entry.member_count, entry.version
+            )
+        for member in reply.members:
+            if member.record.peer_id == self.peer_id:
+                continue
+            bf = None
+            if member.bloom:
+                try:
+                    bf = BloomFilter.from_compressed(
+                        member.bloom, num_hashes=self.bloom_config.num_hashes
+                    )
+                except ValueError:
+                    bf = None
+            self._install_member(member.record, bf, online=member.record.online)
+
+    def _sample_records(self, limit: int) -> tuple[PeerRecord, ...]:
+        """Our own record plus a bounded random sample of directory rows."""
+        records = [self._own_record()]
+        pids = [pid for pid in self.peer.directory if pid != self.peer_id]
+        take = max(0, limit - 1)
+        if len(pids) > take:
+            idx = self.rng.permutation(len(pids))[:take]
+            pids = [pids[int(i)] for i in idx]
+        for pid in pids:
+            entry = self.peer.directory[pid]
+            records.append(
+                PeerRecord(pid, entry.address, entry.online, max(0, entry.filter_version))
+            )
+        return tuple(records)
+
+    def _on_shard_summaries(self, msg: ShardSummaryRequest) -> object:
+        if self.pview is None:
+            return ErrorReply("partial-view mode is off")
+        pview = self.pview
+        wanted = set(msg.shards) if msg.shards else None
+        entries: list[ShardSummaryEntry] = []
+        if wanted is None or pview.home in wanted:
+            entries.append(self._home_summary_entry())
+        census: dict[int, int] = {}
+        for pid in self.peer.directory:
+            shard = pview.shard_of(pid)
+            census[shard] = census.get(shard, 0) + 1
+        for shard, summary in sorted(pview.summaries.items()):
+            if shard == pview.home:
+                continue
+            if wanted is not None and shard not in wanted:
+                continue
+            if summary.version == 0:
+                continue  # nothing folded yet: an empty filter teaches nothing
+            entries.append(
+                ShardSummaryEntry(
+                    shard,
+                    max(summary.member_count, census.get(shard, 0)),
+                    summary.version,
+                    summary.bloom.to_compressed(),
+                )
+            )
+        members: tuple[SnapshotEntry, ...] = ()
+        if msg.want_members:
+            members = self._member_entries(wanted if wanted is not None else {pview.home})
+        return ShardSummaryReply(tuple(entries), members)
+
+    def _home_summary_entry(self) -> ShardSummaryEntry:
+        """The home-shard summary, computed fresh from first-class filters.
+
+        The version is a deterministic fold of the members' filter
+        versions, so any home member serves a comparable freshness signal
+        without coordination (it grows with every member publish)."""
+        pview = self.pview
+        assert pview is not None
+        bloom = BloomFilter(self.bloom_config.num_bits, self.bloom_config.num_hashes)
+        bloom.union_inplace(self.peer.store.bloom_filter)
+        count = 1
+        version = max(0, self.peer.store.filter_version) + 1
+        for pid, entry in self.peer.directory.items():
+            if pid == self.peer_id or pview.shard_of(pid) != pview.home:
+                continue
+            count += 1
+            version += max(0, entry.filter_version) + 1
+            if entry.bloom_filter is not None:
+                bloom.union_inplace(entry.bloom_filter)
+        return ShardSummaryEntry(pview.home, count, version, bloom.to_compressed())
+
+    def _member_entries(self, shards: set[int]) -> tuple[SnapshotEntry, ...]:
+        """Full (record, compressed filter) entries we hold for ``shards``."""
+        pview = self.pview
+        assert pview is not None
+        members: list[SnapshotEntry] = []
+        if pview.home in shards:
+            members.append(
+                SnapshotEntry(
+                    self._own_record(), self.peer.store.bloom_filter.to_compressed()
+                )
+            )
+        for pid, entry in sorted(self.peer.directory.items()):
+            if pid == self.peer_id or entry.bloom_filter is None:
+                continue
+            if pview.shard_of(pid) not in shards:
+                continue
+            record = PeerRecord(
+                pid, entry.address, entry.online, max(0, entry.filter_version)
+            )
+            members.append(SnapshotEntry(record, entry.bloom_filter.to_compressed()))
+        return tuple(members)
+
+    def _on_view_exchange(self, msg: ViewExchange) -> ViewExchange:
+        for record in msg.records:
+            if record.peer_id != self.peer_id:
+                self._install_member(record, None, online=record.online)
+        want = min(msg.want, 64)
+        if want <= 0:
+            return ViewExchange((), 0)
+        return ViewExchange(self._sample_records(want), 0)
+
+    def _on_shard_match(self, msg: ShardMatchQuery) -> object:
+        if self.pview is None:
+            return ErrorReply("partial-view mode is off")
+        self._pview_sync()
+        terms = list(msg.terms)
+        pids, hits = self.pview.matrix.hit_matrix(terms, shards=(msg.shard,))
+        out: list[tuple[int, int]] = []
+        for i, pid in enumerate(pids):
+            mask = 0
+            for t in range(len(terms)):
+                if hits[i, t]:
+                    mask |= 1 << t
+            if mask:
+                out.append((pid, mask))
+        return ShardMatchResponse(msg.shard, tuple(out))
 
     # ------------------------------------------------------------------
     # server side
@@ -934,6 +1252,12 @@ class NetworkPeer:
             return await self.subscriptions.handle_subscribe(msg)
         if isinstance(msg, Unsubscribe):
             return self.subscriptions.handle_unsubscribe(msg)
+        if isinstance(msg, ShardSummaryRequest):
+            return self._on_shard_summaries(msg)
+        if isinstance(msg, ViewExchange):
+            return self._on_view_exchange(msg)
+        if isinstance(msg, ShardMatchQuery):
+            return self._on_shard_match(msg)
         return ErrorReply(f"unexpected message {type(msg).__name__}")
 
     def _on_rumor_push(self, msg: RumorPush) -> RumorReply:

@@ -23,7 +23,7 @@ Every moving part records into the registry's ``serve`` component, and
 QPS × latency × hit-rate trajectory.
 """
 
-from repro.serve.cache import ResultCache, directory_generation
+from repro.serve.cache import ResultCache, directory_generation, shard_generations
 from repro.serve.scheduler import PeerGate, QueryRejected, QueryScheduler
 from repro.serve.subscriptions import (
     Subscription,
@@ -40,4 +40,5 @@ __all__ = [
     "SubscriptionClient",
     "SubscriptionManager",
     "directory_generation",
+    "shard_generations",
 ]

@@ -1,0 +1,97 @@
+"""A real fleet in ``--partial-view`` mode, end to end, in the tier-1 lane.
+
+Same harness as :mod:`tests.test_fleet_small` — every node a separate
+``python -m repro.net`` process on its own localhost TCP port — but the
+whole fleet (observer included) runs the sharded partial-view directory:
+full Bloom filters only for each node's home shard plus a small random
+sample, coarse OR-summaries for every other shard, and query fan-out
+through shard members.  The invariants are the flat fleet's (convergence
+bound, recall vs. the full-directory oracle, zero stale serves, crash
+recovery, hygiene) plus the partial-view-specific ones: per-node filter
+memory strictly below the flat directory's, and nonzero maintenance
+traffic that stays bounded.
+
+12 nodes over 3 shards keeps the tier-1 cost low; at this size a node
+still pins most of the community (home shard of ~4 + sample of 4 + 2
+summaries), so only the 500-node scale suite can assert the *deep*
+sublinearity ratio — here we assert direction, not magnitude.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.fleet import FleetReport, FleetSpec, build_scenario, run_scenario
+
+pytestmark = [
+    pytest.mark.fleet,
+    pytest.mark.slow,
+    pytest.mark.partialview,
+    pytest.mark.timeout(300),
+]
+
+SPEC = FleetSpec(num_nodes=12, seed=0, partial_view=True, num_shards=3, view_sample=4)
+MIN_RECALL = 0.95
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory) -> FleetReport:
+    root = tmp_path_factory.mktemp("fleet-pv")
+    try:
+        return run_scenario(SPEC, root=root, log_dir=root / "logs")
+    finally:
+        shutil.rmtree(root / "corpus", ignore_errors=True)
+        shutil.rmtree(root / "data", ignore_errors=True)
+
+
+def test_no_acceptance_violations(report):
+    assert report.partial_view
+    assert report.violations(min_recall=MIN_RECALL) == []
+
+
+def test_converges_within_the_fig2_bound(report):
+    assert report.num_nodes == SPEC.num_nodes
+    assert 0.0 <= report.convergence_s <= report.convergence_bound_s
+
+
+def test_recall_tracks_the_full_directory_oracle(report):
+    assert report.recall >= MIN_RECALL
+    assert report.recall_min >= 0.5
+
+
+def test_publish_waves_propagate_without_stale_serves(report):
+    assert report.stale_serves == 0
+    assert len(report.wave_propagation_s) == SPEC.num_waves
+    assert all(0.0 <= s <= report.convergence_bound_s
+               for s in report.wave_propagation_s)
+
+
+def test_crash_recovery_under_partial_view(report):
+    scenario = build_scenario(SPEC)
+    assert report.crash_pids == list(scenario.crash_pids)
+    assert report.crash_search_ok  # searches kept working mid-outage
+    assert report.recovery_s > 0.0
+    assert report.recall_after_recovery >= MIN_RECALL
+
+
+def test_filter_memory_below_the_flat_directory(report):
+    # A flat node pins one full filter per member (its own included).
+    flat_bytes = SPEC.num_nodes * (SPEC.bloom_bits // 8)
+    assert 0.0 < report.directory_filter_bytes_per_node < flat_bytes
+
+
+def test_maintenance_traffic_is_nonzero_and_bounded(report):
+    # Summary refreshes, view exchanges, backfills and query fan-out all
+    # flow through the partial-view counters; a silent zero would mean
+    # the mode never engaged.
+    assert report.partialview_bytes_per_node > 0.0
+    # Bounded: well under one full directory's worth of filters per node.
+    assert report.partialview_bytes_per_node < SPEC.num_nodes * SPEC.bloom_bits
+
+
+def test_every_process_and_port_was_reclaimed(report):
+    assert report.forced_kills == 0
+    assert report.leaked_processes == 0
+    assert report.leaked_ports == 0

@@ -10,7 +10,12 @@ failure locally with::
 or, for the same scenario under manual control::
 
     PYTHONPATH=src python scripts/fleet.py --nodes 500 --seed 7 \
-        --gossip-interval 2.5 --slack 180
+        --gossip-interval 2.5 --slack 180 [--partial-view]
+
+The module fixture runs the scenario twice — once flat (the default,
+fully replicated directory) and once in ``--partial-view`` mode (sharded
+directory, sublinear per-node filter memory) — so the CI scale job gates
+both modes with the same invariants.
 
 Scale-vs-small spec differences, all about sharing one host among 500
 processes: a longer gossip interval (2.5 s — still 12x compressed vs.
@@ -18,14 +23,16 @@ the paper's 30 s) so the scheduler isn't saturated by gossip wakeups,
 larger launch batches, and generous ready/slack allowances because
 ~0.5 s of interpreter+import CPU per node serializes on small CI
 machines.  The recall bar is the ISSUE's "within 2 points of the
-oracle": at 500 members each query draws on many peers, so tie-break
-noise amortizes away and 0.98 is enforceable.
+oracle" for the flat directory; partial view trades a few points for
+sublinear memory, so its bar is 0.95 ("within a few points") per the
+ROADMAP's BENCH target.
 """
 
 from __future__ import annotations
 
 import os
 import shutil
+from dataclasses import replace
 
 import pytest
 
@@ -34,7 +41,7 @@ from repro.fleet import FleetReport, FleetSpec, run_scenario
 pytestmark = [
     pytest.mark.fleet,
     pytest.mark.slow,
-    pytest.mark.timeout(3600),
+    pytest.mark.timeout(7200),
     pytest.mark.skipif(
         not os.environ.get("PLANETP_FLEET_SCALE"),
         reason="500-node fleet: set PLANETP_FLEET_SCALE=1 to run",
@@ -57,21 +64,26 @@ SPEC = FleetSpec(
     convergence_slack_s=180.0,
     scrape_concurrency=64,
 )
-MIN_RECALL = 0.98
+MIN_RECALL = {False: 0.98, True: 0.95}
 
 
-@pytest.fixture(scope="module")
-def report(tmp_path_factory) -> FleetReport:
-    root = tmp_path_factory.mktemp("fleet500")
+def recall_bar(report: FleetReport) -> float:
+    return MIN_RECALL[report.partial_view]
+
+
+@pytest.fixture(scope="module", params=["flat", "partialview"])
+def report(request, tmp_path_factory) -> FleetReport:
+    spec = replace(SPEC, partial_view=(request.param == "partialview"))
+    root = tmp_path_factory.mktemp(f"fleet500-{request.param}")
     try:
-        return run_scenario(SPEC, root=root, log_dir=root / "logs", progress=print)
+        return run_scenario(spec, root=root, log_dir=root / "logs", progress=print)
     finally:
         shutil.rmtree(root / "corpus", ignore_errors=True)
         shutil.rmtree(root / "data", ignore_errors=True)
 
 
 def test_scale_run_meets_every_acceptance_criterion(report):
-    assert report.violations(min_recall=MIN_RECALL) == []
+    assert report.violations(min_recall=recall_bar(report)) == []
 
 
 def test_scale_convergence_within_fig2_bound(report):
@@ -79,13 +91,22 @@ def test_scale_convergence_within_fig2_bound(report):
     assert report.convergence_s <= report.convergence_bound_s
 
 
-def test_scale_recall_within_two_points_of_oracle(report):
-    assert report.recall >= MIN_RECALL
-    assert report.recall_after_recovery >= MIN_RECALL
+def test_scale_recall_within_bound_of_oracle(report):
+    assert report.recall >= recall_bar(report)
+    assert report.recall_after_recovery >= recall_bar(report)
 
 
 def test_scale_zero_stale_serves(report):
     assert report.stale_serves == 0
+
+
+def test_scale_partialview_memory_is_sublinear(report):
+    if not report.partial_view:
+        pytest.skip("flat mode replicates the full directory by design")
+    # A flat node pins one full filter per member; the sharded view must
+    # pin well under half of that (home shard + sample + summaries).
+    flat_bytes = report.num_nodes * (SPEC.bloom_bits // 8)
+    assert 0.0 < report.directory_filter_bytes_per_node < 0.5 * flat_bytes
 
 
 def test_scale_full_cleanup(report):

@@ -1,11 +1,14 @@
 """The wire codec round-trips the whole message inventory and rejects junk."""
 
+import struct
+
 import pytest
 
 from repro.constants import NET_CODEC_VERSION
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
     GOSSIP_MESSAGES,
+    PARTIALVIEW_MESSAGES,
     SERVE_MESSAGES,
     AENothing,
     AERecent,
@@ -19,10 +22,16 @@ from repro.gossip.wire import (
     RumorData,
     RumorPush,
     RumorReply,
+    ShardMatchQuery,
+    ShardMatchResponse,
+    ShardSummaryEntry,
+    ShardSummaryReply,
+    ShardSummaryRequest,
     SnapshotEntry,
     SubscribeAck,
     SubscribeRequest,
     Unsubscribe,
+    ViewExchange,
     WireRumor,
 )
 from repro.net.codec import (
@@ -91,6 +100,21 @@ MESSAGES = [
     SubscribeAck(0, False, "queue full"),
     Notify(12, 7, "doc-a", "the matching document text éè"),
     Unsubscribe(12),
+    ShardSummaryRequest((0, 3, 7), True),
+    ShardSummaryRequest((), False),
+    ShardSummaryReply(
+        (
+            ShardSummaryEntry(0, 12, 5, b"summary-bloom"),
+            ShardSummaryEntry(3, 0, 0, b""),
+        ),
+        (SnapshotEntry(RECORD, b"bloom-bytes"),),
+    ),
+    ShardSummaryReply((), ()),
+    ViewExchange((RECORD, PeerRecord(8, "10.0.0.8:9301", False, 0)), 16),
+    ViewExchange((), 0),
+    ShardMatchQuery(3, ("gossip", "peers")),
+    ShardMatchResponse(3, ((7, 0b11), (8, 0b01))),
+    ShardMatchResponse(0, ()),
     ErrorReply("bad frame: truncated"),
 ]
 
@@ -110,6 +134,23 @@ def test_every_gossip_type_is_covered():
 def test_every_serve_type_is_covered():
     tested = {type(m) for m in MESSAGES}
     assert set(SERVE_MESSAGES) <= tested
+
+
+def test_every_partialview_type_is_covered():
+    tested = {type(m) for m in MESSAGES}
+    assert set(PARTIALVIEW_MESSAGES) <= tested
+
+
+def test_oversized_shard_match_query_rejected():
+    # The hit bitmask is a u64, so both sides refuse >64 terms outright:
+    # the encoder won't emit such a frame ...
+    terms = tuple(f"term{i}" for i in range(65))
+    with pytest.raises(CodecError, match="exceeds"):
+        encode(ShardMatchQuery(1, terms))
+    # ... and the decoder rejects a forged one before reading any term.
+    frame = bytes([NET_CODEC_VERSION, 35]) + struct.pack(">IH", 1, 65)
+    with pytest.raises(CodecError, match="exceeds"):
+        decode(frame)
 
 
 def test_notify_carries_large_documents():

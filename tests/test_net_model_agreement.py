@@ -20,6 +20,7 @@ from repro.gossip.messages import MessageSizer
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
     GOSSIP_MESSAGES,
+    PARTIALVIEW_MESSAGES,
     SERVE_MESSAGES,
     AENothing,
     AERecent,
@@ -33,10 +34,16 @@ from repro.gossip.wire import (
     RumorData,
     RumorPush,
     RumorReply,
+    ShardMatchQuery,
+    ShardMatchResponse,
+    ShardSummaryEntry,
+    ShardSummaryReply,
+    ShardSummaryRequest,
     SnapshotEntry,
     SubscribeAck,
     SubscribeRequest,
     Unsubscribe,
+    ViewExchange,
     WireRumor,
 )
 from repro.net.codec import RankedQuery, encode, encode_member_payload
@@ -96,6 +103,23 @@ SERVE_INSTANCES = [
     Unsubscribe(12),
 ]
 
+#: The partial-view inventory, likewise priced outside Table 2 (the
+#: paper's model predates sharded directories).  Instances are sized the
+#: way the protocol actually uses them: summary replies carry compressed
+#: shard-OR filters, view exchanges trade a dozen-odd records.
+PARTIALVIEW_INSTANCES = [
+    ShardSummaryRequest((0, 2, 5), True),
+    ShardSummaryReply(
+        tuple(
+            ShardSummaryEntry(shard, 60, 12, _BLOOM) for shard in range(4)
+        ),
+        tuple(SnapshotEntry(rec, _BLOOM) for rec in _records(3)),
+    ),
+    ViewExchange(_records(12), 16),
+    ShardMatchQuery(3, ("gossip", "bloom", "filters", "peers")),
+    ShardMatchResponse(3, tuple((pid, 0b1011) for pid in range(10))),
+]
+
 
 @pytest.fixture(scope="module")
 def sizer() -> MessageSizer:
@@ -133,6 +157,22 @@ def test_serve_encoding_within_2x_of_model(msg, sizer):
 def test_serve_inventory_fully_covered(sizer):
     instance_types = {type(m) for m in SERVE_INSTANCES}
     assert instance_types == set(SERVE_MESSAGES)
+
+
+@pytest.mark.parametrize("msg", PARTIALVIEW_INSTANCES, ids=lambda m: type(m).__name__)
+def test_partialview_encoding_within_2x_of_model(msg, sizer):
+    real = len(encode(msg))
+    model = sizer.model_size(msg)
+    assert model > 0
+    ratio = real / model
+    assert 0.5 <= ratio <= 2.0, (
+        f"{type(msg).__name__}: real={real}B model={model}B ratio={ratio:.2f}"
+    )
+
+
+def test_partialview_inventory_fully_covered(sizer):
+    instance_types = {type(m) for m in PARTIALVIEW_INSTANCES}
+    assert instance_types == set(PARTIALVIEW_MESSAGES)
 
 
 def test_model_rejects_non_gossip_messages(sizer):
