@@ -7,8 +7,8 @@ publisher's next Bloom filter diffuses.  The service deliberately makes no
 safety guarantee — a broker leaving abruptly loses its snippets.
 """
 
-from repro.brokerage.ring import ConsistentHashRing
 from repro.brokerage.broker import Broker, BrokeredSnippet
+from repro.brokerage.ring import ConsistentHashRing
 from repro.brokerage.service import BrokerageService
 
 __all__ = [

@@ -8,8 +8,9 @@ offers no durability.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any
 
 __all__ = ["BrokeredSnippet", "Broker"]
 

@@ -93,6 +93,34 @@ class ConsistentHashRing:
         """The member responsible for ``key``."""
         return self.successor_of(self.key_position(key))
 
+    def successors_of(self, position: int, k: int) -> list[int]:
+        """Up to ``k`` *distinct* member ids clockwise from ``position``.
+
+        Walks the ring from the least successor of ``position`` (wrapping
+        around zero), skipping virtual positions of members already
+        collected — the replica-set primitive: with one position per
+        member this is "the next k brokers"; with virtual points it is
+        the next k distinct owners.  Returns fewer than ``k`` when the
+        ring has fewer distinct members.
+        """
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        if not self._ids or k == 0:
+            return []
+        start = bisect.bisect_left(self._ids, position % self.max_id)
+        found: list[int] = []
+        for step in range(len(self._ids)):
+            member = self._members[self._ids[(start + step) % len(self._ids)]]
+            if member not in found:
+                found.append(member)
+                if len(found) == k:
+                    break
+        return found
+
+    def successors_for(self, key: str, k: int) -> list[int]:
+        """Up to ``k`` distinct members clockwise from ``H(key)``."""
+        return self.successors_of(self.key_position(key), k)
+
     def arc_of(self, member_id: int) -> tuple[int, int]:
         """The half-open ring arc ``(predecessor_pos, own_pos]`` whose keys
         the member owns.  Useful for handoff on join/leave."""

@@ -10,7 +10,8 @@ behaviour the paper calls out explicitly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.brokerage.broker import Broker, BrokeredSnippet
 from repro.brokerage.ring import ConsistentHashRing
@@ -48,9 +49,7 @@ class BrokerageService:
                 continue
             other = self._brokers[other_id]
             entries = other.all_entries()
-            moved = [
-                (k, s) for k, s in entries if self.ring.broker_for(k) == member_id
-            ]
+            moved = [(k, s) for k, s in entries if self.ring.broker_for(k) == member_id]
             if not moved:
                 continue
             for key, snippet in moved:

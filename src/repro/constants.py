@@ -421,6 +421,48 @@ class PartialViewConfig:
 
 
 @dataclass
+class ContentConfig:
+    """Tunables of the content plane (:mod:`repro.content`).
+
+    ``replicas`` is k in the k-way replication scheme: every published
+    document's chunks are pushed to its first k consistent-hash ring
+    successors (origin excluded).  Zero keeps the plane passive — local
+    chunks are stored and served, but nothing is pushed, which is the
+    default so single-node and loopback deployments pay nothing.
+    """
+
+    #: ring successors (excluding the origin) that must hold a copy.
+    replicas: int = 0
+    #: bytes per chunk; the last chunk of a document may be shorter.
+    chunk_size: int = 65536
+    #: a responder caps each ChunkReply at this many bytes — replies for
+    #: big chunks arrive as resumable slices (offset + prefix).
+    max_reply_bytes: int = 65536
+    #: virtual ring positions per member, so replica arcs stay even and
+    #: churn only remaps the failed member's share.
+    points_per_member: int = 32
+    #: documents (re)pushed per maintenance round — bounds the per-round
+    #: replication burst after a churn event.
+    push_docs_per_round: int = 8
+    #: replica addresses advertised in a ManifestReply.
+    max_advertised_holders: int = 8
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.max_reply_bytes < 1:
+            raise ValueError("max_reply_bytes must be >= 1")
+        if self.points_per_member < 1:
+            raise ValueError("points_per_member must be >= 1")
+        if self.push_docs_per_round < 1:
+            raise ValueError("push_docs_per_round must be >= 1")
+        if self.max_advertised_holders < 1:
+            raise ValueError("max_advertised_holders must be >= 1")
+
+
+@dataclass
 class BloomConfig:
     """Bloom filter sizing configuration."""
 

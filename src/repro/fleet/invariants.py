@@ -14,6 +14,10 @@ The acceptance bar for a fleet run (tiered tests, the bench gate, and
 * **freshness** — zero stale serves: after a publish wave has
   propagated, the query plane must return the new documents (the
   version-keyed result cache may never answer with a pre-wave result).
+* **retrieval** (when ``replicas > 0``) — every wave document fetchable
+  byte-identical through the content plane, crashed origins' documents
+  still retrievable from surviving replicas, and zero orphaned chunk
+  bytes once handoff settles.
 * **hygiene** — every subprocess reaped, every port closed.
 
 :class:`FleetReport` carries every measured number plus
@@ -90,6 +94,18 @@ class FleetReport:
     gossip_bytes_per_node: float = 0.0
     gossip_bytes_per_round: float = 0.0
     gossip_rounds_per_node: float = 0.0
+    #: content-plane copies per document (0 = content gates skipped).
+    content_replicas: int = 0
+    #: launch to every node at the replication fixed point.
+    replication_s: float = 0.0
+    #: wave documents fetched byte-identical through the content plane.
+    content_fetches_ok: int = 0
+    content_fetches_expected: int = 0
+    #: were all crashed origins' sentinel docs retrievable from
+    #: surviving replicas while the origins were down?
+    churn_fetches_ok: bool = True
+    #: worst per-node orphaned chunk bytes after churn settled (must be 0).
+    orphan_chunk_bytes_max: float = 0.0
     #: whether the fleet ran in --partial-view (sharded directory) mode.
     partial_view: bool = False
     #: mean bytes pinned per node by full replica filters + shard summaries.
@@ -133,6 +149,23 @@ class FleetReport:
                 f"post-recovery recall {self.recall_after_recovery:.3f} "
                 f"below {min_recall:.3f}"
             )
+        if self.content_replicas > 0:
+            if self.content_fetches_ok < self.content_fetches_expected:
+                out.append(
+                    f"content retrieval returned only "
+                    f"{self.content_fetches_ok}/{self.content_fetches_expected} "
+                    f"wave documents byte-identical"
+                )
+            if not self.churn_fetches_ok:
+                out.append(
+                    "crashed origins' documents not retrievable from "
+                    "surviving replicas"
+                )
+            if self.orphan_chunk_bytes_max > 0:
+                out.append(
+                    f"{self.orphan_chunk_bytes_max:.0f} orphaned chunk "
+                    f"bytes left stranded after churn"
+                )
         if self.leaked_processes:
             out.append(f"{self.leaked_processes} node process(es) leaked")
         if self.leaked_ports:

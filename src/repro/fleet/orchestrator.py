@@ -46,6 +46,7 @@ from typing import Callable
 
 import repro
 from repro.constants import BloomConfig, GossipConfig, NetConfig, PartialViewConfig
+from repro.content import ContentClient, ContentNotFound
 from repro.fleet.invariants import (
     FleetReport,
     convergence_bound_s,
@@ -108,6 +109,7 @@ class Fleet:
         self._env = _subprocess_env()
         self.observer: NetworkPeer | None = None
         self.scheduler: QueryScheduler | None = None
+        self._content_client: ContentClient | None = None
 
     # -- layout --------------------------------------------------------------
 
@@ -148,6 +150,8 @@ class Fleet:
         ]
         if bootstrap is not None:
             args += ["--bootstrap", bootstrap]
+        if self.spec.replicas > 0:
+            args += ["--replicas", str(self.spec.replicas)]
         if self.spec.partial_view:
             args += [
                 "--partial-view",
@@ -276,6 +280,59 @@ class Fleet:
                 f"node {pid} did not accept publish of {doc.doc_id!r}: {reply!r}"
             )
         return reply
+
+    # -- the content plane ----------------------------------------------------
+
+    def content_client(self) -> ContentClient:
+        """The fleet's retrieval client (shared transport, lazy)."""
+        if self._content_client is None:
+            self._content_client = ContentClient(
+                self.transport, request_timeout_s=10.0
+            )
+        return self._content_client
+
+    async def fetch_content(self, doc_id: str, via: list[str]) -> bytes | None:
+        """Fetch ``doc_id`` through the content plane starting from the
+        ``via`` addresses; ``None`` when no verified copy is reachable."""
+        try:
+            return await self.content_client().fetch(via, doc_id)
+        except ContentNotFound:
+            return None
+
+    async def await_replication(self, total_docs: int, timeout_s: float) -> float:
+        """Seconds until every node is at the replication fixed point:
+        each node's ``docs_fully_replicated`` gauge equals its
+        ``docs_held``, and the community holds at least ``replicas``
+        copies' worth of documents.  Gates the crash schedule — a doc
+        SIGKILLed with its origin before this point is unrecoverable."""
+        started = time.monotonic()
+        poll_s = max(0.2, self.spec.gossip_interval_s / 2)
+        live = sum(1 for proc in self.procs.values() if proc.alive)
+        floor = total_docs * self.spec.replicas
+        while True:
+            stats = await self.scrape_all()
+            held = sum(
+                s.get("planetp_content_docs_held", 0.0) for s in stats.values()
+            )
+            settled = (
+                len(stats) >= live
+                and held >= floor
+                and all(
+                    s.get("planetp_content_docs_held", 0.0)
+                    == s.get("planetp_content_docs_fully_replicated", -1.0)
+                    for s in stats.values()
+                )
+            )
+            elapsed = time.monotonic() - started
+            if settled:
+                return elapsed
+            if elapsed > timeout_s:
+                raise FleetError(
+                    f"content replication not settled after {elapsed:.1f}s: "
+                    f"{held:.0f} copies held across {len(stats)} nodes "
+                    f"(floor {floor})"
+                )
+            await asyncio.sleep(poll_s)
 
     def kill(self, pid: int) -> None:
         """SIGKILL node ``pid`` (the crash schedule — no cleanup runs)."""
@@ -471,6 +528,40 @@ async def run_scenario_async(
         m["stale_serves"] = stale_serves
         m["wave_propagation_s"] = wave_propagation
 
+        # Content plane: wait for the replication fixed point, then
+        # retrieve every wave document byte-identically through the
+        # chunked-transfer protocol (manifest digest verified in fetch).
+        m["content_replicas"] = spec.replicas
+        m["replication_s"] = 0.0
+        m["content_fetches_expected"] = 0
+        m["content_fetches_ok"] = 0
+        m["churn_fetches_ok"] = True
+        m["orphan_chunk_bytes_max"] = 0.0
+        if spec.replicas > 0:
+            total_docs = spec.num_nodes * spec.docs_per_node + sum(
+                len(w.publishes) for w in scenario.waves
+            )
+            m["replication_s"] = await fleet.await_replication(total_docs, bound)
+            say(
+                f"fleet: {total_docs} documents at {spec.replicas}-way "
+                f"replication after {m['replication_s']:.1f}s"
+            )
+            fetch_docs = [
+                doc for wave in scenario.waves for _pid, doc in wave.publishes
+            ]
+            fetched_ok = 0
+            for doc in fetch_docs:
+                via = fleet._rng.choice(list(fleet.addresses.values()))
+                data = await fleet.fetch_content(doc.doc_id, [via])
+                if data == doc.text.encode("utf-8"):
+                    fetched_ok += 1
+            m["content_fetches_expected"] = len(fetch_docs)
+            m["content_fetches_ok"] = fetched_ok
+            say(
+                f"fleet: retrieved {fetched_ok}/{len(fetch_docs)} wave "
+                f"documents byte-identical"
+            )
+
         # Crash schedule: SIGKILL, keep serving, warm restart, recover.
         m["crash_pids"] = list(scenario.crash_pids)
         m["crash_search_ok"] = True
@@ -484,6 +575,38 @@ async def run_scenario_async(
                     await scheduler.ranked(query, spec.top_k)
                 except Exception:
                     m["crash_search_ok"] = False
+            if spec.replicas > 0:
+                # Retrieval under churn: each SIGKILLed origin's sentinel
+                # document must still come back byte-identical from the
+                # surviving replicas while the origin is down.
+                survivors = [
+                    fleet.addresses[p]
+                    for p, proc in fleet.procs.items()
+                    if proc.alive
+                ]
+                churn_pending = {
+                    pid: scenario.sentinel_doc(pid)
+                    for pid in scenario.crash_pids
+                }
+                churn_deadline = time.monotonic() + bound
+                while churn_pending:
+                    for pid, doc in list(churn_pending.items()):
+                        data = await fleet.fetch_content(
+                            doc.doc_id, [fleet._rng.choice(survivors)]
+                        )
+                        if data == doc.text.encode("utf-8"):
+                            del churn_pending[pid]
+                    if not churn_pending:
+                        break
+                    if time.monotonic() > churn_deadline:
+                        m["churn_fetches_ok"] = False
+                        break
+                    await asyncio.sleep(poll_s)
+                say(
+                    "fleet: retrieval under churn "
+                    + ("ok" if m["churn_fetches_ok"] else
+                       f"FAILED for {sorted(churn_pending)}")
+                )
             restart_started = time.monotonic()
             for pid in scenario.crash_pids:
                 await fleet.restart(pid)
@@ -535,6 +658,28 @@ async def run_scenario_async(
             if time.monotonic() > recall_deadline:
                 break
             await asyncio.sleep(poll_s)
+
+        # Handoff hygiene: once the restarted nodes are back on the ring,
+        # every node's orphaned-copy gauge must drain to zero — churn may
+        # never strand chunk bytes nobody is responsible for.
+        if spec.replicas > 0 and scenario.crash_pids:
+            orphan_deadline = time.monotonic() + bound
+            while True:
+                orphan_stats = await fleet.scrape_all()
+                orphans = [
+                    s.get("planetp_content_orphan_chunk_bytes", 0.0)
+                    for s in orphan_stats.values()
+                ]
+                m["orphan_chunk_bytes_max"] = max(orphans) if orphans else 0.0
+                if m["orphan_chunk_bytes_max"] == 0.0:
+                    break
+                if time.monotonic() > orphan_deadline:
+                    break
+                await asyncio.sleep(poll_s)
+            say(
+                f"fleet: orphaned chunk bytes after churn: "
+                f"{m['orphan_chunk_bytes_max']:.0f}"
+            )
 
         # Cost: what the convergence and churn above took on the wire.
         stats = await fleet.scrape_all()

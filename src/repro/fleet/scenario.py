@@ -66,6 +66,9 @@ class FleetSpec:
     num_shards: int = 0
     #: out-of-shard full-filter sample size under partial view.
     view_sample: int = 32
+    #: content-plane copies per document (``--replicas``); 0 disables the
+    #: retrieval waves and the retrieval-under-churn gate.
+    replicas: int = 0
 
     @property
     def resolved_num_shards(self) -> int:
@@ -93,6 +96,10 @@ class FleetSpec:
             raise ValueError("num_shards must be >= 0 (0 = auto)")
         if self.view_sample < 0:
             raise ValueError("view_sample must be >= 0")
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if self.replicas >= self.num_nodes:
+            raise ValueError("replicas must leave at least one non-holder node")
 
 
 @dataclass(frozen=True)

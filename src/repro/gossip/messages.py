@@ -43,6 +43,19 @@ is priced the same way — covered by the 2x envelope, outside Table 2:
 ``view_exchange``           header + want (2 B) + 48 B per record
 ``shard_match_query``       header + shard (4 B) + terms
 ``shard_match_response``    header + shard (4 B) + 12 B per (pid, mask)
+
+The content inventory (:data:`repro.gossip.wire.CONTENT_MESSAGES`) —
+chunked transfers and replication pushes — is priced the same way,
+covered by the 2x envelope, outside Table 2.  A manifest prices as
+doc id + 16 B of fixed fields + 32 B digest + 4 B per chunk CRC:
+
+``manifest_request``   header + doc id
+``manifest_reply``     header + flag byte + manifest + holder addresses
+``chunk_request``      header + doc id + index (4 B) + offset (4 B)
+``chunk_reply``        header + flag + doc id + 12 B meta + chunk bytes
+``manifest_push``      header + manifest
+``manifest_ack``       header + doc id + flag + 4 B per missing index
+``chunk_push``         header + doc id + index (4 B) + chunk bytes
 """
 
 from __future__ import annotations
@@ -184,6 +197,83 @@ class MessageSizer:
             + self._MATCH_HIT_BYTES * num_hits
         )
 
+    # -- content inventory (chunked transfers; outside Table 2) -------------
+
+    _CHUNK_INDEX_BYTES = 4
+    _CHUNK_OFFSET_BYTES = 4
+    _DIGEST_LEN_BYTES = 32  # SHA-256 of the whole document
+    _CRC_BYTES = 4
+
+    def _manifest_bytes(self, doc_id_bytes: int, num_chunks: int) -> int:
+        # doc id + origin (4) + total_size (8) + chunk_size (4) + digest
+        # + one CRC-32 per chunk.
+        return (
+            2 + doc_id_bytes
+            + 4 + 8 + 4
+            + self._DIGEST_LEN_BYTES
+            + self._CRC_BYTES * num_chunks
+        )
+
+    def manifest_request(self, doc_id_bytes: int) -> int:
+        """Ask a peer for a document's manifest."""
+        return self.config.header_bytes + 2 + doc_id_bytes
+
+    def manifest_reply(
+        self, doc_id_bytes: int, num_chunks: int, holder_bytes: int
+    ) -> int:
+        """The manifest plus the replica addresses holding the chunks."""
+        return (
+            self.config.header_bytes
+            + 1
+            + self._manifest_bytes(doc_id_bytes, num_chunks)
+            + holder_bytes
+        )
+
+    def chunk_request(self, doc_id_bytes: int) -> int:
+        """Fetch one chunk, resumable from a byte offset."""
+        return (
+            self.config.header_bytes
+            + 2 + doc_id_bytes
+            + self._CHUNK_INDEX_BYTES
+            + self._CHUNK_OFFSET_BYTES
+        )
+
+    def chunk_reply(self, doc_id_bytes: int, data_bytes: int) -> int:
+        """One chunk's bytes from the requested offset."""
+        return (
+            self.config.header_bytes
+            + 1
+            + 2 + doc_id_bytes
+            + self._CHUNK_INDEX_BYTES
+            + self._CHUNK_OFFSET_BYTES
+            + 4  # total chunk length
+            + data_bytes
+        )
+
+    def manifest_push(self, doc_id_bytes: int, num_chunks: int) -> int:
+        """A holder offers a document to a ring successor."""
+        return self.config.header_bytes + self._manifest_bytes(
+            doc_id_bytes, num_chunks
+        )
+
+    def manifest_ack(self, doc_id_bytes: int, num_missing: int) -> int:
+        """The successor's verdict plus the chunk indices it still needs."""
+        return (
+            self.config.header_bytes
+            + 2 + doc_id_bytes
+            + 1
+            + self._CRC_BYTES * num_missing
+        )
+
+    def chunk_push(self, doc_id_bytes: int, data_bytes: int) -> int:
+        """Ship one chunk to a successor."""
+        return (
+            self.config.header_bytes
+            + 2 + doc_id_bytes
+            + self._CHUNK_INDEX_BYTES
+            + data_bytes
+        )
+
     # -- shared-inventory dispatch ------------------------------------------
 
     def model_size(self, msg: object) -> int:
@@ -247,4 +337,32 @@ class MessageSizer:
             )
         if isinstance(msg, wire.ShardMatchResponse):
             return self.shard_match_response(len(msg.hits))
+        if isinstance(msg, wire.ManifestRequest):
+            return self.manifest_request(len(msg.doc_id.encode("utf-8")))
+        if isinstance(msg, wire.ManifestReply):
+            holder_bytes = sum(
+                2 + len(h.encode("utf-8")) for h in msg.holders
+            ) + 4
+            if msg.manifest is None:
+                return self.config.header_bytes + 1 + holder_bytes
+            return self.manifest_reply(
+                len(msg.manifest.doc_id.encode("utf-8")),
+                msg.manifest.num_chunks,
+                holder_bytes,
+            )
+        if isinstance(msg, wire.ChunkRequest):
+            return self.chunk_request(len(msg.doc_id.encode("utf-8")))
+        if isinstance(msg, wire.ChunkReply):
+            return self.chunk_reply(len(msg.doc_id.encode("utf-8")), len(msg.data))
+        if isinstance(msg, wire.ManifestPush):
+            return self.manifest_push(
+                len(msg.manifest.doc_id.encode("utf-8")),
+                msg.manifest.num_chunks,
+            )
+        if isinstance(msg, wire.ManifestAck):
+            return self.manifest_ack(
+                len(msg.doc_id.encode("utf-8")), len(msg.missing)
+            )
+        if isinstance(msg, wire.ChunkPush):
+            return self.chunk_push(len(msg.doc_id.encode("utf-8")), len(msg.data))
         raise TypeError(f"not a gossip wire message: {type(msg).__name__}")

@@ -57,6 +57,27 @@ the sharded-directory mode's maintenance and query fan-out:
 
 Like serve messages these are priced to the same 2x envelope but live in
 :data:`PARTIALVIEW_MESSAGES`, outside the Table-2 gossip model.
+
+The **content inventory** (:mod:`repro.content`) moves document *bytes*
+peer to peer — chunked transfers with per-chunk CRCs plus the k-way
+replication push that keeps content retrievable through churn:
+
+=====================  ================================================
+``ManifestRequest``    ask a peer for a document's manifest
+``ManifestReply``      the manifest (chunk CRCs + whole-document
+                       digest) plus the replica addresses to fetch from
+``ChunkRequest``       fetch one chunk, resumable from a byte offset
+``ChunkReply``         the chunk bytes from that offset (possibly a
+                       prefix — the requester re-asks from where the
+                       last reply stopped)
+``ManifestPush``       a holder offers a document to a ring successor
+``ManifestAck``        the successor's verdict + which chunks it still
+                       needs (empty = complete, replica confirmed)
+``ChunkPush``          ship one chunk to a successor (``ManifestAck``'d)
+=====================  ================================================
+
+Same 2x pricing envelope, grouped in :data:`CONTENT_MESSAGES`, outside
+the Table-2 gossip model.
 """
 
 from __future__ import annotations
@@ -92,6 +113,15 @@ __all__ = [
     "ShardMatchQuery",
     "ShardMatchResponse",
     "PARTIALVIEW_MESSAGES",
+    "ContentManifest",
+    "ManifestRequest",
+    "ManifestReply",
+    "ChunkRequest",
+    "ChunkReply",
+    "ManifestPush",
+    "ManifestAck",
+    "ChunkPush",
+    "CONTENT_MESSAGES",
 ]
 
 
@@ -384,4 +414,129 @@ PARTIALVIEW_MESSAGES: tuple[type, ...] = (
     ViewExchange,
     ShardMatchQuery,
     ShardMatchResponse,
+)
+
+
+# ---------------------------------------------------------------------------
+# content inventory: chunked transfers and k-way replication pushes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContentManifest:
+    """A document's transfer contract (component, not a message).
+
+    ``digest`` is the SHA-256 of the whole document; ``chunk_crcs[i]``
+    is the CRC-32 of chunk ``i`` (every chunk is ``chunk_size`` bytes
+    except a possibly-shorter final one), so a receiver can verify each
+    chunk on arrival and the assembled bytes at the end.  ``origin`` is
+    the publishing peer — the one node that never garbage-collects its
+    copy during replica handoff.
+    """
+
+    doc_id: str
+    origin: int
+    total_size: int
+    chunk_size: int
+    digest: bytes
+    chunk_crcs: tuple[int, ...]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_crcs)
+
+
+@dataclass(frozen=True)
+class ManifestRequest:
+    """Ask a peer for ``doc_id``'s manifest (and where its replicas live)."""
+
+    doc_id: str
+
+
+@dataclass(frozen=True)
+class ManifestReply:
+    """The manifest when the responder can resolve the id.
+
+    ``holders`` are ``host:port`` addresses the responder believes hold
+    the chunks (the ring replica set, plus the origin when known) — what
+    lets a directory-less client (the CLI ``get`` subcommand) reach the
+    replica set through any single live member.
+    """
+
+    found: bool
+    manifest: ContentManifest | None
+    holders: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ChunkRequest:
+    """Fetch chunk ``index`` of ``doc_id`` starting at byte ``offset``.
+
+    ``offset`` is what makes transfers resumable: after a dropped
+    connection (or a responder that capped its reply) the client re-asks
+    from the first byte it has not yet verified instead of refetching
+    the whole chunk.
+    """
+
+    doc_id: str
+    index: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class ChunkReply:
+    """Bytes of one chunk from ``offset``; ``total`` is the chunk's full
+    length so the requester knows whether ``data`` completes it or it
+    must re-ask from ``offset + len(data)``."""
+
+    found: bool
+    doc_id: str
+    index: int
+    offset: int
+    total: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ManifestPush:
+    """A holder offers ``manifest`` to a ring successor for replication."""
+
+    manifest: ContentManifest
+
+
+@dataclass(frozen=True)
+class ManifestAck:
+    """The successor's verdict on a push.
+
+    ``missing`` lists the chunk indices the acker still needs —
+    empty-and-accepted means the replica holds a complete, CRC-verified
+    copy (the pusher's signal to mark it confirmed).  ``accepted=False``
+    means the acker has no manifest for ``doc_id`` (the pusher must
+    (re)send ``ManifestPush`` before chunks).
+    """
+
+    doc_id: str
+    accepted: bool
+    missing: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ChunkPush:
+    """Ship one chunk to a successor (acknowledged with ``ManifestAck``)."""
+
+    doc_id: str
+    index: int
+    data: bytes
+
+
+#: The content inventory — chunked transfer + replication RPCs, priced
+#: by the sizer but NOT part of the Table-2 gossip model.
+CONTENT_MESSAGES: tuple[type, ...] = (
+    ManifestRequest,
+    ManifestReply,
+    ChunkRequest,
+    ChunkReply,
+    ManifestPush,
+    ManifestAck,
+    ChunkPush,
 )

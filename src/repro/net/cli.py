@@ -32,6 +32,13 @@ community::
 
     python -m repro.net subscribe 127.0.0.1:9301 "gossip protocols"
     python -m repro.net subscribe 127.0.0.1:9301 "bloom" --max-runtime 30
+
+Retrieve a document's bytes from the content plane (``--replicas N``
+on the serving nodes keeps N copies on the replica ring, so the fetch
+works even after the publisher dies)::
+
+    python -m repro.net get 127.0.0.1:9301 some/doc-id
+    python -m repro.net get 127.0.0.1:9301 some/doc-id --out doc.txt
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ from pathlib import Path
 from repro.constants import (
     NET_DEFAULT_PORT,
     BloomConfig,
+    ContentConfig,
     GossipConfig,
     NetConfig,
     PartialViewConfig,
@@ -60,9 +68,11 @@ from repro.text.document import Document
 
 __all__ = [
     "build_parser",
+    "build_get_parser",
     "build_stats_parser",
     "build_subscribe_parser",
     "run",
+    "run_get",
     "run_stats",
     "run_subscribe",
     "main",
@@ -140,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default {PartialViewConfig().sample_size})",
     )
     parser.add_argument(
+        "--replicas", type=int, default=ContentConfig().replicas, metavar="K",
+        help="keep K copies of every published document on the content "
+             "plane's consistent-hash ring (default "
+             f"{ContentConfig().replicas}; 0 = serve own documents only)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=ContentConfig().chunk_size,
+        metavar="BYTES",
+        help="content-plane transfer chunk size "
+             f"(default {ContentConfig().chunk_size})",
+    )
+    parser.add_argument(
         "--query", default=None, help="run one ranked query after joining, print the top-k, keep serving"
     )
     parser.add_argument("--top-k", type=int, default=10, help="k for --query (default 10)")
@@ -179,6 +201,27 @@ def build_stats_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--grep", default=None, metavar="SUBSTR",
         help="only print samples whose name contains SUBSTR",
+    )
+    return parser
+
+
+def build_get_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.net get`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net get",
+        description="Fetch a document's bytes from the content plane, "
+        "verified against its manifest digest.",
+    )
+    parser.add_argument("address", metavar="HOST:PORT", help="any community member")
+    parser.add_argument("doc_id", metavar="DOC_ID", help="document to fetch")
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the bytes to FILE (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-RPC deadline before falling back to the next replica "
+        "(default 5)",
     )
     return parser
 
@@ -236,6 +279,27 @@ async def run_subscribe(args: argparse.Namespace) -> None:
                 await asyncio.sleep(3600.0)
     finally:
         await client.close()
+
+
+async def run_get(args: argparse.Namespace) -> None:
+    """Fetch one document via :class:`~repro.content.ContentClient`."""
+    from repro.content import ContentClient, ContentNotFound
+
+    transport = TcpTransport(NetConfig())
+    client = ContentClient(transport, request_timeout_s=args.timeout)
+    try:
+        try:
+            data = await client.fetch([args.address], args.doc_id)
+        except ContentNotFound as exc:
+            raise TransportError(str(exc)) from None
+    finally:
+        await transport.close()
+    if args.out is not None:
+        args.out.write_bytes(data)
+        print(f"wrote {len(data)} bytes of {args.doc_id!r} to {args.out}")
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
 
 
 async def run_stats(args: argparse.Namespace) -> None:
@@ -344,6 +408,9 @@ async def run(args: argparse.Namespace) -> None:
         )
         if args.partial_view
         else None,
+        content_config=ContentConfig(
+            replicas=args.replicas, chunk_size=args.chunk_size
+        ),
     )
     address = await node.start()
     print(f"peer {args.peer_id} serving at {address}")
@@ -364,6 +431,11 @@ async def run(args: argparse.Namespace) -> None:
         print(
             f"partial view: shards={args.shards} sample={args.view_sample} "
             f"home={node.pview.home}"
+        )
+    if node.content.active:
+        print(
+            f"content replication: k={args.replicas} "
+            f"chunk-size={args.chunk_size}"
         )
 
     if args.corpus is not None:
@@ -418,6 +490,8 @@ def main(argv: list[str] | None = None) -> None:
     try:
         if argv and argv[0] == "stats":
             asyncio.run(run_stats(build_stats_parser().parse_args(argv[1:])))
+        elif argv and argv[0] == "get":
+            asyncio.run(run_get(build_get_parser().parse_args(argv[1:])))
         elif argv and argv[0] == "subscribe":
             asyncio.run(run_subscribe(build_subscribe_parser().parse_args(argv[1:])))
         else:

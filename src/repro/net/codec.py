@@ -30,8 +30,16 @@ from repro.gossip.wire import (
     AERecent,
     AERequest,
     AESummary,
+    ChunkPush,
+    ChunkReply,
+    ChunkRequest,
+    ContentManifest,
     JoinRequest,
     JoinSnapshot,
+    ManifestAck,
+    ManifestPush,
+    ManifestReply,
+    ManifestRequest,
     Notify,
     PeerRecord,
     PullRequest,
@@ -213,6 +221,11 @@ SHARD_MATCH_MAX_TERMS = 64
 #: empty bloom blob.
 _SUMMARY_ENTRY_MIN_BYTES = 4 + 4 + 8 + 4
 
+#: A manifest's chunk-CRC list and an ack's missing-index list are both
+#: u32s; holder addresses are at least a u16 length prefix.
+_CRC_BYTES = 4
+_HOLDER_MIN_BYTES = 2
+
 
 class _Writer:
     """Accumulates big-endian fields into a frame body."""
@@ -354,6 +367,27 @@ def _r_rumor(r: _Reader) -> WireRumor:
     return WireRumor(rid, _CODE_KIND[code], origin, created_at, payload)
 
 
+def _w_manifest(w: _Writer, m: ContentManifest) -> None:
+    w.text(m.doc_id)
+    w.u32(m.origin)
+    w.u64(m.total_size)
+    w.u32(m.chunk_size)
+    w.blob(m.digest)
+    w.u32(len(m.chunk_crcs))
+    for crc in m.chunk_crcs:
+        w.u32(crc)
+
+
+def _r_manifest(r: _Reader) -> ContentManifest:
+    doc_id = r.text()
+    origin = r.u32()
+    total_size = r.u64()
+    chunk_size = r.u32()
+    digest = r.blob()
+    crcs = tuple(r.u32() for _ in range(r.count(_CRC_BYTES)))
+    return ContentManifest(doc_id, origin, total_size, chunk_size, digest, crcs)
+
+
 # ---------------------------------------------------------------------------
 # per-type encoders/decoders
 # ---------------------------------------------------------------------------
@@ -388,6 +422,13 @@ _T_SHARD_SUMMARY_REPLY = 33
 _T_VIEW_EXCHANGE = 34
 _T_SHARD_MATCH_QUERY = 35
 _T_SHARD_MATCH_RESPONSE = 36
+_T_MANIFEST_REQUEST = 37
+_T_MANIFEST_REPLY = 38
+_T_CHUNK_REQUEST = 39
+_T_CHUNK_REPLY = 40
+_T_MANIFEST_PUSH = 41
+_T_MANIFEST_ACK = 42
+_T_CHUNK_PUSH = 43
 
 _TYPE_OF = {
     RumorPush: _T_RUMOR_PUSH,
@@ -420,6 +461,13 @@ _TYPE_OF = {
     ViewExchange: _T_VIEW_EXCHANGE,
     ShardMatchQuery: _T_SHARD_MATCH_QUERY,
     ShardMatchResponse: _T_SHARD_MATCH_RESPONSE,
+    ManifestRequest: _T_MANIFEST_REQUEST,
+    ManifestReply: _T_MANIFEST_REPLY,
+    ChunkRequest: _T_CHUNK_REQUEST,
+    ChunkReply: _T_CHUNK_REPLY,
+    ManifestPush: _T_MANIFEST_PUSH,
+    ManifestAck: _T_MANIFEST_ACK,
+    ChunkPush: _T_CHUNK_PUSH,
 }
 
 
@@ -565,6 +613,40 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
         for pid, mask in msg.hits:
             w.u32(pid)
             w.u64(mask)
+    elif isinstance(msg, ManifestRequest):
+        w.text(msg.doc_id)
+    elif isinstance(msg, ManifestReply):
+        w.u8(1 if msg.found else 0)
+        if msg.found:
+            if msg.manifest is None:
+                raise CodecError("found ManifestReply carries no manifest")
+            _w_manifest(w, msg.manifest)
+        w.u32(len(msg.holders))
+        for holder in msg.holders:
+            w.text(holder)
+    elif isinstance(msg, ChunkRequest):
+        w.text(msg.doc_id)
+        w.u32(msg.index)
+        w.u32(msg.offset)
+    elif isinstance(msg, ChunkReply):
+        w.u8(1 if msg.found else 0)
+        w.text(msg.doc_id)
+        w.u32(msg.index)
+        w.u32(msg.offset)
+        w.u32(msg.total)
+        w.blob(msg.data)
+    elif isinstance(msg, ManifestPush):
+        _w_manifest(w, msg.manifest)
+    elif isinstance(msg, ManifestAck):
+        w.text(msg.doc_id)
+        w.u8(1 if msg.accepted else 0)
+        w.u32(len(msg.missing))
+        for index in msg.missing:
+            w.u32(index)
+    elif isinstance(msg, ChunkPush):
+        w.text(msg.doc_id)
+        w.u32(msg.index)
+        w.blob(msg.data)
     return bytes(w.buf)
 
 
@@ -690,6 +772,31 @@ def decode(body: bytes) -> object:
         shard = r.u32()
         hits = tuple((r.u32(), r.u64()) for _ in range(r.count(12)))
         msg = ShardMatchResponse(shard, hits)
+    elif mtype == _T_MANIFEST_REQUEST:
+        msg = ManifestRequest(r.text())
+    elif mtype == _T_MANIFEST_REPLY:
+        found = bool(r.u8())
+        manifest = _r_manifest(r) if found else None
+        holders = tuple(r.text() for _ in range(r.count(_HOLDER_MIN_BYTES)))
+        msg = ManifestReply(found, manifest, holders)
+    elif mtype == _T_CHUNK_REQUEST:
+        msg = ChunkRequest(r.text(), r.u32(), r.u32())
+    elif mtype == _T_CHUNK_REPLY:
+        found = bool(r.u8())
+        doc_id = r.text()
+        index = r.u32()
+        offset = r.u32()
+        total = r.u32()
+        msg = ChunkReply(found, doc_id, index, offset, total, r.blob())
+    elif mtype == _T_MANIFEST_PUSH:
+        msg = ManifestPush(_r_manifest(r))
+    elif mtype == _T_MANIFEST_ACK:
+        doc_id = r.text()
+        accepted = bool(r.u8())
+        missing = tuple(r.u32() for _ in range(r.count(_CRC_BYTES)))
+        msg = ManifestAck(doc_id, accepted, missing)
+    elif mtype == _T_CHUNK_PUSH:
+        msg = ChunkPush(r.text(), r.u32(), r.blob())
     else:
         raise CodecError(f"unknown message type byte {mtype}")
     r.done()

@@ -39,7 +39,7 @@ import contextlib
 import time
 from collections import deque
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
 from repro.bloom.filter import BloomFilter
 from repro.constants import (
     BloomConfig,
+    ContentConfig,
     GossipConfig,
     NetConfig,
     PartialViewConfig,
@@ -60,14 +61,19 @@ from repro.gossip.messages import MessageSizer
 from repro.gossip.partialview import PartialView
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
+    CONTENT_MESSAGES,
     GOSSIP_MESSAGES,
     PARTIALVIEW_MESSAGES,
     AENothing,
     AERecent,
     AERequest,
     AESummary,
+    ChunkPush,
+    ChunkRequest,
     JoinRequest,
     JoinSnapshot,
+    ManifestPush,
+    ManifestRequest,
     PeerRecord,
     PullRequest,
     RumorData,
@@ -104,6 +110,7 @@ from repro.obs import Counter, Registry, global_registry
 from repro.serve.subscriptions import SubscriptionManager
 from repro.store import (
     CheckpointEntry,
+    ChunkStore,
     DirectoryCheckpoint,
     PersistentDataStore,
     load_checkpoint,
@@ -112,6 +119,9 @@ from repro.store import (
 from repro.text.analyzer import Analyzer
 from repro.text.document import Document
 from repro.text.xmlsnippets import XMLSnippet
+
+if TYPE_CHECKING:
+    from repro.content.plane import ContentPlane
 
 __all__ = ["NetworkPeer", "RID_RESTART_GAP"]
 
@@ -143,6 +153,7 @@ class NetworkPeer:
         data_dir: str | Path | None = None,
         store_config: StoreConfig | None = None,
         partial_view: PartialViewConfig | None = None,
+        content_config: ContentConfig | None = None,
     ) -> None:
         if not 0 <= peer_id < 1 << 16:
             raise ValueError("peer_id must fit in 16 bits for rumor-id minting")
@@ -242,6 +253,16 @@ class NetworkPeer:
             "partialview_model_bytes_total",
             "sizer prediction for the same partial-view messages",
         )
+        self._c_content_real_bytes = self.obs.counter(
+            "node",
+            "content_real_bytes_total",
+            "encoded content-plane transfer/replication bytes",
+        )
+        self._c_content_model_bytes = self.obs.counter(
+            "node",
+            "content_model_bytes_total",
+            "sizer prediction for the same content messages",
+        )
         self._g_filters_held = self.obs.gauge(
             "node", "full_filters_held", "Bloom filters stored in full (incl. own)"
         )
@@ -286,6 +307,21 @@ class NetworkPeer:
                 data_dir / "subscriptions.ckpt" if data_dir is not None else None
             ),
         )
+        # Imported here, not at module scope: repro.content.retrieval pulls
+        # in repro.serve, which (via the scheduler's search client) imports
+        # this module — a top-level import would deadlock package init.
+        from repro.content.plane import ContentPlane
+
+        #: the wire-level content plane (repro.content): every publish is
+        #: chunked into a crash-safe store and served to ChunkRequests;
+        #: k-way replication to ring successors runs only when
+        #: ``content_config.replicas > 0`` (off by default).
+        self.content_config = content_config or ContentConfig()
+        self.content: ContentPlane = ContentPlane(
+            self,
+            self.content_config,
+            ChunkStore(data_dir / "chunks" if data_dir is not None else None),
+        )
 
     # ------------------------------------------------------------------
     # observability
@@ -312,6 +348,11 @@ class NetworkPeer:
             # exactly the paper's inventory) but measured the same way.
             self._c_pv_real_bytes.inc(len(body))
             self._c_pv_model_bytes.inc(self._sizer.model_size(msg))
+        elif isinstance(msg, CONTENT_MESSAGES):
+            # Content transfer is likewise outside the gossip model but
+            # pinned to the same real-vs-model agreement envelope.
+            self._c_content_real_bytes.inc(len(body))
+            self._c_content_model_bytes.inc(self._sizer.model_size(msg))
 
     def stats_response(self) -> StatsResponse:
         """The node's registry flattened into a wire-ready reply."""
@@ -589,6 +630,10 @@ class NetworkPeer:
     def publish(self, item: Document | XMLSnippet) -> Document:
         """Publish a document locally and gossip the filter growth."""
         doc = self.peer.publish(item)
+        # Chunk the content for the transfer plane: from here on any
+        # member (or a directory-less client) can fetch the bytes by doc
+        # id; replication to ring successors happens in gossip rounds.
+        self.content.add_local(doc.doc_id, doc.text.encode("utf-8"))
         self.flush_updates()
         self.subscriptions.mark_dirty(self.peer_id)
         return doc
@@ -771,6 +816,8 @@ class NetworkPeer:
             await self._ae_round(had_hot=bool(hot_ids))
         if self.pview is not None:
             await self._partialview_round()
+        if self.content.active:
+            await self.content.maintenance_round()
         self._update_filter_gauges()
         if (
             self._checkpoint_path is not None
@@ -1258,6 +1305,14 @@ class NetworkPeer:
             return self._on_view_exchange(msg)
         if isinstance(msg, ShardMatchQuery):
             return self._on_shard_match(msg)
+        if isinstance(msg, ManifestRequest):
+            return self.content.on_manifest_request(msg)
+        if isinstance(msg, ChunkRequest):
+            return self.content.on_chunk_request(msg)
+        if isinstance(msg, ManifestPush):
+            return self.content.on_manifest_push(msg)
+        if isinstance(msg, ChunkPush):
+            return self.content.on_chunk_push(msg)
         return ErrorReply(f"unexpected message {type(msg).__name__}")
 
     def _on_rumor_push(self, msg: RumorPush) -> RumorReply:

@@ -12,5 +12,12 @@ refresh.
 from repro.pfs.fileserver import FileServer
 from repro.pfs.namespace import QueryDirectory, SemanticNamespace
 from repro.pfs.pfs import PFS
+from repro.store.chunkstore import ContentNotFound
 
-__all__ = ["FileServer", "QueryDirectory", "SemanticNamespace", "PFS"]
+__all__ = [
+    "ContentNotFound",
+    "FileServer",
+    "QueryDirectory",
+    "SemanticNamespace",
+    "PFS",
+]

@@ -60,9 +60,7 @@ class SemanticNamespace:
         """The full refined query for ``path`` (all segments joined)."""
         return " ".join(self._segments(path))
 
-    def make_directory(
-        self, path: str, terms: tuple[str, ...], now: float
-    ) -> QueryDirectory:
+    def make_directory(self, path: str, terms: tuple[str, ...], now: float) -> QueryDirectory:
         """Create a directory for an (analyzed) query."""
         if path in self._dirs:
             raise FileExistsError(path)

@@ -18,9 +18,8 @@ threshold re-runs the whole query.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
-from typing import Callable
+from collections.abc import Callable
 from xml.sax.saxutils import escape
 
 from repro.constants import (
@@ -31,6 +30,7 @@ from repro.constants import (
 from repro.core.community import InProcessCommunity
 from repro.pfs.fileserver import FileServer
 from repro.pfs.namespace import QueryDirectory, SemanticNamespace
+from repro.store.chunkstore import ContentNotFound
 from repro.text.document import Document
 from repro.text.xmlsnippets import XMLSnippet
 
@@ -103,11 +103,22 @@ class PFS:
         return [t for t, _ in freqs.most_common(count)]
 
     def unpublish_file(self, path: str) -> None:
-        """Stop sharing a file (and delete it locally)."""
+        """Stop sharing a file (and delete it locally).
+
+        Raises :class:`FileNotFoundError` for a path we never published
+        and :class:`ContentNotFound` when the community no longer
+        resolves the snippet id (e.g. it was removed out from under us) —
+        previously that leaked the datastore's bare ``KeyError``.
+        """
         snippet_id = self._snippet_id(path)
         if snippet_id not in self._published:
             raise FileNotFoundError(path)
-        self.community.remove(snippet_id)
+        try:
+            self.community.remove(snippet_id)
+        except ContentNotFound:
+            raise
+        except KeyError:
+            raise ContentNotFound(snippet_id, "not in the community index") from None
         del self._published[snippet_id]
         self.files.delete_file(path)
 
@@ -162,6 +173,9 @@ class PFS:
 
         With no registry supplied, only our own URLs resolve; tests and
         examples pass a {peer_id: FileServer} map standing in for HTTP.
+        An unresolvable URL raises :class:`ContentNotFound` (a
+        :class:`LookupError` subclass, so existing handlers still catch
+        it).
         """
         prefix = f"http://{self.files.host}"
         if url.startswith(prefix):
@@ -170,4 +184,4 @@ class PFS:
             for server in peers_files.values():
                 if url.startswith(f"http://{server.host}"):
                     return server.get(url)
-        raise LookupError(f"no server for URL {url!r}")
+        raise ContentNotFound(url, "no server for URL")

@@ -33,6 +33,7 @@ from repro.store.checkpoint import (
     save_checkpoint,
     save_subscriptions,
 )
+from repro.store.chunkstore import ChunkStore, ContentNotFound, build_manifest
 from repro.store.persistent_store import PersistentDataStore, RecoveryInfo
 from repro.store.snapshot import (
     load_latest_snapshot,
@@ -44,6 +45,9 @@ from repro.store.wal import WriteAheadLog
 
 __all__ = [
     "CheckpointEntry",
+    "ChunkStore",
+    "ContentNotFound",
+    "build_manifest",
     "DirectoryCheckpoint",
     "PersistentDataStore",
     "RecoveryInfo",

@@ -1,5 +1,7 @@
 """Tests for the information brokerage: ring, broker store, service."""
 
+import hashlib
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -186,3 +188,67 @@ def test_property_every_key_has_exactly_one_owner(members):
     for key in ("alpha", "beta", "gamma"):
         owner = ring.broker_for(key)
         assert owner in members
+
+
+class TestSuccessorSets:
+    """k-way successor walks: what the content plane's replica placement
+    and the partial-view shard map both build on."""
+
+    def test_single_member_ring_yields_that_member_once(self):
+        ring = ConsistentHashRing()
+        ring.add_broker(7)
+        assert ring.successors_for("any-key", 3) == [7]
+
+    def test_successors_are_distinct_members_in_ring_order(self):
+        ring = ConsistentHashRing(max_id=100)
+        ring.add_broker(1, ring_id=10)
+        ring.add_broker(2, ring_id=30)
+        ring.add_broker(2, ring_id=40)  # a second virtual point
+        ring.add_broker(3, ring_id=60)
+        assert ring.successors_of(15, 3) == [2, 3, 1]
+
+    def test_successors_wrap_past_the_top(self):
+        ring = ConsistentHashRing(max_id=100)
+        ring.add_broker(1, ring_id=10)
+        ring.add_broker(2, ring_id=50)
+        assert ring.successors_of(80, 2) == [1, 2]
+
+    def test_k_beyond_membership_returns_everyone(self):
+        ring = ConsistentHashRing(max_id=100)
+        ring.add_broker(1, ring_id=10)
+        ring.add_broker(2, ring_id=50)
+        assert sorted(ring.successors_of(0, 99)) == [1, 2]
+
+    def test_nonpositive_k_is_empty(self):
+        ring = ConsistentHashRing()
+        ring.add_broker(1)
+        assert ring.successors_of(0, 0) == []
+
+
+class TestPlacementGoldenDigests:
+    """Virtual-point placement must agree across processes: any drift in
+    the hash seeds, point labels, or probe order silently strands every
+    replica and shard assignment, so the exact placements are pinned."""
+
+    def test_replica_ring_placement_digest(self):
+        from repro.content import replica_ring
+
+        ring = replica_ring([0, 1, 2, 3, 4, 5, 6, 7], points_per_member=32)
+        lines = [
+            ",".join(str(p) for p in ring.successors_for(f"doc-{i}", 3))
+            for i in range(64)
+        ]
+        digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+        assert digest == (
+            "870d68367021d9dccc8d5a9205d250ffdb1b8f42b545e0a1970aeba040095968"
+        )
+
+    def test_shard_map_assignment_digest(self):
+        from repro.gossip.partialview import ShardMap
+
+        smap = ShardMap(num_shards=4)
+        assign = ",".join(str(smap.shard_of(pid)) for pid in range(128))
+        digest = hashlib.sha256(assign.encode()).hexdigest()
+        assert digest == (
+            "484ce3e9f16059aa5ade2b69dcc9704aebc3e42883104808cddc90587fbe36ba"
+        )

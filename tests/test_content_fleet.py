@@ -1,0 +1,70 @@
+"""Publish → SIGKILL the origin → retrieve from surviving replicas.
+
+A real multi-process fleet (every node a ``python -m repro.net``
+process with ``--replicas``) runs the full content-plane acceptance
+path: wave documents fetched byte-identical through the ring, crashed
+origins' sentinel documents still retrievable while the origins are
+down, and zero orphaned chunk bytes once handoff settles — the same
+:meth:`~repro.fleet.invariants.FleetReport.violations` gate the
+500-node scale suite applies at ``replicas=3``.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.fleet import FleetReport, FleetSpec, run_scenario
+
+pytestmark = [
+    pytest.mark.content,
+    pytest.mark.fleet,
+    pytest.mark.slow,
+    pytest.mark.timeout(300),
+]
+
+SPEC = FleetSpec(
+    num_nodes=8,
+    seed=11,
+    gossip_interval_s=0.25,
+    num_waves=1,
+    docs_per_wave=3,
+    num_crashes=2,
+    replicas=3,
+    convergence_slack_s=30.0,
+)
+MIN_RECALL = 0.9  # 8 peers: one ranking tie costs more than in a 25-node run
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory) -> FleetReport:
+    root = tmp_path_factory.mktemp("fleet-content")
+    try:
+        return run_scenario(SPEC, root=root, log_dir=root / "logs")
+    finally:
+        shutil.rmtree(root / "corpus", ignore_errors=True)
+        shutil.rmtree(root / "data", ignore_errors=True)
+
+
+def test_no_acceptance_violations(report):
+    assert report.violations(min_recall=MIN_RECALL) == []
+
+
+def test_replication_reached_the_fixed_point_before_churn(report):
+    assert report.content_replicas == SPEC.replicas
+    assert report.replication_s >= 0.0
+
+
+def test_every_wave_document_fetched_byte_identical(report):
+    assert report.content_fetches_expected == SPEC.num_waves * SPEC.docs_per_wave
+    assert report.content_fetches_ok == report.content_fetches_expected
+
+
+def test_documents_survive_their_origin(report):
+    assert len(report.crash_pids) == SPEC.num_crashes
+    assert report.churn_fetches_ok
+
+
+def test_handoff_leaves_no_orphaned_chunk_bytes(report):
+    assert report.orphan_chunk_bytes_max == 0.0

@@ -59,6 +59,7 @@ SPEC = FleetSpec(
     num_waves=2,
     docs_per_wave=5,
     num_crashes=3,
+    replicas=3,
     launch_batch=24,
     ready_timeout_s=240.0,
     convergence_slack_s=180.0,
@@ -98,6 +99,16 @@ def test_scale_recall_within_bound_of_oracle(report):
 
 def test_scale_zero_stale_serves(report):
     assert report.stale_serves == 0
+
+
+def test_scale_retrieval_survives_churn(report):
+    # The content plane at paper scale: every wave doc fetched
+    # byte-identical, crashed origins' docs served by replicas, and no
+    # chunk bytes stranded once handoff settles.
+    assert report.content_replicas == SPEC.replicas
+    assert report.content_fetches_ok == report.content_fetches_expected
+    assert report.churn_fetches_ok
+    assert report.orphan_chunk_bytes_max == 0.0
 
 
 def test_scale_partialview_memory_is_sublinear(report):

@@ -7,6 +7,7 @@ import pytest
 from repro.constants import NET_CODEC_VERSION
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
+    CONTENT_MESSAGES,
     GOSSIP_MESSAGES,
     PARTIALVIEW_MESSAGES,
     SERVE_MESSAGES,
@@ -14,8 +15,16 @@ from repro.gossip.wire import (
     AERecent,
     AERequest,
     AESummary,
+    ChunkPush,
+    ChunkReply,
+    ChunkRequest,
+    ContentManifest,
     JoinRequest,
     JoinSnapshot,
+    ManifestAck,
+    ManifestPush,
+    ManifestReply,
+    ManifestRequest,
     Notify,
     PeerRecord,
     PullRequest,
@@ -57,6 +66,9 @@ from repro.net.codec import (
 
 RECORD = PeerRecord(7, "10.0.0.7:9301", True, 3)
 RUMOR = WireRumor((7 << 32) | 1, RumorKind.BF_UPDATE, 7, 12.5, b"\x01\x02\x03")
+MANIFEST = ContentManifest(
+    "n0007-d1", 7, 150_000, 65536, b"\xab" * 32, (0xDEADBEEF, 0xCAFEF00D, 0x0BADF00D)
+)
 
 MESSAGES = [
     RumorPush(((7 << 32) | 1, (8 << 32) | 2)),
@@ -115,6 +127,18 @@ MESSAGES = [
     ShardMatchQuery(3, ("gossip", "peers")),
     ShardMatchResponse(3, ((7, 0b11), (8, 0b01))),
     ShardMatchResponse(0, ()),
+    ManifestRequest("n0007-d1"),
+    ManifestReply(True, MANIFEST, ("10.0.0.7:9301", "10.0.0.8:9301")),
+    ManifestReply(False, None, ("10.0.0.9:9301",)),
+    ManifestReply(False, None, ()),
+    ChunkRequest("n0007-d1", 2, 4096),
+    ChunkReply(True, "n0007-d1", 2, 4096, 65536, b"\x5a" * 512),
+    ChunkReply(False, "n0007-d1", 2, 0, 0, b""),
+    ManifestPush(MANIFEST),
+    ManifestAck("n0007-d1", True, (0, 2)),
+    ManifestAck("n0007-d1", True, ()),
+    ManifestAck("n0007-d1", False, ()),
+    ChunkPush("n0007-d1", 1, b"\xa5" * 256),
     ErrorReply("bad frame: truncated"),
 ]
 
@@ -139,6 +163,16 @@ def test_every_serve_type_is_covered():
 def test_every_partialview_type_is_covered():
     tested = {type(m) for m in MESSAGES}
     assert set(PARTIALVIEW_MESSAGES) <= tested
+
+
+def test_every_content_type_is_covered():
+    tested = {type(m) for m in MESSAGES}
+    assert set(CONTENT_MESSAGES) <= tested
+
+
+def test_found_manifest_reply_requires_a_manifest():
+    with pytest.raises(CodecError, match="carries no manifest"):
+        encode(ManifestReply(True, None, ()))
 
 
 def test_oversized_shard_match_query_rejected():

@@ -19,6 +19,7 @@ from repro.constants import GossipConfig
 from repro.gossip.messages import MessageSizer
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
+    CONTENT_MESSAGES,
     GOSSIP_MESSAGES,
     PARTIALVIEW_MESSAGES,
     SERVE_MESSAGES,
@@ -26,8 +27,16 @@ from repro.gossip.wire import (
     AERecent,
     AERequest,
     AESummary,
+    ChunkPush,
+    ChunkReply,
+    ChunkRequest,
+    ContentManifest,
     JoinRequest,
     JoinSnapshot,
+    ManifestAck,
+    ManifestPush,
+    ManifestReply,
+    ManifestRequest,
     Notify,
     PeerRecord,
     PullRequest,
@@ -120,6 +129,32 @@ PARTIALVIEW_INSTANCES = [
     ShardMatchResponse(3, tuple((pid, 0b1011) for pid in range(10))),
 ]
 
+#: A realistic transfer contract: a ~150 KB document in 64 KB chunks.
+_MANIFEST = ContentManifest(
+    "n0007-d1",
+    7,
+    150_000,
+    65536,
+    b"\xab" * 32,
+    (0xDEADBEEF, 0xCAFEF00D, 0x0BADF00D),
+)
+
+#: The content inventory, priced outside Table 2 like serve/partial-view
+#: (chunked transfers are PlanetP Section-6 machinery, not gossip).
+#: Payload-bearing replies carry data sized the way the protocol sends
+#: it — a reply-window slice, a whole chunk push.
+CONTENT_INSTANCES = [
+    ManifestRequest("n0007-d1"),
+    ManifestReply(
+        True, _MANIFEST, tuple(f"192.168.1.{pid}:9301" for pid in range(4))
+    ),
+    ChunkRequest("n0007-d1", 2, 4096),
+    ChunkReply(True, "n0007-d1", 2, 4096, 65536, b"\x5a" * 8192),
+    ManifestPush(_MANIFEST),
+    ManifestAck("n0007-d1", True, (0, 1, 2)),
+    ChunkPush("n0007-d1", 1, b"\xa5" * 65536),
+]
+
 
 @pytest.fixture(scope="module")
 def sizer() -> MessageSizer:
@@ -173,6 +208,22 @@ def test_partialview_encoding_within_2x_of_model(msg, sizer):
 def test_partialview_inventory_fully_covered(sizer):
     instance_types = {type(m) for m in PARTIALVIEW_INSTANCES}
     assert instance_types == set(PARTIALVIEW_MESSAGES)
+
+
+@pytest.mark.parametrize("msg", CONTENT_INSTANCES, ids=lambda m: type(m).__name__)
+def test_content_encoding_within_2x_of_model(msg, sizer):
+    real = len(encode(msg))
+    model = sizer.model_size(msg)
+    assert model > 0
+    ratio = real / model
+    assert 0.5 <= ratio <= 2.0, (
+        f"{type(msg).__name__}: real={real}B model={model}B ratio={ratio:.2f}"
+    )
+
+
+def test_content_inventory_fully_covered(sizer):
+    instance_types = {type(m) for m in CONTENT_INSTANCES}
+    assert instance_types == set(CONTENT_MESSAGES)
 
 
 def test_model_rejects_non_gossip_messages(sizer):

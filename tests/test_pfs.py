@@ -158,3 +158,30 @@ class TestPFS:
         pfs.publish_file("/odd.txt", 'weird <tag> & "chars" gossip')
         docs = community.exhaustive_search("weird gossip")
         assert len(docs) == 1
+
+    def test_unpublish_raises_typed_error_when_index_lost_the_doc(self, setup):
+        """The community dropped the snippet out from under us: the
+        failure surfaces as ContentNotFound, not the datastore's bare
+        KeyError (which callers could not tell from a dict bug)."""
+        from repro.store.chunkstore import ContentNotFound
+
+        community, pfs, _ = setup
+        pfs.publish_file("/fragile.txt", "gossip content that will vanish remotely")
+        community.remove(pfs._snippet_id("/fragile.txt"))
+        with pytest.raises(ContentNotFound) as exc:
+            pfs.unpublish_file("/fragile.txt")
+        assert isinstance(exc.value, LookupError)
+        assert "not in the community index" in str(exc.value)
+
+    def test_read_url_miss_raises_typed_error(self, setup):
+        from repro.store.chunkstore import ContentNotFound
+
+        _, pfs, _ = setup
+        with pytest.raises(ContentNotFound, match="no server for URL") as exc:
+            pfs.read_url("http://unknown.host/x")
+        # KeyError-compatible: pre-typed-error handlers still work.
+        assert isinstance(exc.value, KeyError)
+        # ... and so do peer registries that simply lack the host.
+        other = PFS(InProcessCommunity(2), 1)
+        with pytest.raises(ContentNotFound):
+            pfs.read_url("http://nowhere/x", {1: other.files})
