@@ -463,6 +463,40 @@ class ContentConfig:
 
 
 @dataclass
+class AnalyticsConfig:
+    """Tunables of the analytics plane (:mod:`repro.analytics`).
+
+    Each node maintains a bounded space-saving summary of its own term
+    frequencies plus per-document access counters, and gossips the
+    per-origin entries via push-pull sketch exchanges piggybacked on the
+    gossip round.  Merging is a per-origin latest-wins join, so every
+    node converges to the same community-wide top-k estimate without
+    central collection.
+    """
+
+    #: space-saving counter capacity — the per-origin term summary never
+    #: tracks more than this many terms (error bounded by N/capacity).
+    sketch_capacity: int = 128
+    #: per-document access counters carried per origin entry.
+    top_docs: int = 32
+    #: sketch entries pushed per exchange message — bounds the per-round
+    #: analytics bytes regardless of community size.
+    exchange_entries: int = 64
+    #: local summary rebuild cadence, in gossip rounds.
+    refresh_every_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sketch_capacity < 1:
+            raise ValueError("sketch_capacity must be >= 1")
+        if self.top_docs < 0:
+            raise ValueError("top_docs must be >= 0")
+        if self.exchange_entries < 1:
+            raise ValueError("exchange_entries must be >= 1")
+        if self.refresh_every_rounds < 1:
+            raise ValueError("refresh_every_rounds must be >= 1")
+
+
+@dataclass
 class BloomConfig:
     """Bloom filter sizing configuration."""
 

@@ -106,6 +106,14 @@ class FleetReport:
     churn_fetches_ok: bool = True
     #: worst per-node orphaned chunk bytes after churn settled (must be 0).
     orphan_chunk_bytes_max: float = 0.0
+    #: whether the fleet ran with --analytics (sketch gossip + mining).
+    analytics: bool = False
+    #: worst per-node top-k frequent-term precision vs. the exact oracle.
+    analytics_precision_min: float = 1.0
+    #: seconds until every node's top-k estimate cleared the 0.9 bar.
+    analytics_convergence_s: float = 0.0
+    #: mean analytics-plane (sketch exchange) bytes per gossip round.
+    analytics_bytes_per_round: float = 0.0
     #: whether the fleet ran in --partial-view (sharded directory) mode.
     partial_view: bool = False
     #: mean bytes pinned per node by full replica filters + shard summaries.
@@ -166,6 +174,11 @@ class FleetReport:
                     f"{self.orphan_chunk_bytes_max:.0f} orphaned chunk "
                     f"bytes left stranded after churn"
                 )
+        if self.analytics and self.analytics_precision_min < 0.9:
+            out.append(
+                f"analytics top-k precision {self.analytics_precision_min:.3f} "
+                f"below 0.9 within the Fig.-2 bound"
+            )
         if self.leaked_processes:
             out.append(f"{self.leaked_processes} node process(es) leaked")
         if self.leaked_ports:

@@ -17,6 +17,8 @@ membership on both sides.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.constants import BloomConfig
 from repro.core.community import InProcessCommunity
 from repro.fleet.scenario import Scenario, Wave
@@ -48,3 +50,19 @@ class FleetOracle:
         """The oracle's ranked top-k document ids for ``query``."""
         result = self.community.ranked_search(query, k=k)
         return [doc.doc_id for doc in result.results]
+
+    def term_counts(self) -> Counter[str]:
+        """Exact community-wide term frequencies (what the gossiped
+        analytics sketch estimates), summed over every peer's index."""
+        totals: Counter[str] = Counter()
+        for peer in self.community.peers:
+            index = peer.store.index
+            for term in index.terms():
+                totals[term] += index.collection_frequency(term)
+        return totals
+
+    def top_terms(self, k: int) -> list[str]:
+        """The exact top-``k`` community terms, count then term order —
+        the same total order the analytics sketch reports in."""
+        ordered = sorted(self.term_counts().items(), key=lambda kv: (-kv[1], kv[0]))
+        return [term for term, _count in ordered[:k]]

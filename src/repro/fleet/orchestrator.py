@@ -152,6 +152,8 @@ class Fleet:
             args += ["--bootstrap", bootstrap]
         if self.spec.replicas > 0:
             args += ["--replicas", str(self.spec.replicas)]
+        if self.spec.analytics:
+            args += ["--analytics"]
         if self.spec.partial_view:
             args += [
                 "--partial-view",
@@ -280,6 +282,26 @@ class Fleet:
                 f"node {pid} did not accept publish of {doc.doc_id!r}: {reply!r}"
             )
         return reply
+
+    async def top_terms(self, pid: int, k: int) -> list[str] | None:
+        """One node's community top-``k`` term estimate over the wire
+        (``None`` if unreachable or not serving analytics)."""
+        from repro.gossip.wire import TopTermsReply, TopTermsRequest
+
+        address = self.addresses.get(pid)
+        if address is None:
+            return None
+        async with self._scrape_gate:
+            try:
+                body = await self.transport.request(
+                    address, codec.encode(TopTermsRequest(k))
+                )
+            except TransportError:
+                return None
+        reply = codec.decode(body)
+        if not isinstance(reply, TopTermsReply):
+            return None
+        return [term for term, _count in reply.entries]
 
     # -- the content plane ----------------------------------------------------
 
@@ -495,6 +517,41 @@ async def run_scenario_async(
         m["recall_min"] = min(recalls)
         say(f"fleet: baseline recall {m['recall']:.3f} (min {m['recall_min']:.3f})")
 
+        # Analytics: every node's gossiped top-k frequent-term estimate
+        # must agree with the exact oracle (startup corpora) within the
+        # same Fig.-2 bound the directory itself converges under.
+        m["analytics"] = spec.analytics
+        m["analytics_precision_min"] = 1.0
+        m["analytics_convergence_s"] = 0.0
+        m["analytics_bytes_per_round"] = 0.0
+        if spec.analytics:
+            expected_terms = set(oracle.top_terms(spec.analytics_top_k))
+            analytics_started = time.monotonic()
+            analytics_deadline = analytics_started + bound
+            while True:
+                estimates = await asyncio.gather(
+                    *(
+                        fleet.top_terms(pid, spec.analytics_top_k)
+                        for pid in range(spec.num_nodes)
+                    )
+                )
+                precisions = [
+                    len(set(est or ()) & expected_terms) / len(expected_terms)
+                    for est in estimates
+                ]
+                m["analytics_precision_min"] = min(precisions)
+                m["analytics_convergence_s"] = time.monotonic() - analytics_started
+                if m["analytics_precision_min"] >= 0.9:
+                    break
+                if time.monotonic() > analytics_deadline:
+                    break
+                await asyncio.sleep(poll_s)
+            say(
+                f"fleet: analytics top-{spec.analytics_top_k} precision "
+                f"{m['analytics_precision_min']:.3f} after "
+                f"{m['analytics_convergence_s']:.1f}s"
+            )
+
         # Publish waves: measure propagation, then prove freshness — the
         # cache was primed with the pre-wave answer, so serving anything
         # but the new documents afterwards is a stale serve.
@@ -700,6 +757,14 @@ async def run_scenario_async(
         m["gossip_bytes_per_round"] = (
             sum(byte_totals) / total_rounds if total_rounds else 0.0
         )
+        if spec.analytics:
+            analytics_totals = [
+                s.get("planetp_node_analytics_real_bytes_total", 0.0)
+                for s in stats.values()
+            ]
+            m["analytics_bytes_per_round"] = (
+                sum(analytics_totals) / total_rounds if total_rounds else 0.0
+            )
         # Directory memory + partial-view traffic: the sublinearity gate
         # compares these means across flat and partial-view runs.
         filter_bytes = [

@@ -69,6 +69,12 @@ class FleetSpec:
     #: content-plane copies per document (``--replicas``); 0 disables the
     #: retrieval waves and the retrieval-under-churn gate.
     replicas: int = 0
+    #: run every node with ``--analytics`` and gate each node's top-k
+    #: frequent-term estimate against the exact oracle (0.9 precision
+    #: within the Fig.-2 bound); False skips the analytics phase.
+    analytics: bool = False
+    #: k for the analytics top-k accuracy gate.
+    analytics_top_k: int = 10
 
     @property
     def resolved_num_shards(self) -> int:
@@ -100,6 +106,8 @@ class FleetSpec:
             raise ValueError("replicas must be >= 0")
         if self.replicas >= self.num_nodes:
             raise ValueError("replicas must leave at least one non-holder node")
+        if self.analytics_top_k < 1:
+            raise ValueError("analytics_top_k must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -37,9 +37,10 @@ gossip helpers above never see it.
 The partial-view inventory (:data:`repro.gossip.wire.PARTIALVIEW_MESSAGES`)
 is priced the same way — covered by the 2x envelope, outside Table 2:
 
-``shard_summary_request``   header + flag byte + 4 B per shard id
-``shard_summary_reply``     header + (16 B + bloom) per summary entry +
-                            (48 B + bloom) per full member entry
+``shard_summary_request``   header + flag byte + 4 B per shard id +
+                            12 B per advertised (shard, token) pair
+``shard_summary_reply``     header + (17 B + bloom-or-diff) per summary
+                            entry + (48 B + bloom) per full member entry
 ``view_exchange``           header + want (2 B) + 48 B per record
 ``shard_match_query``       header + shard (4 B) + terms
 ``shard_match_response``    header + shard (4 B) + 12 B per (pid, mask)
@@ -56,6 +57,18 @@ doc id + 16 B of fixed fields + 32 B digest + 4 B per chunk CRC:
 ``manifest_push``      header + manifest
 ``manifest_ack``       header + doc id + flag + 4 B per missing index
 ``chunk_push``         header + doc id + index (4 B) + chunk bytes
+
+The analytics inventory (:data:`repro.gossip.wire.ANALYTICS_MESSAGES`) —
+gossiped frequent-term sketches and browse RPCs — is priced the same
+way, covered by the 2x envelope, outside Table 2.  A sketch entry prices
+as 12 B of fixed fields plus (2 B + term + 8 B count) per counter:
+
+``sketch_exchange``    header + sketch entries + 12 B per digest version
+``sketch_reply``       header + sketch entries + 12 B per digest version
+``top_terms_request``  header + k (2 B)
+``top_terms_reply``    header + origin count (4 B) + per-term entries
+``browse_request``     header + path + k (2 B)
+``browse_response``    header + flag + path + generation (8 B) + entries
 """
 
 from __future__ import annotations
@@ -160,12 +173,19 @@ class MessageSizer:
     # -- partial-view inventory (sharded directory; outside Table 2) --------
 
     _SHARD_ID_BYTES = 4
-    _SUMMARY_META_BYTES = 16  # shard + member_count + version
+    _SUMMARY_META_BYTES = 17  # shard + member_count + version + diff flag
     _MATCH_HIT_BYTES = 12  # pid + u64 term bitmask
+    _KNOWN_TOKEN_BYTES = 12  # shard id + u64 summary token
 
-    def shard_summary_request(self, num_shards: int) -> int:
-        """Ask a peer for shard summaries (and maybe member entries)."""
-        return self.config.header_bytes + 1 + self._SHARD_ID_BYTES * num_shards
+    def shard_summary_request(self, num_shards: int, num_known: int = 0) -> int:
+        """Ask a peer for shard summaries (and maybe member entries),
+        advertising known summary tokens so the reply can send diffs."""
+        return (
+            self.config.header_bytes
+            + 1
+            + self._SHARD_ID_BYTES * num_shards
+            + self._KNOWN_TOKEN_BYTES * num_known
+        )
 
     def shard_summary_reply(
         self, summary_blob_bytes: list[int], member_blob_bytes: list[int]
@@ -274,6 +294,55 @@ class MessageSizer:
             + data_bytes
         )
 
+    # -- analytics inventory (frequent-term mining; outside Table 2) --------
+
+    _SKETCH_META_BYTES = 12  # origin (4) + epoch (8)
+    _SKETCH_VERSION_BYTES = 12  # origin (4) + epoch (8)
+    _COUNTER_BYTES = 8  # one u64 term/doc count
+
+    @classmethod
+    def sketch_entry_bytes(cls, entry: wire.SketchEntry) -> int:
+        """Model size of one per-origin sketch entry."""
+        return (
+            cls._SKETCH_META_BYTES
+            + sum(
+                2 + len(term.encode("utf-8")) + cls._COUNTER_BYTES
+                for term, _ in entry.terms
+            )
+            + sum(
+                2 + len(doc.encode("utf-8")) + cls._COUNTER_BYTES
+                for doc, _ in entry.docs
+            )
+        )
+
+    def sketch_exchange(self, entries_bytes: int, num_versions: int) -> int:
+        """Push-pull sketch exchange: entries plus an (origin, epoch) digest."""
+        return (
+            self.config.header_bytes
+            + entries_bytes
+            + self._SKETCH_VERSION_BYTES * num_versions
+        )
+
+    def sketch_reply(self, entries_bytes: int, num_versions: int) -> int:
+        """The responder's missing entries plus its own digest."""
+        return self.sketch_exchange(entries_bytes, num_versions)
+
+    def top_terms_request(self) -> int:
+        """Poll a node's converged community top-k estimate."""
+        return self.config.header_bytes + 2
+
+    def top_terms_reply(self, terms_bytes: int) -> int:
+        """The node's current top-k terms with estimated counts."""
+        return self.config.header_bytes + 4 + terms_bytes
+
+    def browse_request(self, path_bytes: int) -> int:
+        """List one namespace directory, popularity-ranked."""
+        return self.config.header_bytes + 2 + path_bytes + 2
+
+    def browse_response(self, path_bytes: int, entries_bytes: int) -> int:
+        """A popularity-ordered listing plus its directory generation."""
+        return self.config.header_bytes + 1 + 2 + path_bytes + 8 + entries_bytes
+
     # -- shared-inventory dispatch ------------------------------------------
 
     def model_size(self, msg: object) -> int:
@@ -323,7 +392,7 @@ class MessageSizer:
         if isinstance(msg, wire.Unsubscribe):
             return self.unsubscribe()
         if isinstance(msg, wire.ShardSummaryRequest):
-            return self.shard_summary_request(len(msg.shards))
+            return self.shard_summary_request(len(msg.shards), len(msg.known))
         if isinstance(msg, wire.ShardSummaryReply):
             return self.shard_summary_reply(
                 [len(entry.bloom) for entry in msg.entries],
@@ -365,4 +434,35 @@ class MessageSizer:
             )
         if isinstance(msg, wire.ChunkPush):
             return self.chunk_push(len(msg.doc_id.encode("utf-8")), len(msg.data))
+        if isinstance(msg, wire.SketchExchange):
+            return self.sketch_exchange(
+                sum(self.sketch_entry_bytes(e) for e in msg.entries),
+                len(msg.versions),
+            )
+        if isinstance(msg, wire.SketchReply):
+            return self.sketch_reply(
+                sum(self.sketch_entry_bytes(e) for e in msg.entries),
+                len(msg.versions),
+            )
+        if isinstance(msg, wire.TopTermsRequest):
+            return self.top_terms_request()
+        if isinstance(msg, wire.TopTermsReply):
+            return self.top_terms_reply(
+                sum(
+                    2 + len(term.encode("utf-8")) + self._COUNTER_BYTES
+                    for term, _ in msg.entries
+                )
+            )
+        if isinstance(msg, wire.BrowseRequest):
+            return self.browse_request(len(msg.path.encode("utf-8")))
+        if isinstance(msg, wire.BrowseResponse):
+            return self.browse_response(
+                len(msg.path.encode("utf-8")),
+                sum(
+                    2 + len(doc.encode("utf-8"))
+                    + 2 + len(link.encode("utf-8"))
+                    + 8
+                    for doc, link, _ in msg.entries
+                ),
+            )
         raise TypeError(f"not a gossip wire message: {type(msg).__name__}")

@@ -30,14 +30,23 @@ from __future__ import annotations
 import random
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.bloom.diff import BloomDiff
 from repro.bloom.filter import BloomFilter
 from repro.bloom.hashing import fnv1a_64
 from repro.bloom.matcher import ShardedFilterMatrix
 from repro.brokerage.ring import ConsistentHashRing
 from repro.constants import BloomConfig, PartialViewConfig
+from repro.gossip.directory import mix_rumor_ids
 
 __all__ = ["ShardMap", "ShardSummary", "PartialView"]
+
+#: Bounds on the per-summary diff history.  Past either bound the history
+#: is dropped and refresh replies fall back to full blooms — diffs are a
+#: bandwidth optimisation, never required for correctness.
+_MAX_DIFF_EVENTS = 16
+_MAX_DIFF_POSITIONS = 4096
 
 
 class ShardMap:
@@ -112,29 +121,65 @@ class ShardSummary:
     converges.  ``version`` counts local folds and adopts the larger
     value on install, giving remote consumers a cheap freshness signal;
     ``member_count`` is the folding node's census of the shard.
+
+    ``token`` is a content-addressed fingerprint of the summary's bit
+    set: the XOR of a splitmix64 scramble of every set position.  Two
+    summaries with identical bits carry identical tokens regardless of
+    the fold order that produced them — unlike ``version``, which counts
+    local folds and so differs across nodes holding the same bits.
+    Refresh requesters advertise their tokens; a responder whose summary
+    extends that bit set answers with just the added positions
+    (:meth:`diff_since`), falling back to the full bloom when the token
+    is not in its bounded history.
     """
 
-    __slots__ = ("shard", "bloom", "member_count", "version")
+    __slots__ = ("shard", "bloom", "member_count", "version", "token", "_history")
 
     def __init__(self, shard: int, num_bits: int, num_hashes: int) -> None:
         self.shard = shard
         self.bloom = BloomFilter(num_bits, num_hashes)
         self.member_count = 0
         self.version = 0
+        self.token = 0
+        #: newest-last ``(pre_token, added_positions)`` events.
+        self._history: list[tuple[int, np.ndarray]] = []
+
+    def _absorb(self, added: np.ndarray) -> None:
+        """Record newly-set positions: advance the token, log the event."""
+        if added.size == 0:
+            return
+        pre = self.token
+        self.token ^= int(np.bitwise_xor.reduce(mix_rumor_ids(added)))
+        self._history.append((pre, added))
+        if (
+            len(self._history) > _MAX_DIFF_EVENTS
+            or sum(len(a) for _, a in self._history) > _MAX_DIFF_POSITIONS
+        ):
+            self._history.clear()
 
     def fold_filter(self, bf: BloomFilter) -> None:
         """OR a member's full filter into the summary."""
         if bf.hashes != self.bloom.hashes:
             return  # foreign geometry: nothing sound to fold
+        added_words = bf.bits.difference_words(self.bloom.bits)
+        bits = np.unpackbits(added_words.view(np.uint8), bitorder="little")
+        added = np.nonzero(bits[: self.bloom.num_bits])[0].astype(np.int64)
         self.bloom.union_inplace(bf)
         self.version += 1
+        self._absorb(added)
 
     def fold_diff(self, diff: BloomDiff) -> None:
         """OR a member's gossiped filter diff into the summary."""
         if diff.num_bits != self.bloom.num_bits:
             return
+        if diff.positions.size:
+            hits = self.bloom.bits.get_many(diff.positions)
+            added = diff.positions[~hits]
+        else:
+            added = diff.positions
         self.bloom.set_positions(diff.positions)
         self.version += 1
+        self._absorb(added)
 
     def install(self, bloom: BloomFilter, member_count: int, version: int) -> None:
         """Adopt a remote summary: union the bits (monotone), take the
@@ -144,6 +189,36 @@ class ShardSummary:
             self.version = version
         if member_count > 0:
             self.member_count = member_count
+
+    def install_diff(
+        self, diff: BloomDiff, member_count: int, version: int
+    ) -> None:
+        """Adopt a remote summary served as a positions diff."""
+        self.fold_diff(diff)
+        if version >= self.version:
+            self.version = version
+        if member_count > 0:
+            self.member_count = member_count
+
+    def diff_since(self, token: int) -> np.ndarray | None:
+        """Positions added since the summary carried ``token``.
+
+        Returns an empty array when ``token`` is current (nothing to
+        send), the accumulated added positions when ``token`` appears in
+        the bounded history, and ``None`` when it does not — the caller
+        must then fall back to the full bloom.  Served diffs are OR-ed
+        in by the requester, so a stale or colliding token can only
+        delay convergence toward the full-bloom path, never corrupt the
+        monotone summary.
+        """
+        if token == self.token:
+            return np.zeros(0, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for pre, added in reversed(self._history):
+            chunks.append(added)
+            if pre == token:
+                return np.unique(np.concatenate(chunks))
+        return None
 
 
 class PartialView:

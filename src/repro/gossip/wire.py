@@ -78,6 +78,27 @@ replication push that keeps content retrievable through churn:
 
 Same 2x pricing envelope, grouped in :data:`CONTENT_MESSAGES`, outside
 the Table-2 gossip model.
+
+The **analytics inventory** (:mod:`repro.analytics`) piggybacks mergeable
+term/access sketches on gossip rounds and serves the popularity-ranked
+browse plane built on them:
+
+=====================  ================================================
+``SketchExchange``     push sketch entries + advertise the sender's
+                       per-origin epoch digest (anti-entropy for the
+                       community-wide frequent-term estimate)
+``SketchReply``        entries the responder believes the sender lacks,
+                       plus the responder's own epoch digest
+``TopTermsRequest``    ask a node for its converged top-k term estimate
+``TopTermsReply``      the estimate: (term, community count) pairs
+``BrowseRequest``      popularity-ranked listing of one query-named
+                       namespace directory, from the node's local index
+``BrowseResponse``     the listing + the directory generation it was
+                       computed against
+=====================  ================================================
+
+Same 2x pricing envelope, grouped in :data:`ANALYTICS_MESSAGES`, outside
+the Table-2 gossip model.
 """
 
 from __future__ import annotations
@@ -122,6 +143,14 @@ __all__ = [
     "ManifestAck",
     "ChunkPush",
     "CONTENT_MESSAGES",
+    "SketchEntry",
+    "SketchExchange",
+    "SketchReply",
+    "TopTermsRequest",
+    "TopTermsReply",
+    "BrowseRequest",
+    "BrowseResponse",
+    "ANALYTICS_MESSAGES",
 ]
 
 
@@ -339,12 +368,20 @@ SERVE_MESSAGES: tuple[type, ...] = (
 class ShardSummaryEntry:
     """One shard's coarse summary: the compressed OR of its member
     filters, the responder's census of the shard, and a freshness
-    version (component of :class:`ShardSummaryReply`, not a message)."""
+    version (component of :class:`ShardSummaryReply`, not a message).
+
+    With ``diff=True`` the ``bloom`` field carries a serialized
+    :class:`~repro.bloom.diff.BloomDiff` — only the positions set since
+    the summary token the requester advertised — instead of the full
+    compressed filter.  Diffs are monotone position sets, so a receiver
+    OR-ing one in can never lose bits.
+    """
 
     shard: int
     member_count: int
     version: int
     bloom: bytes
+    diff: bool = False
 
 
 @dataclass(frozen=True)
@@ -357,10 +394,18 @@ class ShardSummaryRequest:
     the named shards — the bootstrap/backfill path a joiner (or the
     survivor of a shard member's death) uses to learn its home shard's
     full filters.
+
+    ``known`` advertises the requester's current ``(shard, token)``
+    summary fingerprints.  A token is a content hash of the summary's
+    set-bit positions; when the responder's recent history contains the
+    advertised token it answers with a position *diff* instead of the
+    full compressed bloom, and falls back to the full bloom on any
+    mismatch.
     """
 
     shards: tuple[int, ...]
     want_members: bool
+    known: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -539,4 +584,108 @@ CONTENT_MESSAGES: tuple[type, ...] = (
     ManifestPush,
     ManifestAck,
     ChunkPush,
+)
+
+
+# ---------------------------------------------------------------------------
+# analytics inventory: gossiped term/access sketches and the browse plane
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SketchEntry:
+    """One origin's contribution to the community term/access sketch
+    (component of the sketch messages, not a message itself).
+
+    ``terms`` is the origin's space-saving summary of its local term
+    frequencies — ``(term, estimated count)`` pairs; ``docs`` is its
+    per-document access counters fed by the serve and content planes.
+    ``epoch`` makes the entry a last-writer-wins register: an origin
+    bumps it whenever its local summary changes (including document
+    removals), so stale counts age out of every replica as the newer
+    epoch spreads.  Replicas keep, per origin, the entry with the
+    largest ``(epoch, terms, docs)`` — a total order, so the merge is
+    commutative, associative, and idempotent.
+    """
+
+    origin: int
+    epoch: int
+    terms: tuple[tuple[str, int], ...]
+    docs: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class SketchExchange:
+    """Anti-entropy push for the analytics sketch.
+
+    ``entries`` are sketch entries the sender pushes outright (its own
+    fresh entry, plus any it believes the target lacks); ``versions`` is
+    the sender's ``(origin, epoch)`` digest, which lets the responder
+    answer with exactly the entries the sender is behind on.  An empty
+    ``versions`` tuple means "no digest — just merge the pushed entries"
+    (the cheap second half of a push-pull round).
+    """
+
+    entries: tuple[SketchEntry, ...]
+    versions: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class SketchReply:
+    """The responder's half of a sketch exchange: entries the requester's
+    digest showed it lacks, plus the responder's own digest so the
+    requester can push back anything *it* is ahead on."""
+
+    entries: tuple[SketchEntry, ...]
+    versions: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class TopTermsRequest:
+    """Ask a node for its current community-wide top-``k`` term estimate."""
+
+    k: int
+
+
+@dataclass(frozen=True)
+class TopTermsReply:
+    """The node's estimate: ``(term, estimated community count)`` pairs,
+    most frequent first.  ``origin_count`` is how many distinct origins
+    the node's merged sketch covers — a convergence signal."""
+
+    origin_count: int
+    entries: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class BrowseRequest:
+    """Popularity-ranked listing of one query-named namespace directory,
+    computed from the responder's local index and merged sketch."""
+
+    path: str
+    k: int
+
+
+@dataclass(frozen=True)
+class BrowseResponse:
+    """One directory listing: ``(doc_id, link, popularity)`` entries,
+    most popular first.  ``generation`` is the responder's directory
+    generation at listing time, so a poller can detect staleness, and
+    ``found=False`` means the path was invalid or analytics is off."""
+
+    found: bool
+    path: str
+    generation: int
+    entries: tuple[tuple[str, str, int], ...]
+
+
+#: The analytics inventory — sketch gossip + browse RPCs, priced by the
+#: sizer but NOT part of the Table-2 gossip model.
+ANALYTICS_MESSAGES: tuple[type, ...] = (
+    SketchExchange,
+    SketchReply,
+    TopTermsRequest,
+    TopTermsReply,
+    BrowseRequest,
+    BrowseResponse,
 )

@@ -39,6 +39,14 @@ works even after the publisher dies)::
 
     python -m repro.net get 127.0.0.1:9301 some/doc-id
     python -m repro.net get 127.0.0.1:9301 some/doc-id --out doc.txt
+
+Mine the community (``--analytics`` on the serving nodes): ask any
+member for its converged community-wide frequent-term estimate, or
+browse the popularity-ranked global namespace (every path *is* a query
+over the member's documents)::
+
+    python -m repro.net top-terms 127.0.0.1:9301 --k 20
+    python -m repro.net browse 127.0.0.1:9301 /gossip/protocols
 """
 
 from __future__ import annotations
@@ -51,12 +59,19 @@ from pathlib import Path
 
 from repro.constants import (
     NET_DEFAULT_PORT,
+    AnalyticsConfig,
     BloomConfig,
     ContentConfig,
     GossipConfig,
     NetConfig,
     PartialViewConfig,
     StoreConfig,
+)
+from repro.gossip.wire import (
+    BrowseRequest,
+    BrowseResponse,
+    TopTermsReply,
+    TopTermsRequest,
 )
 from repro.net import codec
 from repro.net.chaos import EdgeFaults, FaultPlan, FaultyTransport
@@ -68,13 +83,17 @@ from repro.text.document import Document
 
 __all__ = [
     "build_parser",
+    "build_browse_parser",
     "build_get_parser",
     "build_stats_parser",
     "build_subscribe_parser",
+    "build_top_terms_parser",
     "run",
+    "run_browse",
     "run_get",
     "run_stats",
     "run_subscribe",
+    "run_top_terms",
     "main",
 ]
 
@@ -162,6 +181,18 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default {ContentConfig().chunk_size})",
     )
     parser.add_argument(
+        "--analytics", action="store_true",
+        help="gossip mergeable term/popularity sketches each round and "
+             "serve top-terms and browse requests (off by default)",
+    )
+    parser.add_argument(
+        "--sketch-capacity", type=int,
+        default=AnalyticsConfig().sketch_capacity, metavar="N",
+        help="space-saving counters per node under --analytics "
+             f"(default {AnalyticsConfig().sketch_capacity}; per-term "
+             "error is bounded by local-terms/N)",
+    )
+    parser.add_argument(
         "--query", default=None, help="run one ranked query after joining, print the top-k, keep serving"
     )
     parser.add_argument("--top-k", type=int, default=10, help="k for --query (default 10)")
@@ -222,6 +253,37 @@ def build_get_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=5.0, metavar="SECONDS",
         help="per-RPC deadline before falling back to the next replica "
         "(default 5)",
+    )
+    return parser
+
+
+def build_top_terms_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.net top-terms`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net top-terms",
+        description="Ask an analytics-serving peer for its converged "
+        "community-wide frequent-term estimate.",
+    )
+    parser.add_argument("address", metavar="HOST:PORT", help="peer to ask")
+    parser.add_argument(
+        "--k", type=int, default=10, metavar="K",
+        help="how many terms to print (default 10)",
+    )
+    return parser
+
+
+def build_browse_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.net browse`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net browse",
+        description="List one directory of the popularity-ranked global "
+        "namespace at an analytics-serving peer (the path is the query).",
+    )
+    parser.add_argument("address", metavar="HOST:PORT", help="peer to ask")
+    parser.add_argument("path", metavar="/PATH", help="directory to list, e.g. /gossip/protocols")
+    parser.add_argument(
+        "--k", type=int, default=20, metavar="K",
+        help="how many entries to list (default 20)",
     )
     return parser
 
@@ -300,6 +362,50 @@ async def run_get(args: argparse.Namespace) -> None:
     else:
         sys.stdout.buffer.write(data)
         sys.stdout.buffer.flush()
+
+
+async def _request_once(address: str, msg: object) -> object:
+    """One encoded request/decoded reply against a raw address."""
+    transport = TcpTransport(NetConfig())
+    try:
+        body = await transport.request(address, codec.encode(msg))
+    finally:
+        await transport.close()
+    return codec.decode(body)
+
+
+async def run_top_terms(args: argparse.Namespace) -> None:
+    """Print one peer's community-wide top-k term estimate."""
+    reply = await _request_once(args.address, TopTermsRequest(args.k))
+    if not isinstance(reply, TopTermsReply):
+        raise TransportError(
+            f"{args.address} answered with {type(reply).__name__} "
+            f"(is it running with --analytics?)"
+        )
+    print(
+        f"top {min(args.k, len(reply.entries))} terms at {args.address} "
+        f"({reply.origin_count} origins merged):"
+    )
+    for term, count in reply.entries:
+        print(f"  {term:24s} {count}")
+
+
+async def run_browse(args: argparse.Namespace) -> None:
+    """Print one popularity-ranked directory listing from a peer."""
+    reply = await _request_once(args.address, BrowseRequest(args.path, args.k))
+    if not isinstance(reply, BrowseResponse):
+        raise TransportError(
+            f"{args.address} answered with {type(reply).__name__} "
+            f"(is it running with --analytics?)"
+        )
+    if not reply.found:
+        raise SystemExit(f"error: {args.path!r} is not a browsable path")
+    print(
+        f"{reply.path} at {args.address} "
+        f"(generation {reply.generation:#x}, {len(reply.entries)} entries):"
+    )
+    for doc_id, link, popularity in reply.entries:
+        print(f"  {doc_id:32s} pop={popularity:<6d} {link}")
 
 
 async def run_stats(args: argparse.Namespace) -> None:
@@ -411,6 +517,9 @@ async def run(args: argparse.Namespace) -> None:
         content_config=ContentConfig(
             replicas=args.replicas, chunk_size=args.chunk_size
         ),
+        analytics_config=AnalyticsConfig(sketch_capacity=args.sketch_capacity)
+        if args.analytics
+        else None,
     )
     address = await node.start()
     print(f"peer {args.peer_id} serving at {address}")
@@ -437,6 +546,8 @@ async def run(args: argparse.Namespace) -> None:
             f"content replication: k={args.replicas} "
             f"chunk-size={args.chunk_size}"
         )
+    if node.analytics.enabled:
+        print(f"analytics: sketch-capacity={args.sketch_capacity}")
 
     if args.corpus is not None:
         published = _load_corpus(node, args.corpus)
@@ -490,6 +601,10 @@ def main(argv: list[str] | None = None) -> None:
     try:
         if argv and argv[0] == "stats":
             asyncio.run(run_stats(build_stats_parser().parse_args(argv[1:])))
+        elif argv and argv[0] == "top-terms":
+            asyncio.run(run_top_terms(build_top_terms_parser().parse_args(argv[1:])))
+        elif argv and argv[0] == "browse":
+            asyncio.run(run_browse(build_browse_parser().parse_args(argv[1:])))
         elif argv and argv[0] == "get":
             asyncio.run(run_get(build_get_parser().parse_args(argv[1:])))
         elif argv and argv[0] == "subscribe":

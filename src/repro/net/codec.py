@@ -30,6 +30,8 @@ from repro.gossip.wire import (
     AERecent,
     AERequest,
     AESummary,
+    BrowseRequest,
+    BrowseResponse,
     ChunkPush,
     ChunkReply,
     ChunkRequest,
@@ -51,9 +53,14 @@ from repro.gossip.wire import (
     ShardSummaryEntry,
     ShardSummaryReply,
     ShardSummaryRequest,
+    SketchEntry,
+    SketchExchange,
+    SketchReply,
     SnapshotEntry,
     SubscribeAck,
     SubscribeRequest,
+    TopTermsRequest,
+    TopTermsReply,
     Unsubscribe,
     ViewExchange,
     WireRumor,
@@ -218,13 +225,28 @@ _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
 SHARD_MATCH_MAX_TERMS = 64
 
 #: Minimum encoded shard-summary entry: shard + member_count + version +
-#: empty bloom blob.
-_SUMMARY_ENTRY_MIN_BYTES = 4 + 4 + 8 + 4
+#: empty bloom blob + diff flag.
+_SUMMARY_ENTRY_MIN_BYTES = 4 + 4 + 8 + 4 + 1
+
+#: One advertised (shard, summary token) pair in a summary request.
+_KNOWN_TOKEN_BYTES = 4 + 8
 
 #: A manifest's chunk-CRC list and an ack's missing-index list are both
 #: u32s; holder addresses are at least a u16 length prefix.
 _CRC_BYTES = 4
 _HOLDER_MIN_BYTES = 2
+
+#: Minimum encoded sketch entry: origin + epoch + two empty u16 lists.
+_SKETCH_ENTRY_MIN_BYTES = 4 + 8 + 2 + 2
+
+#: One (origin, epoch) pair of a sketch digest.
+_SKETCH_VERSION_BYTES = 4 + 8
+
+#: One top-terms entry: empty term string + u64 count.
+_TOP_TERM_MIN_BYTES = 2 + 8
+
+#: One browse listing entry: empty doc id + empty link + u64 popularity.
+_BROWSE_ENTRY_MIN_BYTES = 2 + 2 + 8
 
 
 class _Writer:
@@ -388,6 +410,40 @@ def _r_manifest(r: _Reader) -> ContentManifest:
     return ContentManifest(doc_id, origin, total_size, chunk_size, digest, crcs)
 
 
+def _w_sketch_entry(w: _Writer, entry: SketchEntry) -> None:
+    w.u32(entry.origin)
+    w.u64(entry.epoch)
+    w.u16(len(entry.terms))
+    for term, count in entry.terms:
+        w.text(term)
+        w.u64(count)
+    w.u16(len(entry.docs))
+    for doc_id, count in entry.docs:
+        w.text(doc_id)
+        w.u64(count)
+
+
+def _r_sketch_entry(r: _Reader) -> SketchEntry:
+    origin = r.u32()
+    epoch = r.u64()
+    terms = tuple((r.text(), r.u64()) for _ in range(r.u16()))
+    docs = tuple((r.text(), r.u64()) for _ in range(r.u16()))
+    return SketchEntry(origin, epoch, terms, docs)
+
+
+def _w_sketch_versions(w: _Writer, versions: tuple[tuple[int, int], ...]) -> None:
+    w.u32(len(versions))
+    for origin, epoch in versions:
+        w.u32(origin)
+        w.u64(epoch)
+
+
+def _r_sketch_versions(r: _Reader) -> tuple[tuple[int, int], ...]:
+    return tuple(
+        (r.u32(), r.u64()) for _ in range(r.count(_SKETCH_VERSION_BYTES))
+    )
+
+
 # ---------------------------------------------------------------------------
 # per-type encoders/decoders
 # ---------------------------------------------------------------------------
@@ -429,6 +485,12 @@ _T_CHUNK_REPLY = 40
 _T_MANIFEST_PUSH = 41
 _T_MANIFEST_ACK = 42
 _T_CHUNK_PUSH = 43
+_T_SKETCH_EXCHANGE = 44
+_T_SKETCH_REPLY = 45
+_T_TOP_TERMS_REQUEST = 46
+_T_TOP_TERMS_REPLY = 47
+_T_BROWSE_REQUEST = 48
+_T_BROWSE_RESPONSE = 49
 
 _TYPE_OF = {
     RumorPush: _T_RUMOR_PUSH,
@@ -468,6 +530,12 @@ _TYPE_OF = {
     ManifestPush: _T_MANIFEST_PUSH,
     ManifestAck: _T_MANIFEST_ACK,
     ChunkPush: _T_CHUNK_PUSH,
+    SketchExchange: _T_SKETCH_EXCHANGE,
+    SketchReply: _T_SKETCH_REPLY,
+    TopTermsRequest: _T_TOP_TERMS_REQUEST,
+    TopTermsReply: _T_TOP_TERMS_REPLY,
+    BrowseRequest: _T_BROWSE_REQUEST,
+    BrowseResponse: _T_BROWSE_RESPONSE,
 }
 
 
@@ -582,6 +650,10 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
         for shard in msg.shards:
             w.u32(shard)
         w.u8(1 if msg.want_members else 0)
+        w.u32(len(msg.known))
+        for shard, token in msg.known:
+            w.u32(shard)
+            w.u64(token)
     elif isinstance(msg, ShardSummaryReply):
         w.u32(len(msg.entries))
         for entry in msg.entries:
@@ -589,6 +661,7 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
             w.u32(entry.member_count)
             w.u64(entry.version)
             w.blob(entry.bloom)
+            w.u8(1 if entry.diff else 0)
         w.u32(len(msg.members))
         for member in msg.members:
             _w_record(w, member.record)
@@ -647,6 +720,36 @@ def encode(msg: object, version: int = NET_CODEC_VERSION) -> bytes:
         w.text(msg.doc_id)
         w.u32(msg.index)
         w.blob(msg.data)
+    elif isinstance(msg, SketchExchange):
+        w.u32(len(msg.entries))
+        for entry in msg.entries:
+            _w_sketch_entry(w, entry)
+        _w_sketch_versions(w, msg.versions)
+    elif isinstance(msg, SketchReply):
+        w.u32(len(msg.entries))
+        for entry in msg.entries:
+            _w_sketch_entry(w, entry)
+        _w_sketch_versions(w, msg.versions)
+    elif isinstance(msg, TopTermsRequest):
+        w.u16(msg.k)
+    elif isinstance(msg, TopTermsReply):
+        w.u32(msg.origin_count)
+        w.u32(len(msg.entries))
+        for term, count in msg.entries:
+            w.text(term)
+            w.u64(count)
+    elif isinstance(msg, BrowseRequest):
+        w.text(msg.path)
+        w.u16(msg.k)
+    elif isinstance(msg, BrowseResponse):
+        w.u8(1 if msg.found else 0)
+        w.text(msg.path)
+        w.u64(msg.generation)
+        w.u32(len(msg.entries))
+        for doc_id, link, score in msg.entries:
+            w.text(doc_id)
+            w.text(link)
+            w.u64(score)
     return bytes(w.buf)
 
 
@@ -745,10 +848,14 @@ def decode(body: bytes) -> object:
         msg = ErrorReply(r.text())
     elif mtype == _T_SHARD_SUMMARY_REQUEST:
         shards = tuple(r.u32() for _ in range(r.count(4)))
-        msg = ShardSummaryRequest(shards, bool(r.u8()))
+        want_members = bool(r.u8())
+        known = tuple(
+            (r.u32(), r.u64()) for _ in range(r.count(_KNOWN_TOKEN_BYTES))
+        )
+        msg = ShardSummaryRequest(shards, want_members, known)
     elif mtype == _T_SHARD_SUMMARY_REPLY:
         summaries = tuple(
-            ShardSummaryEntry(r.u32(), r.u32(), r.u64(), r.blob())
+            ShardSummaryEntry(r.u32(), r.u32(), r.u64(), r.blob(), bool(r.u8()))
             for _ in range(r.count(_SUMMARY_ENTRY_MIN_BYTES))
         )
         members = tuple(
@@ -797,6 +904,35 @@ def decode(body: bytes) -> object:
         msg = ManifestAck(doc_id, accepted, missing)
     elif mtype == _T_CHUNK_PUSH:
         msg = ChunkPush(r.text(), r.u32(), r.blob())
+    elif mtype == _T_SKETCH_EXCHANGE:
+        entries = tuple(
+            _r_sketch_entry(r) for _ in range(r.count(_SKETCH_ENTRY_MIN_BYTES))
+        )
+        msg = SketchExchange(entries, _r_sketch_versions(r))
+    elif mtype == _T_SKETCH_REPLY:
+        entries = tuple(
+            _r_sketch_entry(r) for _ in range(r.count(_SKETCH_ENTRY_MIN_BYTES))
+        )
+        msg = SketchReply(entries, _r_sketch_versions(r))
+    elif mtype == _T_TOP_TERMS_REQUEST:
+        msg = TopTermsRequest(r.u16())
+    elif mtype == _T_TOP_TERMS_REPLY:
+        origin_count = r.u32()
+        terms = tuple(
+            (r.text(), r.u64()) for _ in range(r.count(_TOP_TERM_MIN_BYTES))
+        )
+        msg = TopTermsReply(origin_count, terms)
+    elif mtype == _T_BROWSE_REQUEST:
+        msg = BrowseRequest(r.text(), r.u16())
+    elif mtype == _T_BROWSE_RESPONSE:
+        found = bool(r.u8())
+        path = r.text()
+        generation = r.u64()
+        listing = tuple(
+            (r.text(), r.text(), r.u64())
+            for _ in range(r.count(_BROWSE_ENTRY_MIN_BYTES))
+        )
+        msg = BrowseResponse(found, path, generation, listing)
     else:
         raise CodecError(f"unknown message type byte {mtype}")
     r.done()

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import re
+import struct
 import time
 from collections import deque
 from pathlib import Path
@@ -46,6 +48,7 @@ import numpy as np
 from repro.bloom.diff import BloomDiff, apply_diff, diff_filters
 from repro.bloom.filter import BloomFilter
 from repro.constants import (
+    AnalyticsConfig,
     BloomConfig,
     ContentConfig,
     GossipConfig,
@@ -61,6 +64,7 @@ from repro.gossip.messages import MessageSizer
 from repro.gossip.partialview import PartialView
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
+    ANALYTICS_MESSAGES,
     CONTENT_MESSAGES,
     GOSSIP_MESSAGES,
     PARTIALVIEW_MESSAGES,
@@ -68,6 +72,7 @@ from repro.gossip.wire import (
     AERecent,
     AERequest,
     AESummary,
+    BrowseRequest,
     ChunkPush,
     ChunkRequest,
     JoinRequest,
@@ -84,8 +89,10 @@ from repro.gossip.wire import (
     ShardSummaryEntry,
     ShardSummaryReply,
     ShardSummaryRequest,
+    SketchExchange,
     SnapshotEntry,
     SubscribeRequest,
+    TopTermsRequest,
     Unsubscribe,
     ViewExchange,
     WireRumor,
@@ -154,6 +161,7 @@ class NetworkPeer:
         store_config: StoreConfig | None = None,
         partial_view: PartialViewConfig | None = None,
         content_config: ContentConfig | None = None,
+        analytics_config: AnalyticsConfig | None = None,
     ) -> None:
         if not 0 <= peer_id < 1 << 16:
             raise ValueError("peer_id must fit in 16 bits for rumor-id minting")
@@ -263,6 +271,20 @@ class NetworkPeer:
             "content_model_bytes_total",
             "sizer prediction for the same content messages",
         )
+        self._c_analytics_real_bytes = self.obs.counter(
+            "node",
+            "analytics_real_bytes_total",
+            "encoded analytics-plane sketch/browse bytes",
+        )
+        self._c_analytics_model_bytes = self.obs.counter(
+            "node",
+            "analytics_model_bytes_total",
+            "sizer prediction for the same analytics messages",
+        )
+        #: per-wire-type real/model/message counters (the "wire" component
+        #: of the stats export), cached by message class — the accounting
+        #: path runs per message and must not pay registry lookups.
+        self._wire_counters: dict[type, tuple[Counter, Counter, Counter]] = {}
         self._g_filters_held = self.obs.gauge(
             "node", "full_filters_held", "Bloom filters stored in full (incl. own)"
         )
@@ -310,6 +332,9 @@ class NetworkPeer:
         # Imported here, not at module scope: repro.content.retrieval pulls
         # in repro.serve, which (via the scheduler's search client) imports
         # this module — a top-level import would deadlock package init.
+        # repro.analytics reaches repro.serve the same way (browse runs
+        # through the scheduler's cache), hence the same treatment.
+        from repro.analytics.aggregate import AnalyticsPlane
         from repro.content.plane import ContentPlane
 
         #: the wire-level content plane (repro.content): every publish is
@@ -322,6 +347,10 @@ class NetworkPeer:
             self.content_config,
             ChunkStore(data_dir / "chunks" if data_dir is not None else None),
         )
+        #: gossip-powered frequent-term mining + popularity counters
+        #: (repro.analytics); off by default — a node pays nothing for
+        #: analytics unless explicitly configured.
+        self.analytics = AnalyticsPlane(self, analytics_config)
 
     # ------------------------------------------------------------------
     # observability
@@ -341,18 +370,39 @@ class NetworkPeer:
         validation suite pins to [0.5, 2.0].
         """
         if isinstance(msg, GOSSIP_MESSAGES):
-            self._c_real_bytes.inc(len(body))
-            self._c_model_bytes.inc(self._sizer.model_size(msg))
+            pair = (self._c_real_bytes, self._c_model_bytes)
         elif isinstance(msg, PARTIALVIEW_MESSAGES):
             # Outside the Table-2 gossip totals (the flat model must stay
             # exactly the paper's inventory) but measured the same way.
-            self._c_pv_real_bytes.inc(len(body))
-            self._c_pv_model_bytes.inc(self._sizer.model_size(msg))
+            pair = (self._c_pv_real_bytes, self._c_pv_model_bytes)
         elif isinstance(msg, CONTENT_MESSAGES):
             # Content transfer is likewise outside the gossip model but
             # pinned to the same real-vs-model agreement envelope.
-            self._c_content_real_bytes.inc(len(body))
-            self._c_content_model_bytes.inc(self._sizer.model_size(msg))
+            pair = (self._c_content_real_bytes, self._c_content_model_bytes)
+        elif isinstance(msg, ANALYTICS_MESSAGES):
+            pair = (self._c_analytics_real_bytes, self._c_analytics_model_bytes)
+        else:
+            return
+        model = self._sizer.model_size(msg)
+        pair[0].inc(len(body))
+        pair[1].inc(model)
+        trio = self._wire_counters.get(type(msg))
+        if trio is None:
+            name = re.sub(r"(?<!^)(?=[A-Z])", "_", type(msg).__name__).lower()
+            trio = self._wire_counters[type(msg)] = (
+                self.obs.counter(
+                    "wire", f"{name}_real_bytes_total", f"encoded {name} bytes"
+                ),
+                self.obs.counter(
+                    "wire", f"{name}_model_bytes_total", f"modeled {name} bytes"
+                ),
+                self.obs.counter(
+                    "wire", f"{name}_messages_total", f"{name} messages accounted"
+                ),
+            )
+        trio[0].inc(len(body))
+        trio[1].inc(model)
+        trio[2].inc()
 
     def stats_response(self) -> StatsResponse:
         """The node's registry flattened into a wire-ready reply."""
@@ -818,6 +868,8 @@ class NetworkPeer:
             await self._partialview_round()
         if self.content.active:
             await self.content.maintenance_round()
+        if self.analytics.enabled:
+            await self.analytics.maintenance_round()
         self._update_filter_gauges()
         if (
             self._checkpoint_path is not None
@@ -988,6 +1040,7 @@ class NetworkPeer:
             self.peer.drop_peer(pid)
             if self.pview is not None:
                 self.pview.forget(pid)
+            self.analytics.forget(pid)
             self._count("peers_expired_total", 1, "members dropped at T_Dead")
             self.obs.emit("peer_expired", peer=self.peer_id, target=pid)
 
@@ -1032,11 +1085,25 @@ class NetworkPeer:
         else:
             await self._backfill_home()
 
+    def _known_summary_tokens(self) -> tuple[tuple[int, int], ...]:
+        """The (shard, token) pairs advertising which foreign summaries we
+        already hold — lets the responder answer with position diffs
+        instead of full compressed blooms (satellite to ROADMAP item 1).
+        The home shard is excluded: its summary is always served full."""
+        assert self.pview is not None
+        return tuple(
+            (shard, summary.token)
+            for shard, summary in sorted(self.pview.summaries.items())
+            if shard != self.pview.home and summary.version > 0
+        )
+
     async def _refresh_summaries(self) -> None:
         target = self._pick_target()
         if target is None:
             return
-        reply = await self._request_peer(target, ShardSummaryRequest((), False))
+        reply = await self._request_peer(
+            target, ShardSummaryRequest((), False, self._known_summary_tokens())
+        )
         if isinstance(reply, ShardSummaryReply):
             self._install_summary_reply(reply)
 
@@ -1047,7 +1114,7 @@ class NetworkPeer:
         answer with an error, in which case the rotating refresh fills
         the summaries in over the next few rounds.
         """
-        msg = ShardSummaryRequest((), False)
+        msg = ShardSummaryRequest((), False, self._known_summary_tokens())
         frame = codec.encode(msg)
         self._account_gossip(msg, frame)
         try:
@@ -1098,6 +1165,20 @@ class NetworkPeer:
         for entry in reply.entries:
             if entry.shard == self.pview.home:
                 continue  # home knowledge is first-class, never coarse
+            if entry.diff:
+                # A position diff against the summary we advertised; OR'd
+                # in monotonically, so applying it is always sound even if
+                # our summary moved since the request went out.
+                try:
+                    diff = BloomDiff.from_bytes(entry.bloom)
+                except (ValueError, EOFError, struct.error):
+                    continue  # damaged diff: re-learned at the next refresh
+                if diff.num_bits != self.bloom_config.num_bits:
+                    continue
+                self.pview.summary_for(entry.shard).install_diff(
+                    diff, entry.member_count, entry.version
+                )
+                continue
             try:
                 bf = BloomFilter.from_compressed(
                     entry.bloom, num_hashes=self.bloom_config.num_hashes
@@ -1147,6 +1228,7 @@ class NetworkPeer:
         for pid in self.peer.directory:
             shard = pview.shard_of(pid)
             census[shard] = census.get(shard, 0) + 1
+        known = dict(msg.known)
         for shard, summary in sorted(pview.summaries.items()):
             if shard == pview.home:
                 continue
@@ -1154,10 +1236,36 @@ class NetworkPeer:
                 continue
             if summary.version == 0:
                 continue  # nothing folded yet: an empty filter teaches nothing
+            count = max(summary.member_count, census.get(shard, 0))
+            if shard in known:
+                positions = summary.diff_since(known[shard])
+                if positions is not None:
+                    self._count(
+                        "partialview_summary_diffs_total",
+                        1,
+                        "shard summaries answered as position diffs",
+                    )
+                    entries.append(
+                        ShardSummaryEntry(
+                            shard,
+                            count,
+                            summary.version,
+                            BloomDiff(
+                                self.bloom_config.num_bits, positions
+                            ).to_bytes(),
+                            diff=True,
+                        )
+                    )
+                    continue
+            self._count(
+                "partialview_summary_fulls_total",
+                1,
+                "shard summaries answered as full compressed blooms",
+            )
             entries.append(
                 ShardSummaryEntry(
                     shard,
-                    max(summary.member_count, census.get(shard, 0)),
+                    count,
                     summary.version,
                     summary.bloom.to_compressed(),
                 )
@@ -1281,6 +1389,7 @@ class NetworkPeer:
                 doc = self.peer.store.get(msg.doc_id)
             except KeyError:
                 return SnippetResponse(False, msg.doc_id, "")
+            self.analytics.record_access(doc.doc_id)
             return SnippetResponse(True, doc.doc_id, doc.text)
         if isinstance(msg, StatsRequest):
             return self.stats_response()
@@ -1306,13 +1415,32 @@ class NetworkPeer:
         if isinstance(msg, ShardMatchQuery):
             return self._on_shard_match(msg)
         if isinstance(msg, ManifestRequest):
-            return self.content.on_manifest_request(msg)
+            reply = self.content.on_manifest_request(msg)
+            if getattr(reply, "found", False):
+                # A manifest fetch is the start of a content retrieval —
+                # count it as one community read of the document.
+                self.analytics.record_access(msg.doc_id)
+            return reply
         if isinstance(msg, ChunkRequest):
             return self.content.on_chunk_request(msg)
         if isinstance(msg, ManifestPush):
             return self.content.on_manifest_push(msg)
         if isinstance(msg, ChunkPush):
             return self.content.on_chunk_push(msg)
+        if isinstance(msg, SketchExchange):
+            if not self.analytics.enabled:
+                return ErrorReply("analytics plane is off")
+            return self.analytics.on_exchange(msg)
+        if isinstance(msg, TopTermsRequest):
+            if not self.analytics.enabled:
+                return ErrorReply("analytics plane is off")
+            return self.analytics.on_top_terms(msg)
+        if isinstance(msg, BrowseRequest):
+            if not self.analytics.enabled:
+                return ErrorReply("analytics plane is off")
+            from repro.analytics.browse import local_listing
+
+            return local_listing(self, msg)
         return ErrorReply(f"unexpected message {type(msg).__name__}")
 
     def _on_rumor_push(self, msg: RumorPush) -> RumorReply:

@@ -104,6 +104,10 @@ class QueryScheduler:
             peer_gate=self.gate,
         )
         self.cache = ResultCache(self.config.cache_size, registry=self.obs)
+        #: community browser (repro.analytics.browse); attach one to turn
+        #: the ``browse`` endpoint on — listings then share the searches'
+        #: admission control, caching, and generation invalidation.
+        self.browser = None
         self._slots = asyncio.Semaphore(self.config.max_concurrent)
         self._queued = 0
         self._inflight = 0
@@ -157,6 +161,28 @@ class QueryScheduler:
             ("exhaustive", terms, 0),
             deadline_s,
             lambda: self.client.exhaustive_search(query),
+        )
+
+    def attach_browser(self, browser) -> None:
+        """Enable ``browse`` by attaching a CommunityBrowser."""
+        self.browser = browser
+
+    async def browse(self, path: str, k: int = 20, deadline_s: float | None = None):
+        """Serve one popularity-ranked directory listing.
+
+        The listing is admitted, shed, and cached exactly like a search —
+        the cache key carries the path, so a repeat browse of an
+        unchanged community is a cache hit, and any directory-generation
+        change invalidates it on the next read.
+        """
+        if self.browser is None:
+            raise RuntimeError("no browser attached (QueryScheduler.attach_browser)")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return await self._admit(
+            ("browse", path, k),
+            deadline_s,
+            lambda: self.browser.listing(path, k),
         )
 
     # -- admission -----------------------------------------------------------

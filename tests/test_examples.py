@@ -68,6 +68,15 @@ def test_serve_demo():
     assert "all peers stopped" in out
 
 
+def test_analytics_demo():
+    out = _run("analytics_demo.py")
+    assert "matches the oracle exactly" in out
+    assert "0 entries adopted" in out
+    assert "most popular first" in out
+    assert "planetp://" in out
+    assert "all peers stopped" in out
+
+
 def test_ranked_search_example():
     out = _run("ranked_search.py")
     assert "adaptive" in out and "first-k" in out

@@ -60,6 +60,7 @@ SPEC = FleetSpec(
     docs_per_wave=5,
     num_crashes=3,
     replicas=3,
+    analytics=True,
     launch_batch=24,
     ready_timeout_s=240.0,
     convergence_slack_s=180.0,
@@ -118,6 +119,14 @@ def test_scale_partialview_memory_is_sublinear(report):
     # pin well under half of that (home shard + sample + summaries).
     flat_bytes = report.num_nodes * (SPEC.bloom_bits // 8)
     assert 0.0 < report.directory_filter_bytes_per_node < 0.5 * flat_bytes
+
+
+def test_scale_analytics_topk_tracks_the_oracle(report):
+    # 500 gossiped space-saving sketches must converge every node to the
+    # oracle's exact top-k within the same Fig.-2 bound as the directory.
+    assert report.analytics
+    assert report.analytics_precision_min >= 0.9
+    assert report.analytics_convergence_s <= report.convergence_bound_s
 
 
 def test_scale_full_cleanup(report):

@@ -7,6 +7,7 @@ import pytest
 from repro.constants import NET_CODEC_VERSION
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
+    ANALYTICS_MESSAGES,
     CONTENT_MESSAGES,
     GOSSIP_MESSAGES,
     PARTIALVIEW_MESSAGES,
@@ -15,6 +16,8 @@ from repro.gossip.wire import (
     AERecent,
     AERequest,
     AESummary,
+    BrowseRequest,
+    BrowseResponse,
     ChunkPush,
     ChunkReply,
     ChunkRequest,
@@ -36,9 +39,14 @@ from repro.gossip.wire import (
     ShardSummaryEntry,
     ShardSummaryReply,
     ShardSummaryRequest,
+    SketchEntry,
+    SketchExchange,
+    SketchReply,
     SnapshotEntry,
     SubscribeAck,
     SubscribeRequest,
+    TopTermsReply,
+    TopTermsRequest,
     Unsubscribe,
     ViewExchange,
     WireRumor,
@@ -68,6 +76,9 @@ RECORD = PeerRecord(7, "10.0.0.7:9301", True, 3)
 RUMOR = WireRumor((7 << 32) | 1, RumorKind.BF_UPDATE, 7, 12.5, b"\x01\x02\x03")
 MANIFEST = ContentManifest(
     "n0007-d1", 7, 150_000, 65536, b"\xab" * 32, (0xDEADBEEF, 0xCAFEF00D, 0x0BADF00D)
+)
+SKETCH = SketchEntry(
+    7, 3, (("gossip", 42), ("bloom", 17), ("épidémie", 1)), (("n0007-d1", 9),)
 )
 
 MESSAGES = [
@@ -114,10 +125,12 @@ MESSAGES = [
     Unsubscribe(12),
     ShardSummaryRequest((0, 3, 7), True),
     ShardSummaryRequest((), False),
+    ShardSummaryRequest((), False, ((0, 0xDEADBEEF), (3, 0xCAFEF00D))),
     ShardSummaryReply(
         (
             ShardSummaryEntry(0, 12, 5, b"summary-bloom"),
             ShardSummaryEntry(3, 0, 0, b""),
+            ShardSummaryEntry(5, 20, 9, b"encoded-bloom-diff", True),
         ),
         (SnapshotEntry(RECORD, b"bloom-bytes"),),
     ),
@@ -139,6 +152,27 @@ MESSAGES = [
     ManifestAck("n0007-d1", True, ()),
     ManifestAck("n0007-d1", False, ()),
     ChunkPush("n0007-d1", 1, b"\xa5" * 256),
+    SketchExchange(
+        (SKETCH, SketchEntry(8, 1, (), ())),
+        ((7, 3), (8, 1), (9, 12)),
+    ),
+    SketchExchange((), ((7, 3),)),
+    SketchReply((SKETCH,), ((7, 3), (8, 1))),
+    SketchReply((), ()),
+    TopTermsRequest(10),
+    TopTermsReply(25, (("gossip", 412), ("bloom", 230), ("épidémie", 8))),
+    TopTermsReply(0, ()),
+    BrowseRequest("/gossip/protocols", 20),
+    BrowseResponse(
+        True,
+        "/gossip/protocols",
+        42,
+        (
+            ("n0007-d1", "planetp://n0007-d1", 17),
+            ("n0008-d2", "planetp://n0008-d2", 3),
+        ),
+    ),
+    BrowseResponse(False, "/no/such", 0, ()),
     ErrorReply("bad frame: truncated"),
 ]
 
@@ -168,6 +202,11 @@ def test_every_partialview_type_is_covered():
 def test_every_content_type_is_covered():
     tested = {type(m) for m in MESSAGES}
     assert set(CONTENT_MESSAGES) <= tested
+
+
+def test_every_analytics_type_is_covered():
+    tested = {type(m) for m in MESSAGES}
+    assert set(ANALYTICS_MESSAGES) <= tested
 
 
 def test_found_manifest_reply_requires_a_manifest():

@@ -82,16 +82,19 @@ def test_random_garbage_frames_fail_closed():
         _decode_must_fail_closed(frame, f"seed={SEED} garbage#{i}")
     # Garbage with a valid header is the nastier case: the body parser
     # runs.  The range deliberately overshoots the assigned type bytes
-    # (the partial-view inventory ends at 36) so unknown types stay
+    # (the analytics inventory ends at 49) so unknown types stay
     # covered too.
-    for mtype in range(0, 40):
+    for mtype in range(0, 54):
         for i in range(50):
             body = rng.randbytes(rng.randrange(0, 48))
             frame = bytes([NET_CODEC_VERSION, mtype]) + body
             _decode_must_fail_closed(frame, f"seed={SEED} typed-garbage t={mtype}#{i}")
 
 
-@pytest.mark.parametrize("mtype", [1, 2, 3, 7, 10, 17, 19, 32, 33, 34, 36])
+@pytest.mark.parametrize(
+    # 46 (TopTermsRequest) is absent: its body is a lone u16, no count.
+    "mtype", [1, 2, 3, 7, 10, 17, 19, 32, 33, 34, 36, 44, 45, 47, 48, 49]
+)
 def test_forged_count_is_rejected_before_allocation(mtype):
     """A u32 count of ~4 billion must be rejected against the frame size
     immediately, not drive a 4-billion-iteration decode loop."""

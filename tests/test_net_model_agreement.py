@@ -12,13 +12,16 @@ for the messages it actually exchanged.
 
 import asyncio
 
+import numpy as np
 import pytest
 
+from repro.bloom.diff import BloomDiff
 from repro.bloom.filter import BloomFilter
 from repro.constants import GossipConfig
 from repro.gossip.messages import MessageSizer
 from repro.gossip.rumor import RumorKind
 from repro.gossip.wire import (
+    ANALYTICS_MESSAGES,
     CONTENT_MESSAGES,
     GOSSIP_MESSAGES,
     PARTIALVIEW_MESSAGES,
@@ -45,12 +48,19 @@ from repro.gossip.wire import (
     RumorReply,
     ShardMatchQuery,
     ShardMatchResponse,
+    BrowseRequest,
+    BrowseResponse,
     ShardSummaryEntry,
     ShardSummaryReply,
     ShardSummaryRequest,
+    SketchEntry,
+    SketchExchange,
+    SketchReply,
     SnapshotEntry,
     SubscribeAck,
     SubscribeRequest,
+    TopTermsReply,
+    TopTermsRequest,
     Unsubscribe,
     ViewExchange,
     WireRumor,
@@ -117,10 +127,23 @@ SERVE_INSTANCES = [
 #: way the protocol actually uses them: summary replies carry compressed
 #: shard-OR filters, view exchanges trade a dozen-odd records.
 PARTIALVIEW_INSTANCES = [
-    ShardSummaryRequest((0, 2, 5), True),
+    ShardSummaryRequest(
+        (0, 2, 5), True, tuple((shard, 0xABCD << shard) for shard in range(3))
+    ),
     ShardSummaryReply(
         tuple(
             ShardSummaryEntry(shard, 60, 12, _BLOOM) for shard in range(4)
+        )
+        + (
+            ShardSummaryEntry(
+                4,
+                60,
+                13,
+                BloomDiff(
+                    4096, np.array([7, 99, 1024, 4000], dtype=np.int64)
+                ).to_bytes(),
+                True,
+            ),
         ),
         tuple(SnapshotEntry(rec, _BLOOM) for rec in _records(3)),
     ),
@@ -143,6 +166,37 @@ _MANIFEST = ContentManifest(
 #: (chunked transfers are PlanetP Section-6 machinery, not gossip).
 #: Payload-bearing replies carry data sized the way the protocol sends
 #: it — a reply-window slice, a whole chunk push.
+#: Realistic sketch entries: a few dozen space-saving term counters plus
+#: a handful of document access counters per origin, as a converged
+#: community's exchanges actually carry them.
+def _sketch_entries(n: int) -> tuple[SketchEntry, ...]:
+    return tuple(
+        SketchEntry(
+            origin,
+            3 + origin,
+            tuple((f"term{origin:02d}{j:02d}", 40 - j) for j in range(24)),
+            tuple((f"n{origin:04d}-d{j}", 9 - j) for j in range(4)),
+        )
+        for origin in range(n)
+    )
+
+
+#: The analytics inventory, priced outside Table 2 like serve/content
+#: (frequent-term mining is new machinery, not the paper's gossip).
+ANALYTICS_INSTANCES = [
+    SketchExchange(_sketch_entries(2), tuple((pid, 3 + pid) for pid in range(20))),
+    SketchReply(_sketch_entries(3), tuple((pid, 3 + pid) for pid in range(20))),
+    TopTermsRequest(10),
+    TopTermsReply(25, tuple((f"term{j:04d}", 900 - j) for j in range(10))),
+    BrowseRequest("/gossip/protocols", 20),
+    BrowseResponse(
+        True,
+        "/gossip/protocols",
+        0xDEADBEEFCAFEF00D,
+        tuple((f"n{j:04d}-d0", f"planetp://n{j:04d}-d0", 40 - j) for j in range(12)),
+    ),
+]
+
 CONTENT_INSTANCES = [
     ManifestRequest("n0007-d1"),
     ManifestReply(
@@ -224,6 +278,22 @@ def test_content_encoding_within_2x_of_model(msg, sizer):
 def test_content_inventory_fully_covered(sizer):
     instance_types = {type(m) for m in CONTENT_INSTANCES}
     assert instance_types == set(CONTENT_MESSAGES)
+
+
+@pytest.mark.parametrize("msg", ANALYTICS_INSTANCES, ids=lambda m: type(m).__name__)
+def test_analytics_encoding_within_2x_of_model(msg, sizer):
+    real = len(encode(msg))
+    model = sizer.model_size(msg)
+    assert model > 0
+    ratio = real / model
+    assert 0.5 <= ratio <= 2.0, (
+        f"{type(msg).__name__}: real={real}B model={model}B ratio={ratio:.2f}"
+    )
+
+
+def test_analytics_inventory_fully_covered(sizer):
+    instance_types = {type(m) for m in ANALYTICS_INSTANCES}
+    assert instance_types == set(ANALYTICS_MESSAGES)
 
 
 def test_model_rejects_non_gossip_messages(sizer):
